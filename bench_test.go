@@ -1,0 +1,418 @@
+package evoprot
+
+// One benchmark per figure and in-text table of the paper's evaluation
+// (§3), plus the ablation benches called out in DESIGN.md. Benchmarks run
+// at reduced scale (fewer records and generations than the paper) so the
+// suite completes in minutes; cmd/experiments -full regenerates everything
+// at paper scale. Custom metrics attach the quantities the paper reports —
+// improvement percentages, population balance, timing shares — to the
+// standard ns/op output.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"evoprot/internal/core"
+	"evoprot/internal/datagen"
+	"evoprot/internal/dataset"
+	"evoprot/internal/experiment"
+	"evoprot/internal/score"
+)
+
+// benchRows/benchGens set the reduced benchmark scale.
+const (
+	benchRows = 200
+	benchGens = 60
+	benchSeed = 42
+)
+
+func benchSpec(dataset, agg string, remove float64) experiment.Spec {
+	return experiment.Spec{
+		Dataset:        dataset,
+		Rows:           benchRows,
+		Aggregator:     agg,
+		RemoveBestFrac: remove,
+		Generations:    benchGens,
+		Seed:           benchSeed,
+		InitWorkers:    runtime.GOMAXPROCS(0),
+	}
+}
+
+// runDispersion benchmarks an experiment run and reports the dispersion
+// statistics of the corresponding figure: initial/final balance |IL-DR|.
+func runDispersion(b *testing.B, spec experiment.Spec) {
+	b.Helper()
+	var rep *experiment.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiment.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(experiment.Balance(rep.Initial), "balance_init")
+	b.ReportMetric(experiment.Balance(rep.Final), "balance_final")
+	b.ReportMetric(float64(len(rep.Final)), "individuals")
+}
+
+// runEvolution benchmarks an experiment run and reports the evolution
+// statistics of the corresponding figure: the max/mean/min improvements.
+func runEvolution(b *testing.B, spec experiment.Spec) {
+	b.Helper()
+	var rep *experiment.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiment.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.ImpMax, "imp_max_%")
+	b.ReportMetric(rep.ImpMean, "imp_mean_%")
+	b.ReportMetric(rep.ImpMin, "imp_min_%")
+}
+
+// --- Experiment 1: Eq. 1 (mean) fitness — Figures 1-8 ---
+
+func BenchmarkFig01_AdultDispersionMean(b *testing.B) {
+	runDispersion(b, benchSpec("adult", "mean", 0))
+}
+func BenchmarkFig02_AdultEvolutionMean(b *testing.B) { runEvolution(b, benchSpec("adult", "mean", 0)) }
+func BenchmarkFig03_HousingDispersionMean(b *testing.B) {
+	runDispersion(b, benchSpec("housing", "mean", 0))
+}
+func BenchmarkFig04_HousingEvolutionMean(b *testing.B) {
+	runEvolution(b, benchSpec("housing", "mean", 0))
+}
+func BenchmarkFig05_GermanDispersionMean(b *testing.B) {
+	runDispersion(b, benchSpec("german", "mean", 0))
+}
+func BenchmarkFig06_GermanEvolutionMean(b *testing.B) {
+	runEvolution(b, benchSpec("german", "mean", 0))
+}
+func BenchmarkFig07_FlareDispersionMean(b *testing.B) {
+	runDispersion(b, benchSpec("flare", "mean", 0))
+}
+func BenchmarkFig08_FlareEvolutionMean(b *testing.B) { runEvolution(b, benchSpec("flare", "mean", 0)) }
+
+// --- Experiment 2: Eq. 2 (max) fitness — Figures 9-16 ---
+
+func BenchmarkFig09_AdultDispersionMax(b *testing.B) { runDispersion(b, benchSpec("adult", "max", 0)) }
+func BenchmarkFig10_AdultEvolutionMax(b *testing.B)  { runEvolution(b, benchSpec("adult", "max", 0)) }
+func BenchmarkFig11_HousingDispersionMax(b *testing.B) {
+	runDispersion(b, benchSpec("housing", "max", 0))
+}
+func BenchmarkFig12_HousingEvolutionMax(b *testing.B) {
+	runEvolution(b, benchSpec("housing", "max", 0))
+}
+func BenchmarkFig13_GermanDispersionMax(b *testing.B) {
+	runDispersion(b, benchSpec("german", "max", 0))
+}
+func BenchmarkFig14_GermanEvolutionMax(b *testing.B) { runEvolution(b, benchSpec("german", "max", 0)) }
+func BenchmarkFig15_FlareDispersionMax(b *testing.B) { runDispersion(b, benchSpec("flare", "max", 0)) }
+func BenchmarkFig16_FlareEvolutionMax(b *testing.B)  { runEvolution(b, benchSpec("flare", "max", 0)) }
+
+// --- Experiment 3: robustness on Flare — Figures 17-20 ---
+
+func BenchmarkFig17_FlareRobust5Dispersion(b *testing.B) {
+	runDispersion(b, benchSpec("flare", "max", 0.05))
+}
+func BenchmarkFig18_FlareRobust10Dispersion(b *testing.B) {
+	runDispersion(b, benchSpec("flare", "max", 0.10))
+}
+func BenchmarkFig19_FlareRobust5Evolution(b *testing.B) {
+	runEvolution(b, benchSpec("flare", "max", 0.05))
+}
+func BenchmarkFig20_FlareRobust10Evolution(b *testing.B) {
+	runEvolution(b, benchSpec("flare", "max", 0.10))
+}
+
+// --- In-text table: experiment 1 and 2 improvement percentages ---
+
+func benchImprovementTable(b *testing.B, agg string) {
+	b.Helper()
+	for _, ds := range datagen.Names() {
+		ds := ds
+		b.Run(ds, func(b *testing.B) {
+			var rep *experiment.Report
+			var err error
+			for i := 0; i < b.N; i++ {
+				rep, err = experiment.Run(benchSpec(ds, agg, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.ImpMax, "imp_max_%")
+			b.ReportMetric(rep.ImpMean, "imp_mean_%")
+			b.ReportMetric(rep.ImpMin, "imp_min_%")
+		})
+	}
+}
+
+func BenchmarkTableExp1Improvements(b *testing.B) { benchImprovementTable(b, "mean") }
+func BenchmarkTableExp2Improvements(b *testing.B) { benchImprovementTable(b, "max") }
+
+// --- In-text table: robustness min-score gaps (§3.3) ---
+
+func BenchmarkTableRobustnessGap(b *testing.B) {
+	var gap5, gap10 float64
+	for i := 0; i < b.N; i++ {
+		full, err := experiment.Run(benchSpec("flare", "max", 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r5, err := experiment.Run(benchSpec("flare", "max", 0.05))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r10, err := experiment.Run(benchSpec("flare", "max", 0.10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap5 = r5.FinalMin - full.FinalMin
+		gap10 = r10.FinalMin - full.FinalMin
+	}
+	b.ReportMetric(gap5, "gap5_pts")
+	b.ReportMetric(gap10, "gap10_pts")
+}
+
+// --- In-text table: generation timing (§3.2) ---
+//
+// The paper reports 120.34s per mutation generation and 242.48s per
+// crossover generation, >99.9% of it in fitness evaluation. Absolute times
+// reflect 2012 hardware; the shape to reproduce is the ~2x ratio (two
+// offspring evaluated instead of one) and the evaluation share.
+
+func benchGeneration(b *testing.B, op string) {
+	b.Helper()
+	eng := newBenchEngine(b, op)
+	b.ResetTimer()
+	evalShare := 0.0
+	for i := 0; i < b.N; i++ {
+		gs := eng.Step()
+		if gs.TotalTime > 0 {
+			evalShare = float64(gs.EvalTime) / float64(gs.TotalTime)
+		}
+	}
+	b.ReportMetric(100*evalShare, "eval_share_%")
+}
+
+func BenchmarkGenerationMutation(b *testing.B)  { benchGeneration(b, "mutation") }
+func BenchmarkGenerationCrossover(b *testing.B) { benchGeneration(b, "crossover") }
+
+// BenchmarkTimingTable reports the mutation/crossover cost ratio directly.
+func BenchmarkTimingTable(b *testing.B) {
+	mut := newBenchEngine(b, "mutation")
+	cross := newBenchEngine(b, "crossover")
+	b.ResetTimer()
+	var mutNs, crossNs float64
+	for i := 0; i < b.N; i++ {
+		gm := mut.Step()
+		gc := cross.Step()
+		mutNs = float64(gm.TotalTime.Nanoseconds())
+		crossNs = float64(gc.TotalTime.Nanoseconds())
+	}
+	if mutNs > 0 {
+		b.ReportMetric(crossNs/mutNs, "cross/mut_ratio")
+	}
+}
+
+func newBenchEngine(b *testing.B, forceOp string) *core.Engine {
+	b.Helper()
+	orig := datagen.MustByName("flare", benchRows, benchSeed)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, err := orig.Schema().Indices(names...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval, err := score.NewEvaluator(orig, attrs, score.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop, err := experiment.BuildPopulation(orig, attrs, "flare", benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(eval, pop, core.Config{
+		Generations: 1 << 30, // stepped manually
+		Seed:        benchSeed,
+		ForceOp:     forceOp,
+		InitWorkers: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationSelection compares the selection policies: the literal
+// Eq. 3 (raw-proportional) vs the paper's described semantics
+// (inverse-proportional) vs rank-based.
+func BenchmarkAblationSelection(b *testing.B) {
+	for _, sel := range []string{"inverse", "raw", "rank", "uniform"} {
+		sel := sel
+		b.Run(sel, func(b *testing.B) {
+			spec := benchSpec("flare", "max", 0)
+			spec.Selection = sel
+			var rep *experiment.Report
+			var err error
+			for i := 0; i < b.N; i++ {
+				rep, err = experiment.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.ImpMean, "imp_mean_%")
+			b.ReportMetric(rep.FinalMin, "final_min")
+		})
+	}
+}
+
+// BenchmarkAblationCrowding compares the paper's parent-index pairing with
+// classic nearest-parent deterministic crowding.
+func BenchmarkAblationCrowding(b *testing.B) {
+	for _, cr := range []core.CrowdingPolicy{core.CrowdParentIndex, core.CrowdNearestParent} {
+		cr := cr
+		b.Run(cr.String(), func(b *testing.B) {
+			var final float64
+			for i := 0; i < b.N; i++ {
+				orig := datagen.MustByName("flare", benchRows, benchSeed)
+				names, _ := datagen.ProtectedAttrs("flare")
+				attrs, _ := orig.Schema().Indices(names...)
+				eval, err := score.NewEvaluator(orig, attrs, score.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pop, err := experiment.BuildPopulation(orig, attrs, "flare", benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := core.NewEngine(eval, pop, core.Config{
+					Generations: benchGens,
+					Seed:        benchSeed,
+					Crowding:    cr,
+					ForceOp:     "crossover",
+					InitWorkers: runtime.GOMAXPROCS(0),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := eng.Run()
+				final = res.History[len(res.History)-1].Mean
+			}
+			b.ReportMetric(final, "final_mean")
+		})
+	}
+}
+
+// BenchmarkAblationAggregator quantifies the §3.2 claim: Eq. 2 (max)
+// produces more balanced final populations than Eq. 1 (mean).
+func BenchmarkAblationAggregator(b *testing.B) {
+	for _, agg := range []string{"mean", "max"} {
+		agg := agg
+		b.Run(agg, func(b *testing.B) {
+			var rep *experiment.Report
+			var err error
+			for i := 0; i < b.N; i++ {
+				rep, err = experiment.Run(benchSpec("flare", agg, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(experiment.Balance(rep.Final), "balance_final")
+		})
+	}
+}
+
+// BenchmarkAblationCategoryCount quantifies the paper's §3.2/§4
+// observation that more categories make balancing IL and DR easier: Adult
+// (16/7/14 categories) should end more balanced than German (5/6/6).
+func BenchmarkAblationCategoryCount(b *testing.B) {
+	for _, ds := range []string{"german", "adult"} {
+		ds := ds
+		b.Run(ds, func(b *testing.B) {
+			var rep *experiment.Report
+			var err error
+			for i := 0; i < b.N; i++ {
+				rep, err = experiment.Run(benchSpec(ds, "max", 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			cards := 0.0
+			orig := datagen.MustByName(ds, 10, 1)
+			names, _ := datagen.ProtectedAttrs(ds)
+			attrs, _ := orig.Schema().Indices(names...)
+			for _, c := range attrs {
+				cards += float64(orig.Schema().Attr(c).Cardinality())
+			}
+			b.ReportMetric(cards, "total_categories")
+			b.ReportMetric(experiment.Balance(rep.Final), "balance_final")
+		})
+	}
+}
+
+// BenchmarkAblationParallelEval measures the initial-population evaluation
+// speedup from the worker pool.
+func BenchmarkAblationParallelEval(b *testing.B) {
+	orig := datagen.MustByName("flare", benchRows, benchSeed)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, _ := orig.Schema().Indices(names...)
+	eval, err := score.NewEvaluator(orig, attrs, score.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop, err := experiment.BuildPopulation(orig, attrs, "flare", benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]*dataset.Dataset, len(pop))
+	for i, ind := range pop {
+		data[i] = ind.Data
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.EvaluateAll(data, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks: the fitness measures themselves ---
+
+func BenchmarkEvaluateSingle(b *testing.B) {
+	orig := datagen.MustByName("flare", benchRows, benchSeed)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, _ := orig.Schema().Indices(names...)
+	eval, err := score.NewEvaluator(orig, attrs, score.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	masked := orig.Clone()
+	masked.Set(0, attrs[0], (orig.At(0, attrs[0])+1)%orig.Schema().Attr(attrs[0]).Cardinality())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Evaluate(masked); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildPopulation(b *testing.B) {
+	orig := datagen.MustByName("flare", benchRows, benchSeed)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, _ := orig.Schema().Indices(names...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.BuildPopulation(orig, attrs, "flare", benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"evoprot"
+)
+
+func TestRunAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-out", dir, "-rows", "40", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range evoprot.DatasetNames() {
+		path := filepath.Join(dir, name+".csv")
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("%s not written: %v", path, err)
+		}
+		d, err := evoprot.LoadCSV(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if d.Rows() != 40 {
+			t.Errorf("%s: rows = %d", name, d.Rows())
+		}
+		if !strings.Contains(out.String(), name+": 40 records") {
+			t.Errorf("output missing %s summary:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunSingleDataset(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-out", dir, "-dataset", "flare", "-rows", "25"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || entries[0].Name() != "flare.csv" {
+		t.Fatalf("entries = %v", entries)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-dataset", "nosuch", "-out", t.TempDir()}, &strings.Builder{}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run([]string{"-badflag"}, &strings.Builder{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

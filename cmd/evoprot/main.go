@@ -1,0 +1,205 @@
+// Command evoprot runs the evolutionary optimizer end to end: build or
+// load an initial population of protections, evolve it (optionally
+// checkpointing so long runs survive restarts), and report the best
+// protection found.
+//
+//	evoprot -dataset adult -gens 400 -seed 42 -plots
+//	evoprot -orig mydata.csv -attrs A,B,C -grid flare -gens 200 -best best.csv
+//	evoprot -dataset flare -gens 5000 -checkpoint run.ckpt -checkpoint-every 500
+//	evoprot -dataset flare -gens 5000 -resume run.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"evoprot"
+	"evoprot/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "evoprot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("evoprot", flag.ContinueOnError)
+	var (
+		name      = fs.String("dataset", "", "built-in dataset: housing|german|flare|adult")
+		origCSV   = fs.String("orig", "", "original CSV (alternative to -dataset)")
+		attrCSV   = fs.String("attrs", "", "attributes to protect when using -orig")
+		grid      = fs.String("grid", "", "masking grid for -orig runs (defaults to -dataset, else flare)")
+		rows      = fs.Int("rows", 0, "records when generating (0 = paper scale)")
+		agg       = fs.String("agg", "max", "fitness aggregation: mean | max | euclidean | weighted:<w>")
+		gens      = fs.Int("gens", 400, "generations")
+		seed      = fs.Uint64("seed", 42, "run seed")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "initial-evaluation workers")
+		stall     = fs.Int("stall", 0, "stop after N generations without improvement (0 = off)")
+		best      = fs.String("best", "", "write the best protection to this CSV")
+		plots     = fs.Bool("plots", false, "print dispersion and evolution plots")
+		ckpt      = fs.String("checkpoint", "", "write engine snapshots to this path")
+		ckptEvery = fs.Int("checkpoint-every", 500, "snapshot interval in generations")
+		resume    = fs.String("resume", "", "resume from a snapshot written by -checkpoint")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	orig, attrNames, gridName, err := resolveInput(*name, *origCSV, *attrCSV, *grid, *rows, *seed)
+	if err != nil {
+		return err
+	}
+	aggregator, err := evoprot.AggregatorByName(*agg)
+	if err != nil {
+		return err
+	}
+	eval, err := evoprot.NewEvaluator(orig, attrNames, evoprot.EvaluatorConfig{
+		Aggregator: aggregator,
+	})
+	if err != nil {
+		return err
+	}
+
+	cfg := evoprot.EngineConfig{
+		Generations:         *gens,
+		Seed:                *seed,
+		InitWorkers:         *workers,
+		NoImprovementWindow: *stall,
+	}
+	var engine *evoprot.Engine
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			return err
+		}
+		engine, err = evoprot.ResumeEngine(eval, f, cfg)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "resumed at generation %d\n", engine.Generation())
+	} else {
+		attrs, err := orig.Schema().Indices(attrNames...)
+		if err != nil {
+			return err
+		}
+		pop, err := experiment.BuildPopulation(orig, attrs, gridName, *seed)
+		if err != nil {
+			return err
+		}
+		engine, err = evoprot.NewEngine(eval, pop, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if *ckpt != "" {
+		every := *ckptEvery
+		if every < 1 {
+			every = 1
+		}
+		engine.SetOnGeneration(func(gs evoprot.GenStats) {
+			if gs.Gen%every == 0 {
+				if err := writeCheckpoint(engine, *ckpt); err != nil {
+					fmt.Fprintf(stdout, "checkpoint failed: %v\n", err)
+				}
+			}
+		})
+	}
+
+	res := engine.Run()
+	if *ckpt != "" {
+		if err := writeCheckpoint(engine, *ckpt); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "final checkpoint written to %s\n", *ckpt)
+	}
+
+	first := res.History[0]
+	last := res.History[len(res.History)-1]
+	fmt.Fprintf(stdout, "evolved %d individuals for %d generations (%d evaluations, %d/%d offspring accepted)\n",
+		len(res.Population), res.Generations, res.Evaluations, res.AcceptedOffspring, res.TotalOffspring)
+	fmt.Fprintf(stdout, "  max score:  %7.2f -> %7.2f\n", first.Max, last.Max)
+	fmt.Fprintf(stdout, "  mean score: %7.2f -> %7.2f\n", first.Mean, last.Mean)
+	fmt.Fprintf(stdout, "  min score:  %7.2f -> %7.2f\n", first.Min, last.Min)
+	fmt.Fprintf(stdout, "best protection: origin=%s IL=%.2f DR=%.2f score=%.2f\n",
+		res.Best.Origin, res.Best.Eval.IL, res.Best.Eval.DR, res.Best.Eval.Score)
+
+	if *plots {
+		printPlots(stdout, res)
+	}
+	if *best != "" {
+		if err := evoprot.SaveCSV(res.Best.Data, *best); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "best protection written to %s\n", *best)
+	}
+	return nil
+}
+
+// resolveInput loads or generates the original dataset and resolves the
+// protected attributes and masking grid.
+func resolveInput(name, origCSV, attrCSV, grid string, rows int, seed uint64) (*evoprot.Dataset, []string, string, error) {
+	switch {
+	case name != "":
+		orig, err := evoprot.GenerateDataset(name, rows, seed)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		attrNames, err := evoprot.ProtectedAttributes(name)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if grid == "" {
+			grid = name
+		}
+		return orig, attrNames, grid, nil
+	case origCSV != "":
+		orig, err := evoprot.LoadCSV(origCSV)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if attrCSV == "" {
+			return nil, nil, "", fmt.Errorf("-attrs is required with -orig")
+		}
+		if grid == "" {
+			grid = "flare" // the 3-attribute grid with the smallest domains
+		}
+		return orig, strings.Split(attrCSV, ","), grid, nil
+	default:
+		return nil, nil, "", fmt.Errorf("one of -dataset or -orig is required")
+	}
+}
+
+func writeCheckpoint(engine *evoprot.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := engine.Snapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func printPlots(w io.Writer, res *evoprot.Result) {
+	fmt.Fprintln(w)
+	maxS := make([]float64, len(res.History))
+	meanS := make([]float64, len(res.History))
+	minS := make([]float64, len(res.History))
+	for i, gs := range res.History {
+		maxS[i], meanS[i], minS[i] = gs.Max, gs.Mean, gs.Min
+	}
+	fmt.Fprintln(w, evoprot.RenderEvolution(maxS, meanS, minS, 72, 18))
+	fmt.Fprintln(w, evoprot.RenderDispersion(res.Population, 72, 18))
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"evoprot"
+)
+
+func TestRunBuiltinDataset(t *testing.T) {
+	bestPath := filepath.Join(t.TempDir(), "best.csv")
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "flare", "-rows", "80", "-gens", "15", "-seed", "3",
+		"-best", bestPath, "-plots",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"evolved 104 individuals", "best protection:", "M=max"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("output missing %q:\n%s", want, report)
+		}
+	}
+	best, err := evoprot.LoadCSV(bestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Rows() != 80 {
+		t.Fatalf("best rows = %d", best.Rows())
+	}
+}
+
+func TestRunCheckpointAndResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "flare", "-rows", "80", "-gens", "10", "-seed", "3",
+		"-checkpoint", ckpt, "-checkpoint-every", "4",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	out.Reset()
+	err = run([]string{
+		"-dataset", "flare", "-rows", "80", "-gens", "5", "-seed", "3",
+		"-resume", ckpt,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resumed at generation 10") {
+		t.Fatalf("resume banner missing:\n%s", out.String())
+	}
+}
+
+func TestRunExternalCSV(t *testing.T) {
+	dir := t.TempDir()
+	origPath := filepath.Join(dir, "orig.csv")
+	d, _ := evoprot.GenerateDataset("german", 70, 5)
+	if err := evoprot.SaveCSV(d, origPath); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-orig", origPath, "-attrs", "EXISTACC,SAVINGS,PRESEMPLOY",
+		"-grid", "german", "-gens", "8", "-seed", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "evolved 104 individuals") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := [][]string{
+		{},                                     // no input
+		{"-dataset", "nosuch"},                 // unknown dataset
+		{"-orig", "absent.csv", "-attrs", "A"}, // missing file
+		{"-dataset", "flare", "-rows", "50", "-agg", "median"},  // bad aggregator
+		{"-dataset", "flare", "-rows", "50", "-resume", "nope"}, // missing checkpoint
+	}
+	for _, args := range cases {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

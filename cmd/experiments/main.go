@@ -1,0 +1,197 @@
+// Command experiments regenerates every figure and in-text table of the
+// paper's evaluation (§3) on the synthetic substrate, writing per-figure
+// CSV series, ASCII renderings, and a summary of the improvement and
+// timing tables.
+//
+//	experiments -out out/                       # reduced scale, fast
+//	experiments -out out/ -full                 # paper scale (minutes)
+//	experiments -out out/ -exp 2 -dataset flare # one experiment, one dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"evoprot"
+	"evoprot/internal/experiment"
+)
+
+// figure ties one paper figure/table row to an experiment spec.
+type figure struct {
+	id      string
+	kind    string // "dispersion" | "evolution"
+	exp     int    // experiment number 1..3
+	dataset string
+	spec    evoprot.ExperimentSpec
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "out", "output directory")
+		full    = flag.Bool("full", false, "paper scale (1000+ records, 2000 generations)")
+		rows    = flag.Int("rows", 0, "record count override (0 = preset)")
+		gens    = flag.Int("gens", 0, "generation override (0 = preset)")
+		seed    = flag.Uint64("seed", 42, "base seed")
+		expFlag = flag.Int("exp", 0, "experiment filter: 1 (Eq.1), 2 (Eq.2), 3 (robustness); 0 = all")
+		dsFlag  = flag.String("dataset", "", "dataset filter: housing|german|flare|adult")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "initial-evaluation workers")
+	)
+	flag.Parse()
+
+	presetRows, presetGens := 300, 150
+	if *full {
+		presetRows, presetGens = 0, 2000 // 0 rows = paper record counts
+	}
+	if *rows != 0 {
+		presetRows = *rows
+	}
+	if *gens != 0 {
+		presetGens = *gens
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	figures := paperFigures(presetRows, presetGens, *seed, *workers)
+	var summary strings.Builder
+	summary.WriteString("# Experiment summary\n\n")
+	reports := make(map[string]*evoprot.ExperimentReport)
+	var ordered []*evoprot.ExperimentReport
+
+	for _, fig := range figures {
+		if *expFlag != 0 && fig.exp != *expFlag {
+			continue
+		}
+		if *dsFlag != "" && fig.dataset != *dsFlag {
+			continue
+		}
+		key := fig.spec.Name()
+		rep, ok := reports[key]
+		if !ok {
+			fmt.Printf("running %-16s ...", key)
+			var err error
+			rep, err = evoprot.RunExperiment(fig.spec)
+			if err != nil {
+				fatal(err)
+			}
+			reports[key] = rep
+			ordered = append(ordered, rep)
+			fmt.Printf(" done in %v (%d evaluations)\n", rep.Duration.Round(time.Millisecond), rep.Evaluations)
+			summary.WriteString("## " + key + "\n\n```\n" + rep.Summary() + "```\n\n")
+		}
+		if err := writeFigure(*out, fig, rep); err != nil {
+			fatal(err)
+		}
+	}
+
+	writeTables(&summary, ordered)
+	sumPath := filepath.Join(*out, "summary.md")
+	if err := os.WriteFile(sumPath, []byte(summary.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("figures and tables written to %s (summary: %s)\n", *out, sumPath)
+}
+
+// paperFigures enumerates the paper's 20 figures. Experiments share runs:
+// each (dataset, aggregator, removal) spec backs one dispersion and one
+// evolution figure.
+func paperFigures(rows, gens int, seed uint64, workers int) []figure {
+	mk := func(dataset, agg string, remove float64) evoprot.ExperimentSpec {
+		return evoprot.ExperimentSpec{
+			Dataset:        dataset,
+			Rows:           rows,
+			Aggregator:     agg,
+			RemoveBestFrac: remove,
+			Generations:    gens,
+			Seed:           seed,
+			InitWorkers:    workers,
+		}
+	}
+	var figs []figure
+	add := func(id, kind string, exp int, dataset string, spec evoprot.ExperimentSpec) {
+		figs = append(figs, figure{id: id, kind: kind, exp: exp, dataset: dataset, spec: spec})
+	}
+	// Experiment 1 (Eq. 1 mean): Figures 1-8.
+	add("fig01", "dispersion", 1, "adult", mk("adult", "mean", 0))
+	add("fig02", "evolution", 1, "adult", mk("adult", "mean", 0))
+	add("fig03", "dispersion", 1, "housing", mk("housing", "mean", 0))
+	add("fig04", "evolution", 1, "housing", mk("housing", "mean", 0))
+	add("fig05", "dispersion", 1, "german", mk("german", "mean", 0))
+	add("fig06", "evolution", 1, "german", mk("german", "mean", 0))
+	add("fig07", "dispersion", 1, "flare", mk("flare", "mean", 0))
+	add("fig08", "evolution", 1, "flare", mk("flare", "mean", 0))
+	// Experiment 2 (Eq. 2 max): Figures 9-16.
+	add("fig09", "dispersion", 2, "adult", mk("adult", "max", 0))
+	add("fig10", "evolution", 2, "adult", mk("adult", "max", 0))
+	add("fig11", "dispersion", 2, "housing", mk("housing", "max", 0))
+	add("fig12", "evolution", 2, "housing", mk("housing", "max", 0))
+	add("fig13", "dispersion", 2, "german", mk("german", "max", 0))
+	add("fig14", "evolution", 2, "german", mk("german", "max", 0))
+	add("fig15", "dispersion", 2, "flare", mk("flare", "max", 0))
+	add("fig16", "evolution", 2, "flare", mk("flare", "max", 0))
+	// Experiment 3 (robustness on Flare): Figures 17-20.
+	add("fig17", "dispersion", 3, "flare", mk("flare", "max", 0.05))
+	add("fig18", "dispersion", 3, "flare", mk("flare", "max", 0.10))
+	add("fig19", "evolution", 3, "flare", mk("flare", "max", 0.05))
+	add("fig20", "evolution", 3, "flare", mk("flare", "max", 0.10))
+	return figs
+}
+
+func writeFigure(dir string, fig figure, rep *evoprot.ExperimentReport) error {
+	base := filepath.Join(dir, fmt.Sprintf("%s_%s_%s", fig.id, fig.dataset, fig.kind))
+	csvFile, err := os.Create(base + ".csv")
+	if err != nil {
+		return err
+	}
+	defer csvFile.Close()
+	var txt string
+	if fig.kind == "dispersion" {
+		if err := rep.WriteDispersionCSV(csvFile); err != nil {
+			return err
+		}
+		txt = rep.DispersionPlot(72, 20)
+	} else {
+		if err := rep.WriteEvolutionCSV(csvFile); err != nil {
+			return err
+		}
+		txt = rep.EvolutionPlot(72, 20)
+	}
+	return os.WriteFile(base+".txt", []byte(txt), 0o644)
+}
+
+// writeTables appends the paper's in-text tables (improvements, timing,
+// robustness) built from whichever reports were produced.
+func writeTables(summary *strings.Builder, reports []*evoprot.ExperimentReport) {
+	if len(reports) == 0 {
+		return
+	}
+	raw := make([]*experiment.Report, len(reports))
+	copy(raw, reports)
+	summary.WriteString("## Improvement table (§3.1/§3.2)\n\n```\n")
+	summary.WriteString(experiment.ImprovementTable(raw))
+	summary.WriteString("```\n\n## Timing table (§3.2)\n\n```\n")
+	summary.WriteString(experiment.TimingTable(raw))
+	summary.WriteString("```\n")
+	var robust []*experiment.Report
+	for _, r := range raw {
+		if r.Spec.Dataset == "flare" && r.Spec.Aggregator == "max" {
+			robust = append(robust, r)
+		}
+	}
+	if table, err := experiment.RobustnessTable(robust); err == nil && len(robust) > 1 {
+		summary.WriteString("\n## Robustness table (§3.3)\n\n```\n")
+		summary.WriteString(table)
+		summary.WriteString("```\n")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"evoprot"
+)
+
+func TestPaperFiguresEnumeratesAllTwenty(t *testing.T) {
+	figs := paperFigures(100, 10, 1, 1)
+	if len(figs) != 20 {
+		t.Fatalf("figures = %d, want 20", len(figs))
+	}
+	seen := make(map[string]bool)
+	kinds := map[string]int{}
+	exps := map[int]int{}
+	for _, f := range figs {
+		if seen[f.id] {
+			t.Fatalf("duplicate figure id %s", f.id)
+		}
+		seen[f.id] = true
+		kinds[f.kind]++
+		exps[f.exp]++
+	}
+	if kinds["dispersion"] != 10 || kinds["evolution"] != 10 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if exps[1] != 8 || exps[2] != 8 || exps[3] != 4 {
+		t.Fatalf("experiments = %v", exps)
+	}
+}
+
+func TestPaperFiguresShareRuns(t *testing.T) {
+	figs := paperFigures(100, 10, 1, 1)
+	specs := make(map[string]int)
+	for _, f := range figs {
+		specs[f.spec.Name()]++
+	}
+	// 10 distinct runs back 20 figures: every spec backs exactly 2.
+	if len(specs) != 10 {
+		t.Fatalf("distinct specs = %d, want 10", len(specs))
+	}
+	for name, count := range specs {
+		if count != 2 {
+			t.Fatalf("spec %s backs %d figures, want 2", name, count)
+		}
+	}
+}
+
+func TestWriteFigureAndTables(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := evoprot.RunExperiment(evoprot.ExperimentSpec{
+		Dataset:     "flare",
+		Rows:        80,
+		Aggregator:  "max",
+		Generations: 10,
+		Seed:        3,
+		InitWorkers: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := paperFigures(80, 10, 3, 1)
+	for _, f := range figs[:2] { // one dispersion, one evolution
+		if err := writeFigure(dir, f, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 { // 2 figures x (csv + txt)
+		t.Fatalf("files = %d, want 4", len(entries))
+	}
+	for _, e := range entries {
+		info, _ := e.Info()
+		if info.Size() == 0 {
+			t.Fatalf("empty artifact %s", e.Name())
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig01_adult_dispersion.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,il,dr") {
+		t.Fatalf("csv header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+
+	var summary strings.Builder
+	writeTables(&summary, []*evoprot.ExperimentReport{rep})
+	if !strings.Contains(summary.String(), "Improvement table") {
+		t.Fatalf("tables missing:\n%s", summary.String())
+	}
+	// No tables for an empty report set.
+	var empty strings.Builder
+	writeTables(&empty, nil)
+	if empty.Len() != 0 {
+		t.Fatalf("tables written for no reports: %q", empty.String())
+	}
+}

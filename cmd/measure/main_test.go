@@ -1,0 +1,84 @@
+package main
+
+import (
+	"math/rand/v2"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"evoprot"
+)
+
+func writePair(t *testing.T) (origPath, maskedPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	orig, err := evoprot.GenerateDataset("german", 70, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ := evoprot.ProtectedAttributes("german")
+	idx, _ := orig.Schema().Indices(attrs...)
+	m, _ := evoprot.ParseMethod("rankswap:p=10")
+	masked, err := m.Protect(orig, idx, rand.New(rand.NewPCG(3, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origPath = filepath.Join(dir, "orig.csv")
+	maskedPath = filepath.Join(dir, "masked.csv")
+	if err := evoprot.SaveCSV(orig, origPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := evoprot.SaveCSV(masked, maskedPath); err != nil {
+		t.Fatal(err)
+	}
+	return origPath, maskedPath
+}
+
+func TestRunReportsAllMeasures(t *testing.T) {
+	origPath, maskedPath := writePair(t)
+	var out strings.Builder
+	err := run([]string{
+		"-orig", origPath, "-masked", maskedPath,
+		"-attrs", "EXISTACC,SAVINGS,PRESEMPLOY",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"CTBIL", "DBIL", "EBIL", "ID", "DBRL", "PRL", "RSRL",
+		"IL (average)", "DR (average)", "score (Eq.1 mean)", "score (Eq.2 max)"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunSelfComparisonHasZeroIL(t *testing.T) {
+	origPath, _ := writePair(t)
+	var out strings.Builder
+	err := run([]string{
+		"-orig", origPath, "-masked", origPath,
+		"-attrs", "EXISTACC,SAVINGS,PRESEMPLOY",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "IL (average)           0.00") {
+		t.Fatalf("identity IL not zero:\n%s", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	origPath, maskedPath := writePair(t)
+	cases := [][]string{
+		{},
+		{"-orig", origPath, "-masked", maskedPath},                         // missing attrs
+		{"-orig", origPath, "-masked", maskedPath, "-attrs", "GHOST"},      // unknown attr
+		{"-orig", origPath, "-masked", "absent.csv", "-attrs", "EXISTACC"}, // missing file
+	}
+	for _, args := range cases {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

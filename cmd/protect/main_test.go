@@ -1,0 +1,63 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"evoprot"
+)
+
+func writeInput(t *testing.T) string {
+	t.Helper()
+	d, err := evoprot.GenerateDataset("flare", 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "in.csv")
+	if err := evoprot.SaveCSV(d, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMasksFile(t *testing.T) {
+	in := writeInput(t)
+	out := filepath.Join(t.TempDir(), "out.csv")
+	var buf strings.Builder
+	err := run([]string{
+		"-in", in, "-out", out,
+		"-attrs", "CLASS,LARGSPOT,SPOTDIST",
+		"-method", "pram:theta=0.5",
+		"-seed", "9",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pram(theta=0.500)") {
+		t.Fatalf("summary missing:\n%s", buf.String())
+	}
+	masked, err := evoprot.LoadCSV(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked.Rows() != 60 {
+		t.Fatalf("masked rows = %d", masked.Rows())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	in := writeInput(t)
+	cases := [][]string{
+		{},
+		{"-in", in, "-out", "x.csv", "-method", "pram"},                                                // missing attrs
+		{"-in", in, "-out", "x.csv", "-attrs", "GHOST", "-method", "pram"},                             // unknown attr
+		{"-in", in, "-out", "x.csv", "-attrs", "CLASS", "-method", "nosuch:x=1"},                       // bad method
+		{"-in", filepath.Join(t.TempDir(), "none.csv"), "-out", "x", "-attrs", "a", "-method", "pram"}, // missing input
+	}
+	for _, args := range cases {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

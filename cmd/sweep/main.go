@@ -1,0 +1,95 @@
+// Command sweep traces one masking method's trajectory through the
+// (IL, DR) plane across a parameter range — the manual exploration that
+// produces the evolutionary algorithm's initial populations.
+//
+//	sweep -dataset adult -method pram -param theta -from 0.5 -to 0.95 -steps 10
+//	sweep -dataset flare -method micro -param k -from 2 -to 10 -steps 9 -csv sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"evoprot"
+	"evoprot/internal/experiment"
+	"evoprot/internal/score"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		name   = fs.String("dataset", "flare", "built-in dataset: housing|german|flare|adult")
+		rows   = fs.Int("rows", 0, "records (0 = paper scale)")
+		method = fs.String("method", "pram", "method family: micro|top|bottom|recode|rankswap|pram")
+		param  = fs.String("param", "theta", "parameter to sweep (k|q|depth|p|theta)")
+		from   = fs.Float64("from", 0.5, "range start")
+		to     = fs.Float64("to", 0.95, "range end")
+		steps  = fs.Int("steps", 10, "grid points")
+		seed   = fs.Uint64("seed", 42, "seed")
+		csvOut = fs.String("csv", "", "write full breakdown CSV to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	orig, err := evoprot.GenerateDataset(*name, *rows, *seed)
+	if err != nil {
+		return err
+	}
+	attrNames, err := evoprot.ProtectedAttributes(*name)
+	if err != nil {
+		return err
+	}
+	attrs, err := orig.Schema().Indices(attrNames...)
+	if err != nil {
+		return err
+	}
+	eval, err := score.NewEvaluator(orig, attrs, score.Config{})
+	if err != nil {
+		return err
+	}
+	points, err := experiment.Sweep(orig, attrs, eval, experiment.SweepSpec{
+		Method: *method, Param: *param,
+		From: *from, To: *to, Steps: *steps, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "%-24s %8s %8s %8s %8s\n", "method", "IL", "DR", "mean", "max")
+	for _, p := range points {
+		fmt.Fprintf(stdout, "%-24s %8.2f %8.2f %8.2f %8.2f\n", p.Spec, p.Eval.IL, p.Eval.DR,
+			(p.Eval.IL+p.Eval.DR)/2, maxF(p.Eval.IL, p.Eval.DR))
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteSweepCSV(f, points); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "breakdown written to %s\n", *csvOut)
+	}
+	return nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMaxF(t *testing.T) {
+	if maxF(1, 2) != 2 || maxF(3, 2) != 3 {
+		t.Fatal("maxF broken")
+	}
+}
+
+func TestRunSweepTable(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "flare", "-rows", "80",
+		"-method", "pram", "-param", "theta",
+		"-from", "0.5", "-to", "0.9", "-steps", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"pram:theta=0.5", "pram:theta=0.7", "pram:theta=0.9", "IL", "DR"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("output missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunSweepCSV(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "sweep.csv")
+	var out strings.Builder
+	err := run([]string{
+		"-dataset", "german", "-rows", "80",
+		"-method", "micro", "-param", "k",
+		"-from", "2", "-to", "6", "-steps", "3",
+		"-csv", csvPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv rows = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "param,spec,il,dr,score") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "nosuch"},
+		{"-method", "nosuch", "-from", "1", "-to", "2", "-steps", "2", "-rows", "50"},
+		{"-steps", "0", "-rows", "50"},
+	}
+	for _, args := range cases {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

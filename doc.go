@@ -1,0 +1,50 @@
+// Package evoprot is an evolutionary optimizer for categorical data
+// protection: it reproduces, as a reusable Go library, the system of
+// Marés & Torra, "An Evolutionary Optimization Approach for Categorical
+// Data Protection" (PAIS/EDBT 2012).
+//
+// # What it does
+//
+// Statistical agencies publish categorical microdata after masking it.
+// Every masking trades information loss (IL — how much analytic structure
+// the masked file loses) against disclosure risk (DR — how many records an
+// intruder can still re-identify). evoprot takes a population of masked
+// versions of one file — produced by classic methods such as
+// microaggregation, rank swapping, PRAM, global recoding and top/bottom
+// coding — and evolves them with a genetic algorithm whose fitness
+// aggregates IL and DR, producing protections with a better trade-off than
+// any seed.
+//
+// # Quick start
+//
+//	orig, _ := evoprot.GenerateDataset("adult", 0, 42)      // or LoadCSV
+//	attrs, _ := evoprot.ProtectedAttributes("adult")        // EDUCATION, MARITAL-STATUS, OCCUPATION
+//	result, _ := evoprot.Optimize(orig, attrs, evoprot.OptimizeOptions{
+//		Dataset:     "adult",                               // seeds the paper's masking grid
+//		Aggregator:  "max",                                 // Eq. 2: Score = max(IL, DR)
+//		Generations: 400,
+//		Seed:        42,
+//	})
+//	best := result.Best
+//	fmt.Printf("best protection: IL=%.2f DR=%.2f score=%.2f\n",
+//		best.Eval.IL, best.Eval.DR, best.Eval.Score)
+//
+// Lower scores are better; 0 would be a protection that loses nothing and
+// discloses nothing.
+//
+// # Architecture
+//
+// The facade re-exports the implementation packages:
+//
+//   - internal/dataset — categorical microdata model and CSV I/O
+//   - internal/datagen — synthetic stand-ins for the paper's UCI datasets
+//   - internal/protection — the six masking methods and parameter grids
+//   - internal/infoloss — CTBIL, DBIL, EBIL information-loss measures
+//   - internal/risk — ID, DBRL, PRL, RSRL disclosure-risk measures
+//   - internal/score — fitness evaluation and the mean/max aggregators
+//   - internal/core — the genetic algorithm itself
+//   - internal/experiment — the paper's experiments 1–3 as a harness
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure and table.
+package evoprot

@@ -1,0 +1,243 @@
+package evoprot
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"evoprot/internal/core"
+	"evoprot/internal/datagen"
+	"evoprot/internal/dataset"
+	"evoprot/internal/experiment"
+	"evoprot/internal/infoloss"
+	"evoprot/internal/pareto"
+	"evoprot/internal/protection"
+	"evoprot/internal/risk"
+	"evoprot/internal/score"
+)
+
+// Re-exported core types. The facade aliases the implementation types, so
+// values flow freely between the high-level helpers here and the
+// lower-level constructors.
+type (
+	// Dataset is a table of categorical microdata.
+	Dataset = dataset.Dataset
+	// Schema describes a dataset's attributes and their domains.
+	Schema = dataset.Schema
+	// Attribute is one categorical variable with a finite domain.
+	Attribute = dataset.Attribute
+	// Method is a parameterized masking method.
+	Method = protection.Method
+	// Composition is the per-method variant count of an initial population.
+	Composition = protection.Composition
+	// ILMeasure is a single information-loss measure.
+	ILMeasure = infoloss.Measure
+	// DRMeasure is a single disclosure-risk measure.
+	DRMeasure = risk.Measure
+	// Aggregator folds (IL, DR) into one score; see Mean and Max.
+	Aggregator = score.Aggregator
+	// Mean is the paper's Eq. 1 aggregation: (IL+DR)/2.
+	Mean = score.Mean
+	// Max is the paper's Eq. 2 aggregation: max(IL, DR).
+	Max = score.Max
+	// Evaluator computes fitness evaluations against a fixed original file.
+	Evaluator = score.Evaluator
+	// EvaluatorConfig parameterizes an Evaluator.
+	EvaluatorConfig = score.Config
+	// Evaluation is a full fitness breakdown (IL, DR, Score, per-measure).
+	Evaluation = score.Evaluation
+	// Pair is an (IL, DR) point.
+	Pair = score.Pair
+	// Individual is one member of the evolutionary population.
+	Individual = core.Individual
+	// Engine runs the evolutionary algorithm.
+	Engine = core.Engine
+	// EngineConfig parameterizes the Engine.
+	EngineConfig = core.Config
+	// GenStats is one generation's history record.
+	GenStats = core.GenStats
+	// Result is the outcome of an evolutionary run.
+	Result = core.Result
+	// ExperimentSpec identifies one of the paper's experiment runs.
+	ExperimentSpec = experiment.Spec
+	// ExperimentReport is the full outcome of an experiment run.
+	ExperimentReport = experiment.Report
+)
+
+// DatasetNames returns the built-in synthetic dataset names:
+// housing, german, flare, adult.
+func DatasetNames() []string { return datagen.Names() }
+
+// GenerateDataset synthesizes one of the paper's evaluation datasets
+// (rows 0 selects the paper's record count).
+func GenerateDataset(name string, rows int, seed uint64) (*Dataset, error) {
+	return datagen.ByName(name, rows, seed)
+}
+
+// ProtectedAttributes returns the attribute names the paper protects for
+// the named dataset.
+func ProtectedAttributes(name string) ([]string, error) {
+	return datagen.ProtectedAttrs(name)
+}
+
+// LoadCSV reads categorical microdata from a CSV file, inferring the
+// schema from the data (see dataset.ReadCSV for the rules).
+func LoadCSV(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("evoprot: %w", err)
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}
+
+// ReadCSV reads categorical microdata from a reader, inferring the schema.
+func ReadCSV(r io.Reader) (*Dataset, error) { return dataset.ReadCSV(r) }
+
+// SaveCSV writes a dataset to a CSV file.
+func SaveCSV(d *Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("evoprot: %w", err)
+	}
+	if err := d.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseMethod builds a masking method from a spec string such as
+// "pram:theta=0.8" or "micro:k=5"; see protection.Parse for the grammar.
+func ParseMethod(spec string) (Method, error) { return protection.Parse(spec) }
+
+// AggregatorByName resolves every built-in fitness aggregation: "mean"
+// (Eq. 1), "max" (Eq. 2), "euclidean", and "weighted:<w>".
+func AggregatorByName(name string) (Aggregator, error) {
+	return score.ExtendedAggregatorByName(name)
+}
+
+// PaperComposition returns the paper's §3 initial-population composition
+// for the named dataset.
+func PaperComposition(name string) (Composition, error) {
+	return protection.PaperComposition(name)
+}
+
+// NewEvaluator builds a fitness evaluator for the original dataset over
+// the named protected attributes.
+func NewEvaluator(orig *Dataset, attrNames []string, cfg EvaluatorConfig) (*Evaluator, error) {
+	attrs, err := orig.Schema().Indices(attrNames...)
+	if err != nil {
+		return nil, err
+	}
+	return score.NewEvaluator(orig, attrs, cfg)
+}
+
+// NewEngine builds an evolutionary engine from an evaluator and an initial
+// population of protected datasets.
+func NewEngine(eval *Evaluator, initial []*Individual, cfg EngineConfig) (*Engine, error) {
+	return core.NewEngine(eval, initial, cfg)
+}
+
+// NewIndividual wraps a protected dataset for the engine.
+func NewIndividual(data *Dataset, origin string) *Individual {
+	return core.NewIndividual(data, origin)
+}
+
+// ResumeEngine rebuilds an engine from a snapshot written by
+// Engine.Snapshot; see core.Resume for the contract. Together with
+// Snapshot this makes long optimizations checkpointable: a resumed run
+// continues the identical stochastic trajectory.
+func ResumeEngine(eval *Evaluator, r io.Reader, cfg EngineConfig) (*Engine, error) {
+	return core.Resume(eval, r, cfg)
+}
+
+// RunExperiment executes one of the paper's experiments; see
+// ExperimentSpec for the knobs.
+func RunExperiment(spec ExperimentSpec) (*ExperimentReport, error) {
+	return experiment.Run(spec)
+}
+
+// ParetoFront returns the non-dominated (IL, DR) pairs of a population,
+// sorted by increasing information loss.
+func ParetoFront(pairs []Pair) []Pair { return pareto.Front(pairs) }
+
+// Hypervolume returns the trade-off-plane area dominated by the pairs
+// within [0, ref.IL] x [0, ref.DR]; larger is better.
+func Hypervolume(pairs []Pair, ref Pair) float64 { return pareto.Hypervolume(pairs, ref) }
+
+// OptimizeOptions parameterizes Optimize, the one-call entry point.
+type OptimizeOptions struct {
+	// Dataset names a paper masking grid ("housing", "german", "flare",
+	// "adult") used to seed the population when Seeds is nil. Required in
+	// that case.
+	Dataset string
+	// Seeds optionally supplies a ready-made initial population of masked
+	// datasets; overrides Dataset-based seeding.
+	Seeds []*Dataset
+	// Aggregator is "mean" (Eq. 1) or "max" (Eq. 2, default).
+	Aggregator string
+	// Generations is the evolution budget (default 400).
+	Generations int
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers parallelizes initial-population evaluation (0 = sequential).
+	Workers int
+	// NoImprovementWindow stops early after that many stagnant
+	// generations (0 = disabled).
+	NoImprovementWindow int
+}
+
+// Optimize runs the full pipeline on an original dataset: build (or
+// accept) an initial population of protections over the named attributes,
+// evolve it, and return the result with the best protection first.
+func Optimize(orig *Dataset, attrNames []string, opts OptimizeOptions) (*Result, error) {
+	attrs, err := orig.Schema().Indices(attrNames...)
+	if err != nil {
+		return nil, err
+	}
+	aggName := opts.Aggregator
+	if aggName == "" {
+		aggName = "max"
+	}
+	agg, err := score.ExtendedAggregatorByName(aggName)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := score.NewEvaluator(orig, attrs, score.Config{Aggregator: agg})
+	if err != nil {
+		return nil, err
+	}
+	var initial []*Individual
+	if opts.Seeds != nil {
+		if len(opts.Seeds) < 2 {
+			return nil, fmt.Errorf("evoprot: need at least 2 seed protections, got %d", len(opts.Seeds))
+		}
+		initial = make([]*Individual, len(opts.Seeds))
+		for i, s := range opts.Seeds {
+			initial[i] = core.NewIndividual(s, fmt.Sprintf("seed[%d]", i))
+		}
+	} else {
+		if opts.Dataset == "" {
+			return nil, fmt.Errorf("evoprot: Optimize needs Seeds or a Dataset grid name")
+		}
+		initial, err = experiment.BuildPopulation(orig, attrs, opts.Dataset, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	gens := opts.Generations
+	if gens == 0 {
+		gens = 400
+	}
+	engine, err := core.NewEngine(eval, initial, core.Config{
+		Generations:         gens,
+		Seed:                opts.Seed,
+		InitWorkers:         opts.Workers,
+		NoImprovementWindow: opts.NoImprovementWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(), nil
+}

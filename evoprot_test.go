@@ -1,0 +1,208 @@
+package evoprot
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDatasetAndProtectedAttributes(t *testing.T) {
+	for _, name := range DatasetNames() {
+		d, err := GenerateDataset(name, 60, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Rows() != 60 {
+			t.Fatalf("%s: rows = %d", name, d.Rows())
+		}
+		attrs, err := ProtectedAttributes(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Schema().Indices(attrs...); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := GenerateDataset("bogus", 0, 1); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+}
+
+func TestCSVRoundTripThroughFacade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	d, _ := GenerateDataset("flare", 40, 3)
+	if err := SaveCSV(d, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != 40 || back.Cols() != d.Cols() {
+		t.Fatalf("round trip shape = %dx%d", back.Rows(), back.Cols())
+	}
+	// Inferred schema sorts categories, so compare record contents.
+	a, b := d.Records(), back.Records()
+	for r := range a {
+		for c := range a[r] {
+			if a[r][c] != b[r][c] {
+				t.Fatalf("record (%d,%d): %q != %q", r, c, a[r][c], b[r][c])
+			}
+		}
+	}
+}
+
+func TestLoadCSVMissingFile(t *testing.T) {
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "absent.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadCSVFacade(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("a,b\nx,1\ny,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 2 {
+		t.Fatalf("rows = %d", d.Rows())
+	}
+}
+
+func TestParseMethodFacade(t *testing.T) {
+	m, err := ParseMethod("rankswap:p=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "rankswapping" {
+		t.Fatalf("name = %q", m.Name())
+	}
+	if _, err := ParseMethod("wat"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestPaperCompositionFacade(t *testing.T) {
+	c, err := PaperComposition("housing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 110 {
+		t.Fatalf("housing total = %d", c.Total())
+	}
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	orig, _ := GenerateDataset("adult", 100, 11)
+	attrs, _ := ProtectedAttributes("adult")
+	res, err := Optimize(orig, attrs, OptimizeOptions{
+		Dataset:     "adult",
+		Generations: 25,
+		Seed:        11,
+		Workers:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Population) != 86 {
+		t.Fatalf("population = %d, want 86", len(res.Population))
+	}
+	if res.Best.Eval.Score <= 0 {
+		t.Fatalf("best score = %v", res.Best.Eval.Score)
+	}
+	if res.Best.Eval.Score != res.Population[0].Eval.Score {
+		t.Fatal("best is not population[0]")
+	}
+	if len(res.History) != 25 {
+		t.Fatalf("history = %d", len(res.History))
+	}
+}
+
+func TestOptimizeWithExplicitSeeds(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 80, 13)
+	attrs, _ := ProtectedAttributes("flare")
+	idx, _ := orig.Schema().Indices(attrs...)
+
+	var seeds []*Dataset
+	for _, spec := range []string{"micro:k=3", "top:q=0.2", "pram:theta=0.8", "recode:depth=2"} {
+		m, _ := ParseMethod(spec)
+		masked, err := m.Protect(orig, idx, newTestRNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, masked)
+	}
+	res, err := Optimize(orig, attrs, OptimizeOptions{
+		Seeds:       seeds,
+		Aggregator:  "mean",
+		Generations: 15,
+		Seed:        13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Population) != 4 {
+		t.Fatalf("population = %d", len(res.Population))
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 50, 17)
+	attrs, _ := ProtectedAttributes("flare")
+	if _, err := Optimize(orig, attrs, OptimizeOptions{}); err == nil {
+		t.Error("missing Dataset and Seeds accepted")
+	}
+	if _, err := Optimize(orig, attrs, OptimizeOptions{Seeds: []*Dataset{orig}}); err == nil {
+		t.Error("single seed accepted")
+	}
+	if _, err := Optimize(orig, []string{"GHOST"}, OptimizeOptions{Dataset: "flare"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := Optimize(orig, attrs, OptimizeOptions{Dataset: "flare", Aggregator: "median"}); err == nil {
+		t.Error("unknown aggregator accepted")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	rep, err := RunExperiment(ExperimentSpec{
+		Dataset:     "german",
+		Rows:        90,
+		Generations: 20,
+		Seed:        19,
+		InitWorkers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Initial) != 104 {
+		t.Fatalf("initial = %d", len(rep.Initial))
+	}
+}
+
+func TestNewEvaluatorAndEngineFacade(t *testing.T) {
+	orig, _ := GenerateDataset("german", 70, 23)
+	attrs, _ := ProtectedAttributes("german")
+	eval, err := NewEvaluator(orig, attrs, EvaluatorConfig{Aggregator: Mean{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := orig.Schema().Indices(attrs...)
+	m, _ := ParseMethod("pram:theta=0.7")
+	a, err := m.Protect(orig, idx, newTestRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Protect(orig, idx, newTestRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(eval, []*Individual{NewIndividual(a, "a"), NewIndividual(b, "b")},
+		EngineConfig{Generations: 10, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Run()
+	if res.Generations != 10 {
+		t.Fatalf("generations = %d", res.Generations)
+	}
+}

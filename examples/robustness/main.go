@@ -1,0 +1,59 @@
+// Robustness: the paper's experiment 3 (Figures 17-20) — can the
+// evolutionary algorithm recover good protections when the best initial
+// individuals are withheld?
+//
+// Three runs on the Solar Flare population under the max(IL, DR) fitness:
+// the full population, without the best 5%, and without the best 10%. The
+// paper reports that the handicapped runs almost reach the full run's
+// minimum score (gaps of 1.33 and 1.08 points).
+//
+//	go run ./examples/robustness [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+
+	"evoprot"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper scale (1066 records, 2000 generations)")
+	flag.Parse()
+
+	rows, gens := 300, 200
+	if *full {
+		rows, gens = 0, 2000
+	}
+
+	var baseline *evoprot.ExperimentReport
+	for _, remove := range []float64{0, 0.05, 0.10} {
+		rep, err := evoprot.RunExperiment(evoprot.ExperimentSpec{
+			Dataset:        "flare",
+			Rows:           rows,
+			Aggregator:     "max",
+			RemoveBestFrac: remove,
+			Generations:    gens,
+			Seed:           42,
+			InitWorkers:    runtime.GOMAXPROCS(0),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if remove == 0 {
+			baseline = rep
+		}
+		fmt.Println(rep.Summary())
+		fmt.Println(rep.DispersionPlot(72, 16))
+		if remove > 0 {
+			gap := rep.FinalMin - baseline.FinalMin
+			fmt.Printf(">>> min-score gap vs full population: %.2f points ", gap)
+			fmt.Printf("(paper: 1.33 at 5%%, 1.08 at 10%%)\n\n")
+		}
+		fmt.Println("--------------------------------------------------------------")
+	}
+	fmt.Println("the handicapped populations re-discover protections close to the")
+	fmt.Println("withheld optima — the paper's robustness conclusion (§3.3).")
+}

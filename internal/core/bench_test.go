@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/datagen"
+	"evoprot/internal/protection"
+	"evoprot/internal/score"
+)
+
+func benchEngine(b *testing.B, forceOp string) *Engine {
+	b.Helper()
+	d := datagen.MustByName("flare", 300, 5)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, err := d.Schema().Indices(names...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eval, err := score.NewEvaluator(d, attrs, score.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	var pop []*Individual
+	for _, spec := range []string{"micro:k=3", "micro:k=6", "top:q=0.1", "bottom:q=0.1", "recode:depth=2", "rankswap:p=8", "rankswap:p=16", "pram:theta=0.8", "pram:theta=0.5", "micro:k=9"} {
+		m := protection.Must(spec)
+		masked, err := m.Protect(d, attrs, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pop = append(pop, NewIndividual(masked, protection.String(m)))
+	}
+	e, err := NewEngine(eval, pop, Config{Generations: 1 << 30, Seed: 5, ForceOp: forceOp, InitWorkers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkStepMutation(b *testing.B) {
+	e := benchEngine(b, "mutation")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkStepCrossover(b *testing.B) {
+	e := benchEngine(b, "crossover")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkMutateOperator isolates the genetic operator from fitness
+// evaluation: the paper's "rest of each generation" (0.02s of 120.34s).
+func BenchmarkMutateOperator(b *testing.B) {
+	e := benchEngine(b, "mutation")
+	parent := e.pop[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.mutate(parent)
+	}
+}
+
+func BenchmarkCrossOperator(b *testing.B) {
+	e := benchEngine(b, "crossover")
+	p1, p2 := e.pop[0], e.pop[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.cross(p1, p2)
+	}
+}
+
+func BenchmarkSelectIndex(b *testing.B) {
+	e := benchEngine(b, "mutation")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.selectIndex()
+	}
+}

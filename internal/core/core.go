@@ -1,0 +1,614 @@
+// Package core implements the paper's contribution: an evolutionary
+// algorithm whose individuals are entire protected versions of one
+// categorical microdata file (paper §2, Algorithm 1).
+//
+// Each generation flips a fair coin between the two genetic operators
+// (§2.2): mutation replaces one random gene — a single categorical value —
+// of one score-selected individual; crossover performs 2-point crossing at
+// the category level between a leader-group individual and a
+// score-selected one. Replacement is elitist: a mutated child competes
+// with its parent; crossover children compete with their respective
+// parents under the paper's deterministic-crowding scheme (§2.4). The
+// engine records the max/mean/min score trajectory and the evaluation
+// timings the paper reports.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"evoprot/internal/dataset"
+	"evoprot/internal/score"
+)
+
+// Individual is one member of the population: a protected dataset plus its
+// cached fitness evaluation.
+type Individual struct {
+	// Data is the protected file; the chromosome. Genes are the category
+	// values of the protected attributes.
+	Data *dataset.Dataset
+	// Eval is the cached fitness breakdown of Data.
+	Eval score.Evaluation
+	// Origin describes where the individual came from: a masking-method
+	// label for seeds, or "mutation"/"crossover" for offspring.
+	Origin string
+}
+
+// NewIndividual wraps a protected dataset as an unevaluated individual.
+func NewIndividual(data *dataset.Dataset, origin string) *Individual {
+	return &Individual{Data: data, Origin: origin}
+}
+
+// SelectionPolicy decides how individuals are drawn from the population
+// for reproduction. Scores are lower-is-better.
+type SelectionPolicy int
+
+const (
+	// SelectInverseProportional draws with probability proportional to
+	// 1/Score — the paper's *described* semantics ("better individuals
+	// have a greater probability of being selected"). Default.
+	SelectInverseProportional SelectionPolicy = iota
+	// SelectRawProportional draws with probability proportional to Score,
+	// the literal reading of the paper's Eq. 3 (which favours bad
+	// individuals; kept for the ablation study, see DESIGN.md).
+	SelectRawProportional
+	// SelectRank draws with probability proportional to N-rank, a
+	// scale-free alternative.
+	SelectRank
+	// SelectUniform draws uniformly.
+	SelectUniform
+)
+
+// String returns the policy name.
+func (p SelectionPolicy) String() string {
+	switch p {
+	case SelectInverseProportional:
+		return "inverse-proportional"
+	case SelectRawProportional:
+		return "raw-proportional"
+	case SelectRank:
+		return "rank"
+	case SelectUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("SelectionPolicy(%d)", int(p))
+	}
+}
+
+// SelectionByName resolves a policy name.
+func SelectionByName(name string) (SelectionPolicy, error) {
+	switch name {
+	case "inverse-proportional", "inverse", "":
+		return SelectInverseProportional, nil
+	case "raw-proportional", "raw":
+		return SelectRawProportional, nil
+	case "rank":
+		return SelectRank, nil
+	case "uniform":
+		return SelectUniform, nil
+	default:
+		return 0, fmt.Errorf("core: unknown selection policy %q", name)
+	}
+}
+
+// CrowdingPolicy decides how crossover children are paired against parents
+// for the survival tournament.
+type CrowdingPolicy int
+
+const (
+	// CrowdParentIndex pairs child k with parent k — the paper's "each
+	// newcomer Xjk maintains a proximity relation with its parent Xik".
+	// Default.
+	CrowdParentIndex CrowdingPolicy = iota
+	// CrowdNearestParent pairs children with parents minimizing total
+	// genotype distance (classic deterministic crowding, Mahfoud 1992).
+	CrowdNearestParent
+)
+
+// String returns the policy name.
+func (p CrowdingPolicy) String() string {
+	switch p {
+	case CrowdParentIndex:
+		return "parent-index"
+	case CrowdNearestParent:
+		return "nearest-parent"
+	default:
+		return fmt.Sprintf("CrowdingPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes the engine. Zero values select the paper's setup.
+type Config struct {
+	// Generations is the number of generations Run executes. Must be > 0.
+	Generations int
+	// MutationRate is the probability a generation performs mutation
+	// rather than crossover; the paper fixes it at 0.5 (§2.2). Zero means
+	// 0.5.
+	MutationRate float64
+	// LeaderFraction sets the leader-group size Nb as a fraction of the
+	// population (§2.4). Zero means 0.1; Nb is at least 2.
+	LeaderFraction float64
+	// Selection is the reproduction-selection policy.
+	Selection SelectionPolicy
+	// Crowding is the crossover replacement policy.
+	Crowding CrowdingPolicy
+	// Seed drives all stochastic decisions; a fixed seed reproduces a run
+	// exactly.
+	Seed uint64
+	// NoImprovementWindow stops Run early when the best score has not
+	// improved for this many generations. Zero disables early stopping.
+	NoImprovementWindow int
+	// ForceOp pins every generation to one operator: "mutation",
+	// "crossover", or "" for the paper's fair coin. Used by the timing
+	// benchmarks.
+	ForceOp string
+	// InitWorkers sets the worker-pool width for evaluating the initial
+	// population. Zero means sequential.
+	InitWorkers int
+	// OnGeneration, when non-nil, is called synchronously with each
+	// generation's statistics — progress reporting for long runs.
+	OnGeneration func(GenStats)
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Generations <= 0 {
+		return out, fmt.Errorf("core: Generations must be positive, got %d", out.Generations)
+	}
+	if out.MutationRate == 0 {
+		out.MutationRate = 0.5
+	}
+	if out.MutationRate < 0 || out.MutationRate > 1 {
+		return out, fmt.Errorf("core: MutationRate %v outside [0,1]", out.MutationRate)
+	}
+	if out.LeaderFraction == 0 {
+		out.LeaderFraction = 0.1
+	}
+	if out.LeaderFraction < 0 || out.LeaderFraction > 1 {
+		return out, fmt.Errorf("core: LeaderFraction %v outside [0,1]", out.LeaderFraction)
+	}
+	switch out.ForceOp {
+	case "", "mutation", "crossover":
+	default:
+		return out, fmt.Errorf("core: ForceOp %q (want mutation|crossover|empty)", out.ForceOp)
+	}
+	return out, nil
+}
+
+// GenStats is one generation's record in the evolution history — the data
+// behind the paper's max/mean/min evolution figures.
+type GenStats struct {
+	// Gen is the 1-based generation number.
+	Gen int
+	// Op is the operator the generation performed.
+	Op string
+	// Min, Mean and Max summarize the population's scores after the
+	// generation.
+	Min, Mean, Max float64
+	// BestIL and BestDR are the components of the best individual.
+	BestIL, BestDR float64
+	// Evals is the number of fitness evaluations performed.
+	Evals int
+	// Accepted is the number of offspring that survived replacement this
+	// generation (0..1 for mutation, 0..2 for crossover).
+	Accepted int
+	// EvalTime is the wall time spent in fitness evaluation; TotalTime is
+	// the whole generation. The paper's timing table (§3.2) reports that
+	// EvalTime dominates.
+	EvalTime, TotalTime time.Duration
+	// Improved reports whether the best score improved this generation.
+	Improved bool
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Population is the final population, sorted best (lowest score)
+	// first.
+	Population []*Individual
+	// History holds one GenStats per executed generation.
+	History []GenStats
+	// Generations is the number of generations actually executed (early
+	// stopping may cut Run short).
+	Generations int
+	// Evaluations counts all fitness evaluations including the initial
+	// population.
+	Evaluations int
+	// AcceptedOffspring and TotalOffspring count how many generated
+	// children survived the elitist replacement across the run — the
+	// operator acceptance rate the elitism scheme induces.
+	AcceptedOffspring, TotalOffspring int
+	// Best is the best individual of the final population.
+	Best *Individual
+}
+
+// Engine runs the evolutionary algorithm over a population of protections
+// of one original dataset.
+type Engine struct {
+	eval      *score.Evaluator
+	cfg       Config
+	rng       *rand.Rand
+	pcg       *rand.PCG     // the rng's source, kept for snapshotting
+	pop       []*Individual // sorted by Eval.Score ascending
+	attrs     []int
+	history   []GenStats
+	evals     int
+	gen       int
+	accepted  int
+	offspring int
+}
+
+// NewEngine builds an engine and evaluates the initial population. The
+// initial individuals' Data must share the original dataset's schema and
+// shape; their Eval is computed here (any existing value is ignored).
+func NewEngine(eval *score.Evaluator, initial []*Individual, cfg Config) (*Engine, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("core: nil evaluator")
+	}
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(initial) < 2 {
+		return nil, fmt.Errorf("core: population of %d, need at least 2", len(initial))
+	}
+	pop := make([]*Individual, len(initial))
+	data := make([]*dataset.Dataset, len(initial))
+	for i, ind := range initial {
+		if ind == nil || ind.Data == nil {
+			return nil, fmt.Errorf("core: nil individual at position %d", i)
+		}
+		pop[i] = &Individual{Data: ind.Data, Origin: ind.Origin}
+		data[i] = ind.Data
+	}
+	evs, err := eval.EvaluateAll(data, c.InitWorkers)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pop {
+		pop[i].Eval = evs[i]
+	}
+	pcg := rand.NewPCG(c.Seed, 0x853c49e6748fea9b)
+	e := &Engine{
+		eval:  eval,
+		cfg:   c,
+		rng:   rand.New(pcg),
+		pcg:   pcg,
+		pop:   pop,
+		attrs: eval.Attrs(),
+	}
+	e.evals = len(pop)
+	e.sortPop()
+	return e, nil
+}
+
+// Population returns the current population, sorted best-first. The slice
+// is a copy; the individuals are shared.
+func (e *Engine) Population() []*Individual {
+	out := make([]*Individual, len(e.pop))
+	copy(out, e.pop)
+	return out
+}
+
+// Best returns the current best individual.
+func (e *Engine) Best() *Individual { return e.pop[0] }
+
+// Generation returns the number of generations executed so far.
+func (e *Engine) Generation() int { return e.gen }
+
+// Evaluations returns the total number of fitness evaluations so far.
+func (e *Engine) Evaluations() int { return e.evals }
+
+// SetOnGeneration installs (or replaces) the per-generation callback.
+// Intended for callers that need the engine reference inside the hook —
+// e.g. periodic checkpointing — which Config cannot express because the
+// engine does not exist yet when the config is written.
+func (e *Engine) SetOnGeneration(fn func(GenStats)) { e.cfg.OnGeneration = fn }
+
+// History returns the per-generation statistics recorded so far.
+func (e *Engine) History() []GenStats {
+	out := make([]GenStats, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// Stats summarizes the current population as a GenStats snapshot (without
+// operator and timing fields) — used for the "generation 0" point of the
+// paper's evolution figures.
+func (e *Engine) Stats() GenStats {
+	return e.popStats(GenStats{Gen: e.gen})
+}
+
+func (e *Engine) popStats(gs GenStats) GenStats {
+	min, max, sum := e.pop[0].Eval.Score, e.pop[0].Eval.Score, 0.0
+	for _, ind := range e.pop {
+		s := ind.Eval.Score
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+		sum += s
+	}
+	gs.Min, gs.Max, gs.Mean = min, max, sum/float64(len(e.pop))
+	gs.BestIL, gs.BestDR = e.pop[0].Eval.IL, e.pop[0].Eval.DR
+	return gs
+}
+
+// Step executes one generation: operator choice, selection, offspring
+// creation, evaluation, and elitist replacement (Algorithm 1 body).
+func (e *Engine) Step() GenStats {
+	start := time.Now()
+	prevBest := e.pop[0].Eval.Score
+	e.gen++
+	gs := GenStats{Gen: e.gen}
+
+	op := e.cfg.ForceOp
+	if op == "" {
+		if e.rng.Float64() < e.cfg.MutationRate {
+			op = "mutation"
+		} else {
+			op = "crossover"
+		}
+	}
+	gs.Op = op
+
+	var evalTime time.Duration
+	if op == "mutation" {
+		evalTime, gs.Accepted = e.stepMutation()
+		gs.Evals = 1
+	} else {
+		evalTime, gs.Accepted = e.stepCrossover()
+		gs.Evals = 2
+	}
+	e.evals += gs.Evals
+	e.accepted += gs.Accepted
+	e.offspring += gs.Evals
+	e.sortPop()
+
+	gs = e.popStats(gs)
+	gs.EvalTime = evalTime
+	gs.TotalTime = time.Since(start)
+	gs.Improved = e.pop[0].Eval.Score < prevBest
+	e.history = append(e.history, gs)
+	if e.cfg.OnGeneration != nil {
+		e.cfg.OnGeneration(gs)
+	}
+	return gs
+}
+
+// Run executes up to cfg.Generations generations, stopping early when the
+// best score stagnates past NoImprovementWindow.
+func (e *Engine) Run() *Result {
+	res, _ := e.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between generations, and on cancellation the partial result is returned
+// together with the context's error. Generations already executed are
+// never discarded.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	sinceImprove := 0
+	executed := 0
+	var ctxErr error
+	for g := 0; g < e.cfg.Generations; g++ {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
+		gs := e.Step()
+		executed++
+		if gs.Improved {
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+		if e.cfg.NoImprovementWindow > 0 && sinceImprove >= e.cfg.NoImprovementWindow {
+			break
+		}
+	}
+	return &Result{
+		Population:        e.Population(),
+		History:           e.History(),
+		Generations:       executed,
+		Evaluations:       e.evals,
+		AcceptedOffspring: e.accepted,
+		TotalOffspring:    e.offspring,
+		Best:              e.Best(),
+	}, ctxErr
+}
+
+// stepMutation is the mutation branch of Algorithm 1: select one
+// individual by score, mutate one gene, keep the better of parent and
+// child (elitism).
+func (e *Engine) stepMutation() (evalTime time.Duration, accepted int) {
+	idx := e.selectIndex()
+	parent := e.pop[idx]
+	child := e.mutate(parent)
+	evalStart := time.Now()
+	ev, err := e.eval.Evaluate(child.Data)
+	evalTime = time.Since(evalStart)
+	if err != nil {
+		// The child is a clone of a valid individual; evaluation can only
+		// fail on a programming error.
+		panic(fmt.Sprintf("core: evaluating mutation offspring: %v", err))
+	}
+	child.Eval = ev
+	if child.Eval.Score < parent.Eval.Score {
+		e.pop[idx] = child
+		accepted++
+	}
+	return evalTime, accepted
+}
+
+// stepCrossover is the crossover branch of Algorithm 1: one parent from
+// the leader group, one from the whole population, 2-point crossing,
+// deterministic-crowding replacement.
+func (e *Engine) stepCrossover() (evalTime time.Duration, accepted int) {
+	nb := e.leaderSize()
+	i1 := e.rng.IntN(nb)
+	i2 := e.selectIndex()
+	for attempt := 0; i2 == i1 && attempt < 8; attempt++ {
+		// Crossing an individual with itself yields identical offspring;
+		// redraw a few times (bounded so tiny populations cannot spin).
+		i2 = e.selectIndex()
+	}
+	p1, p2 := e.pop[i1], e.pop[i2]
+	c1, c2 := e.cross(p1, p2)
+
+	evalStart := time.Now()
+	ev1, err1 := e.eval.Evaluate(c1.Data)
+	ev2, err2 := e.eval.Evaluate(c2.Data)
+	evalTime = time.Since(evalStart)
+	if err1 != nil || err2 != nil {
+		panic(fmt.Sprintf("core: evaluating crossover offspring: %v / %v", err1, err2))
+	}
+	c1.Eval, c2.Eval = ev1, ev2
+
+	if e.cfg.Crowding == CrowdNearestParent {
+		// Classic deterministic crowding: pair children with the parents
+		// they are genotypically closest to (minimal total distance).
+		d11 := c1.Data.Mismatches(p1.Data, e.attrs)
+		d12 := c1.Data.Mismatches(p2.Data, e.attrs)
+		d21 := c2.Data.Mismatches(p1.Data, e.attrs)
+		d22 := c2.Data.Mismatches(p2.Data, e.attrs)
+		if d11+d22 > d12+d21 {
+			c1, c2 = c2, c1
+		}
+	}
+	// Tournament: child k replaces parent k only when strictly better.
+	if c1.Eval.Score < p1.Eval.Score {
+		e.pop[i1] = c1
+		accepted++
+	}
+	if c2.Eval.Score < p2.Eval.Score {
+		e.pop[i2] = c2
+		accepted++
+	}
+	return evalTime, accepted
+}
+
+// leaderSize returns Nb, the size of the leader group (§2.4).
+func (e *Engine) leaderSize() int {
+	nb := int(e.cfg.LeaderFraction * float64(len(e.pop)))
+	if nb < 2 {
+		nb = 2
+	}
+	if nb > len(e.pop) {
+		nb = len(e.pop)
+	}
+	return nb
+}
+
+// selectIndex draws one population index under the configured selection
+// policy. The population is sorted best-first.
+func (e *Engine) selectIndex() int {
+	n := len(e.pop)
+	switch e.cfg.Selection {
+	case SelectUniform:
+		return e.rng.IntN(n)
+	case SelectRank:
+		// weight(rank r) = n - r.
+		total := n * (n + 1) / 2
+		u := e.rng.IntN(total)
+		cum := 0
+		for i := 0; i < n; i++ {
+			cum += n - i
+			if u < cum {
+				return i
+			}
+		}
+		return n - 1
+	case SelectRawProportional:
+		total := 0.0
+		for _, ind := range e.pop {
+			total += ind.Eval.Score
+		}
+		if total <= 0 {
+			return e.rng.IntN(n)
+		}
+		u := e.rng.Float64() * total
+		cum := 0.0
+		for i, ind := range e.pop {
+			cum += ind.Eval.Score
+			if u < cum {
+				return i
+			}
+		}
+		return n - 1
+	default: // SelectInverseProportional
+		const eps = 1e-9
+		total := 0.0
+		for _, ind := range e.pop {
+			total += 1 / (ind.Eval.Score + eps)
+		}
+		u := e.rng.Float64() * total
+		cum := 0.0
+		for i, ind := range e.pop {
+			cum += 1 / (ind.Eval.Score + eps)
+			if u < cum {
+				return i
+			}
+		}
+		return n - 1
+	}
+}
+
+// geneCount returns the chromosome length: one gene per (record,
+// protected attribute) cell.
+func (e *Engine) geneCount() int { return e.eval.Orig().Rows() * len(e.attrs) }
+
+// genePos maps a flattened gene index to its (row, column) cell.
+func (e *Engine) genePos(g int) (row, col int) {
+	return g / len(e.attrs), e.attrs[g%len(e.attrs)]
+}
+
+// mutate clones the parent and replaces one random gene with a different
+// uniformly-drawn valid category (§2.2.1).
+func (e *Engine) mutate(parent *Individual) *Individual {
+	data := parent.Data.Clone()
+	g := e.rng.IntN(e.geneCount())
+	row, col := e.genePos(g)
+	card := data.Schema().Attr(col).Cardinality()
+	if card > 1 {
+		old := data.At(row, col)
+		// Draw among the card-1 other categories so the mutation is never
+		// a silent no-op.
+		v := e.rng.IntN(card - 1)
+		if v >= old {
+			v++
+		}
+		data.Set(row, col, v)
+	}
+	return NewIndividual(data, "mutation")
+}
+
+// cross performs the paper's 2-point category-level crossover (§2.2.2):
+// positions s..r (inclusive) are exchanged between the parents; when
+// s == r exactly one value swaps.
+func (e *Engine) cross(p1, p2 *Individual) (*Individual, *Individual) {
+	d1 := p1.Data.Clone()
+	d2 := p2.Data.Clone()
+	length := e.geneCount()
+	s := e.rng.IntN(length)
+	r := s + e.rng.IntN(length-s) // uniform in [s, length-1]
+	for g := s; g <= r; g++ {
+		row, col := e.genePos(g)
+		v1, v2 := d1.At(row, col), d2.At(row, col)
+		d1.Set(row, col, v2)
+		d2.Set(row, col, v1)
+	}
+	return NewIndividual(d1, "crossover"), NewIndividual(d2, "crossover")
+}
+
+// sortPop keeps the population sorted by ascending score; ties preserve
+// the previous order (stable), matching §2.4's sorted-population model.
+func (e *Engine) sortPop() {
+	sort.SliceStable(e.pop, func(i, j int) bool {
+		return e.pop[i].Eval.Score < e.pop[j].Eval.Score
+	})
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/datagen"
+	"evoprot/internal/dataset"
+	"evoprot/internal/protection"
+	"evoprot/internal/score"
+)
+
+// testEngine builds a small but realistic engine: flare-shaped data, a
+// 14-individual population from all six masking families.
+func testEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	eval, pop := testPopulation(t)
+	e, err := NewEngine(eval, pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testPopulation(t *testing.T) (*score.Evaluator, []*Individual) {
+	t.Helper()
+	d := datagen.MustByName("flare", 90, 23)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, err := d.Schema().Indices(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := score.NewEvaluator(d, attrs, score.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{
+		"micro:k=2", "micro:k=4", "micro:k=6", "micro:k=8",
+		"top:q=0.1", "top:q=0.25", "bottom:q=0.1", "bottom:q=0.25",
+		"recode:depth=1", "recode:depth=2",
+		"rankswap:p=5", "rankswap:p=15",
+		"pram:theta=0.9", "pram:theta=0.6",
+	}
+	rng := rand.New(rand.NewPCG(77, 1))
+	pop := make([]*Individual, len(specs))
+	for i, s := range specs {
+		m := protection.Must(s)
+		masked, err := m.Protect(d, attrs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop[i] = NewIndividual(masked, protection.String(m))
+	}
+	return eval, pop
+}
+
+// scoreEvaluatorOverFirstAttr builds an evaluator protecting only column
+// 0 of the dataset — a deliberately different QI set for mismatch tests.
+func scoreEvaluatorOverFirstAttr(orig *dataset.Dataset) (*score.Evaluator, error) {
+	return score.NewEvaluator(orig, []int{0}, score.Config{})
+}
+
+func TestNewEngineErrors(t *testing.T) {
+	eval, pop := testPopulation(t)
+	if _, err := NewEngine(nil, pop, Config{Generations: 5}); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+	if _, err := NewEngine(eval, pop[:1], Config{Generations: 5}); err == nil {
+		t.Error("population of 1 accepted")
+	}
+	if _, err := NewEngine(eval, []*Individual{pop[0], nil}, Config{Generations: 5}); err == nil {
+		t.Error("nil individual accepted")
+	}
+	if _, err := NewEngine(eval, pop, Config{Generations: 0}); err == nil {
+		t.Error("zero generations accepted")
+	}
+	if _, err := NewEngine(eval, pop, Config{Generations: 5, MutationRate: 1.5}); err == nil {
+		t.Error("mutation rate 1.5 accepted")
+	}
+	if _, err := NewEngine(eval, pop, Config{Generations: 5, LeaderFraction: -0.1}); err == nil {
+		t.Error("negative leader fraction accepted")
+	}
+	if _, err := NewEngine(eval, pop, Config{Generations: 5, ForceOp: "sideways"}); err == nil {
+		t.Error("bad ForceOp accepted")
+	}
+}
+
+func TestInitialPopulationEvaluatedAndSorted(t *testing.T) {
+	e := testEngine(t, Config{Generations: 5, Seed: 1})
+	pop := e.Population()
+	for i, ind := range pop {
+		if ind.Eval.Score <= 0 {
+			t.Errorf("individual %d has score %v", i, ind.Eval.Score)
+		}
+		if i > 0 && pop[i-1].Eval.Score > ind.Eval.Score {
+			t.Errorf("population not sorted at %d", i)
+		}
+	}
+	if e.Evaluations() != len(pop) {
+		t.Errorf("Evaluations = %d, want %d", e.Evaluations(), len(pop))
+	}
+	if e.Best() != pop[0] {
+		t.Error("Best is not the first of the sorted population")
+	}
+}
+
+func TestInitWorkersMatchesSequential(t *testing.T) {
+	eval, pop := testPopulation(t)
+	seq, err := NewEngine(eval, pop, Config{Generations: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewEngine(eval, pop, Config{Generations: 1, Seed: 9, InitWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := seq.Population(), par.Population()
+	for i := range a {
+		if a[i].Eval.Score != b[i].Eval.Score {
+			t.Fatalf("parallel init differs at %d: %v vs %v", i, a[i].Eval.Score, b[i].Eval.Score)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := testEngine(t, Config{Generations: 25, Seed: 42}).Run()
+	b := testEngine(t, Config{Generations: 25, Seed: 42}).Run()
+	if len(a.History) != len(b.History) {
+		t.Fatal("history lengths differ")
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			// Timing fields differ; compare the deterministic parts.
+			x, y := a.History[i], b.History[i]
+			x.EvalTime, x.TotalTime = 0, 0
+			y.EvalTime, y.TotalTime = 0, 0
+			if x != y {
+				t.Fatalf("generation %d differs: %+v vs %+v", i, x, y)
+			}
+		}
+	}
+	c := testEngine(t, Config{Generations: 25, Seed: 43}).Run()
+	same := true
+	for i := range a.History {
+		if i >= len(c.History) || a.History[i].Op != c.History[i].Op {
+			same = false
+			break
+		}
+	}
+	if same && a.Best.Eval.Score == c.Best.Eval.Score && a.Best.Data.Equal(c.Best.Data) {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestElitismBestNeverWorsens(t *testing.T) {
+	e := testEngine(t, Config{Generations: 40, Seed: 3})
+	prev := e.Best().Eval.Score
+	for g := 0; g < 40; g++ {
+		gs := e.Step()
+		if gs.Min > prev+1e-12 {
+			t.Fatalf("generation %d: best worsened from %v to %v", gs.Gen, prev, gs.Min)
+		}
+		prev = gs.Min
+	}
+}
+
+func TestMeanNeverWorsens(t *testing.T) {
+	// Replacement only happens on strict improvement, so the population
+	// mean is non-increasing — the paper's "more or less continuous
+	// decrement" of the mean score.
+	e := testEngine(t, Config{Generations: 40, Seed: 5})
+	prev := e.Stats().Mean
+	for g := 0; g < 40; g++ {
+		gs := e.Step()
+		if gs.Mean > prev+1e-9 {
+			t.Fatalf("generation %d: mean worsened from %v to %v", gs.Gen, prev, gs.Mean)
+		}
+		prev = gs.Mean
+	}
+}
+
+func TestRunHistoryBookkeeping(t *testing.T) {
+	e := testEngine(t, Config{Generations: 30, Seed: 7})
+	res := e.Run()
+	if res.Generations != 30 || len(res.History) != 30 {
+		t.Fatalf("generations = %d, history = %d", res.Generations, len(res.History))
+	}
+	wantEvals := len(res.Population)
+	for i, gs := range res.History {
+		if gs.Gen != i+1 {
+			t.Errorf("history %d has Gen %d", i, gs.Gen)
+		}
+		switch gs.Op {
+		case "mutation":
+			if gs.Evals != 1 {
+				t.Errorf("mutation generation with %d evals", gs.Evals)
+			}
+		case "crossover":
+			if gs.Evals != 2 {
+				t.Errorf("crossover generation with %d evals", gs.Evals)
+			}
+		default:
+			t.Errorf("unknown op %q", gs.Op)
+		}
+		wantEvals += gs.Evals
+		if gs.Min > gs.Mean || gs.Mean > gs.Max {
+			t.Errorf("generation %d: min/mean/max out of order: %+v", i, gs)
+		}
+	}
+	if res.Evaluations != wantEvals {
+		t.Errorf("Evaluations = %d, want %d", res.Evaluations, wantEvals)
+	}
+}
+
+func TestForceOpPinsOperator(t *testing.T) {
+	for _, op := range []string{"mutation", "crossover"} {
+		e := testEngine(t, Config{Generations: 10, Seed: 11, ForceOp: op})
+		res := e.Run()
+		for _, gs := range res.History {
+			if gs.Op != op {
+				t.Fatalf("ForceOp=%s produced op %s", op, gs.Op)
+			}
+		}
+	}
+}
+
+func TestNoImprovementWindowStopsEarly(t *testing.T) {
+	e := testEngine(t, Config{Generations: 500, Seed: 13, NoImprovementWindow: 5})
+	res := e.Run()
+	if res.Generations == 500 {
+		t.Skip("run never stagnated for 5 generations; extremely unlikely but not a failure")
+	}
+	// The last 5 generations must be non-improving.
+	h := res.History
+	for _, gs := range h[len(h)-5:] {
+		if gs.Improved {
+			t.Fatalf("early stop despite improvement in window: %+v", gs)
+		}
+	}
+}
+
+func TestMutateChangesExactlyOneGene(t *testing.T) {
+	e := testEngine(t, Config{Generations: 1, Seed: 17})
+	parent := e.Population()[3]
+	for i := 0; i < 50; i++ {
+		child := e.mutate(parent)
+		if got := child.Data.Mismatches(parent.Data, e.attrs); got != 1 {
+			t.Fatalf("mutation changed %d genes, want 1", got)
+		}
+		// Unprotected columns untouched.
+		if got := child.Data.Mismatches(parent.Data, nil); got != 1 {
+			t.Fatalf("mutation leaked outside protected attributes (%d cells)", got)
+		}
+		if child.Origin != "mutation" {
+			t.Fatalf("origin = %q", child.Origin)
+		}
+	}
+}
+
+func TestCrossoverIsComplementary(t *testing.T) {
+	e := testEngine(t, Config{Generations: 1, Seed: 19})
+	pop := e.Population()
+	p1, p2 := pop[0], pop[5]
+	parentDiff := p1.Data.Mismatches(p2.Data, e.attrs)
+	for i := 0; i < 50; i++ {
+		c1, c2 := e.cross(p1, p2)
+		// Every gene of c1 comes from p1 or p2 at the same position, and
+		// c2 takes the complementary choice.
+		rows := p1.Data.Rows()
+		for r := 0; r < rows; r++ {
+			for _, col := range e.attrs {
+				v1, v2 := p1.Data.At(r, col), p2.Data.At(r, col)
+				g1, g2 := c1.Data.At(r, col), c2.Data.At(r, col)
+				ok := (g1 == v1 && g2 == v2) || (g1 == v2 && g2 == v1)
+				if !ok {
+					t.Fatalf("gene (%d,%d): parents (%d,%d), children (%d,%d)", r, col, v1, v2, g1, g2)
+				}
+			}
+		}
+		// Swapped-segment structure: c1's distance to p1 plus its distance
+		// to p2 equals the parents' distance.
+		if d1, d2 := c1.Data.Mismatches(p1.Data, e.attrs), c1.Data.Mismatches(p2.Data, e.attrs); d1+d2 != parentDiff {
+			t.Fatalf("crossover not segment-structured: %d + %d != %d", d1, d2, parentDiff)
+		}
+	}
+}
+
+func TestSelectionFavorsGoodIndividuals(t *testing.T) {
+	e := testEngine(t, Config{Generations: 1, Seed: 23})
+	n := len(e.pop)
+	draws := 20000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[e.selectIndex()]++
+	}
+	// Best individual (index 0) must be drawn more often than the worst.
+	if counts[0] <= counts[n-1] {
+		t.Fatalf("inverse-proportional selection drew best %d times, worst %d times", counts[0], counts[n-1])
+	}
+}
+
+func TestRawProportionalFavorsBadIndividuals(t *testing.T) {
+	e := testEngine(t, Config{Generations: 1, Seed: 29, Selection: SelectRawProportional})
+	n := len(e.pop)
+	counts := make([]int, n)
+	for i := 0; i < 20000; i++ {
+		counts[e.selectIndex()]++
+	}
+	// The literal Eq. 3 favours high scores — the documented inversion.
+	if counts[0] >= counts[n-1] {
+		t.Fatalf("raw-proportional drew best %d, worst %d; expected the reverse", counts[0], counts[n-1])
+	}
+}
+
+func TestSelectionPoliciesRun(t *testing.T) {
+	for _, sel := range []SelectionPolicy{SelectInverseProportional, SelectRawProportional, SelectRank, SelectUniform} {
+		e := testEngine(t, Config{Generations: 8, Seed: 31, Selection: sel})
+		res := e.Run()
+		if len(res.History) != 8 {
+			t.Errorf("%v: history %d", sel, len(res.History))
+		}
+	}
+}
+
+func TestSelectionByName(t *testing.T) {
+	cases := map[string]SelectionPolicy{
+		"":                     SelectInverseProportional,
+		"inverse":              SelectInverseProportional,
+		"inverse-proportional": SelectInverseProportional,
+		"raw":                  SelectRawProportional,
+		"rank":                 SelectRank,
+		"uniform":              SelectUniform,
+	}
+	for name, want := range cases {
+		got, err := SelectionByName(name)
+		if err != nil || got != want {
+			t.Errorf("SelectionByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := SelectionByName("tournament"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestCrowdingPoliciesRun(t *testing.T) {
+	for _, cr := range []CrowdingPolicy{CrowdParentIndex, CrowdNearestParent} {
+		e := testEngine(t, Config{Generations: 12, Seed: 37, Crowding: cr, ForceOp: "crossover"})
+		res := e.Run()
+		if len(res.History) != 12 {
+			t.Errorf("%v: history %d", cr, len(res.History))
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if SelectInverseProportional.String() != "inverse-proportional" {
+		t.Error("selection String")
+	}
+	if CrowdParentIndex.String() != "parent-index" || CrowdNearestParent.String() != "nearest-parent" {
+		t.Error("crowding String")
+	}
+	if SelectionPolicy(99).String() == "" || CrowdingPolicy(99).String() == "" {
+		t.Error("unknown policy String empty")
+	}
+}
+
+func TestLeaderSizeBounds(t *testing.T) {
+	e := testEngine(t, Config{Generations: 1, Seed: 41, LeaderFraction: 0.01})
+	if nb := e.leaderSize(); nb != 2 {
+		t.Errorf("leaderSize floor = %d, want 2", nb)
+	}
+	e2 := testEngine(t, Config{Generations: 1, Seed: 41, LeaderFraction: 1})
+	if nb := e2.leaderSize(); nb != len(e2.pop) {
+		t.Errorf("leaderSize cap = %d, want %d", nb, len(e2.pop))
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	e := testEngine(t, Config{Generations: 1, Seed: 43})
+	gs := e.Stats()
+	if gs.Gen != 0 {
+		t.Errorf("Stats Gen = %d, want 0", gs.Gen)
+	}
+	if gs.Min > gs.Mean || gs.Mean > gs.Max {
+		t.Errorf("Stats out of order: %+v", gs)
+	}
+	pop := e.Population()
+	if gs.Min != pop[0].Eval.Score {
+		t.Errorf("Stats Min = %v, best = %v", gs.Min, pop[0].Eval.Score)
+	}
+}
+
+func TestOffspringStayInDomain(t *testing.T) {
+	e := testEngine(t, Config{Generations: 60, Seed: 47})
+	e.Run()
+	for i, ind := range e.Population() {
+		if err := ind.Data.Validate(); err != nil {
+			t.Fatalf("individual %d invalid after run: %v", i, err)
+		}
+	}
+}
+
+func TestGenePosMapping(t *testing.T) {
+	e := testEngine(t, Config{Generations: 1, Seed: 53})
+	a := len(e.attrs)
+	n := e.eval.Orig().Rows()
+	if e.geneCount() != n*a {
+		t.Fatalf("geneCount = %d, want %d", e.geneCount(), n*a)
+	}
+	seen := make(map[[2]int]bool)
+	for g := 0; g < e.geneCount(); g++ {
+		r, c := e.genePos(g)
+		if r < 0 || r >= n {
+			t.Fatalf("gene %d maps to row %d", g, r)
+		}
+		found := false
+		for _, col := range e.attrs {
+			if col == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("gene %d maps to unprotected column %d", g, c)
+		}
+		seen[[2]int{r, c}] = true
+	}
+	if len(seen) != n*a {
+		t.Fatalf("gene mapping not a bijection: %d cells", len(seen))
+	}
+}
+
+func TestPopulationReturnsCopy(t *testing.T) {
+	e := testEngine(t, Config{Generations: 1, Seed: 59})
+	pop := e.Population()
+	pop[0] = nil
+	if e.Best() == nil {
+		t.Fatal("Population leaked internal slice")
+	}
+}
+
+func TestHistoryReturnsCopy(t *testing.T) {
+	e := testEngine(t, Config{Generations: 3, Seed: 61})
+	e.Run()
+	h := e.History()
+	if len(h) != 3 {
+		t.Fatalf("history = %d", len(h))
+	}
+	h[0].Gen = 999
+	if e.History()[0].Gen == 999 {
+		t.Fatal("History leaked internal slice")
+	}
+}
+
+func TestCrossoverOriginLabels(t *testing.T) {
+	e := testEngine(t, Config{Generations: 1, Seed: 67})
+	pop := e.Population()
+	c1, c2 := e.cross(pop[0], pop[1])
+	if c1.Origin != "crossover" || c2.Origin != "crossover" {
+		t.Fatalf("origins = %q, %q", c1.Origin, c2.Origin)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	e := testEngine(t, Config{Generations: 10000, Seed: 79})
+	ctx, cancel := context.WithCancel(context.Background())
+	gens := 0
+	e.cfg.OnGeneration = func(GenStats) {
+		gens++
+		if gens == 7 {
+			cancel()
+		}
+	}
+	res, err := e.RunContext(ctx)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if res == nil || res.Generations != 7 {
+		t.Fatalf("partial result has %d generations, want 7", res.Generations)
+	}
+	if len(res.History) != 7 {
+		t.Fatalf("history = %d", len(res.History))
+	}
+}
+
+func TestOnGenerationCallback(t *testing.T) {
+	var seen []int
+	eval, pop := testPopulation(t)
+	e, err := NewEngine(eval, pop, Config{
+		Generations:  5,
+		Seed:         83,
+		OnGeneration: func(gs GenStats) { seen = append(seen, gs.Gen) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(seen) != 5 {
+		t.Fatalf("callback fired %d times, want 5", len(seen))
+	}
+	for i, g := range seen {
+		if g != i+1 {
+			t.Fatalf("callback order wrong: %v", seen)
+		}
+	}
+}
+
+func TestAcceptanceBookkeeping(t *testing.T) {
+	e := testEngine(t, Config{Generations: 50, Seed: 73})
+	res := e.Run()
+	if res.TotalOffspring != res.Evaluations-len(res.Population) {
+		t.Fatalf("TotalOffspring = %d, want %d", res.TotalOffspring, res.Evaluations-len(res.Population))
+	}
+	if res.AcceptedOffspring < 0 || res.AcceptedOffspring > res.TotalOffspring {
+		t.Fatalf("AcceptedOffspring = %d outside [0,%d]", res.AcceptedOffspring, res.TotalOffspring)
+	}
+	sum := 0
+	for _, gs := range res.History {
+		if gs.Accepted < 0 || gs.Accepted > gs.Evals {
+			t.Fatalf("generation %d: Accepted=%d Evals=%d", gs.Gen, gs.Accepted, gs.Evals)
+		}
+		sum += gs.Accepted
+	}
+	if sum != res.AcceptedOffspring {
+		t.Fatalf("history acceptance %d != result %d", sum, res.AcceptedOffspring)
+	}
+	// An evolving population must accept something over 50 generations.
+	if res.AcceptedOffspring == 0 {
+		t.Fatal("no offspring accepted in 50 generations")
+	}
+}
+
+func TestSingleCategoryAttributeMutation(t *testing.T) {
+	// A domain with one category cannot mutate; the operator must not
+	// panic and must return an identical chromosome.
+	s := dataset.MustSchema(
+		dataset.MustAttribute("only", []string{"x"}, true),
+		dataset.MustAttribute("pad", []string{"a", "b"}, true),
+	)
+	orig := dataset.New(s, 10)
+	eval, err := score.NewEvaluator(orig, []int{0}, score.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := []*Individual{NewIndividual(orig.Clone(), "a"), NewIndividual(orig.Clone(), "b")}
+	e, err := NewEngine(eval, pop, Config{Generations: 1, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := e.mutate(e.pop[0])
+	if child.Data.Mismatches(e.pop[0].Data, []int{0}) != 0 {
+		t.Fatal("mutation invented a category in a single-category domain")
+	}
+}

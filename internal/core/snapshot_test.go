@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotResumeContinuesIdentically is the defining checkpoint
+// property: run(N+M) == run(N) + snapshot + resume + run(M).
+func TestSnapshotResumeContinuesIdentically(t *testing.T) {
+	const n, m = 15, 20
+
+	// Reference: one uninterrupted run.
+	ref := testEngine(t, Config{Generations: n + m, Seed: 91})
+	refRes := ref.Run()
+
+	// Checkpointed: run n, snapshot, resume into a fresh engine, run m.
+	first := testEngine(t, Config{Generations: n, Seed: 91})
+	first.Run()
+	var buf bytes.Buffer
+	if err := first.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	eval, _ := testPopulation(t)
+	resumed, err := Resume(eval, &buf, Config{Generations: m, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Generation() != n {
+		t.Fatalf("resumed at generation %d, want %d", resumed.Generation(), n)
+	}
+	resRes := resumed.Run()
+
+	if len(resRes.History) != n+m {
+		t.Fatalf("resumed history = %d, want %d", len(resRes.History), n+m)
+	}
+	for i := range refRes.History {
+		a, b := refRes.History[i], resRes.History[i]
+		a.EvalTime, a.TotalTime = 0, 0
+		b.EvalTime, b.TotalTime = 0, 0
+		if a != b {
+			t.Fatalf("generation %d diverged:\nref: %+v\nres: %+v", i+1, a, b)
+		}
+	}
+	if refRes.Best.Eval.Score != resRes.Best.Eval.Score {
+		t.Fatalf("best diverged: %v vs %v", refRes.Best.Eval.Score, resRes.Best.Eval.Score)
+	}
+	if !refRes.Best.Data.Equal(resRes.Best.Data) {
+		t.Fatal("best individual data diverged")
+	}
+	if refRes.Evaluations != resRes.Evaluations {
+		t.Fatalf("evaluations diverged: %d vs %d", refRes.Evaluations, resRes.Evaluations)
+	}
+}
+
+func TestSnapshotPreservesEvaluations(t *testing.T) {
+	e := testEngine(t, Config{Generations: 10, Seed: 93})
+	e.Run()
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	eval, _ := testPopulation(t)
+	resumed, err := Resume(eval, &buf, Config{Generations: 1, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := e.Population(), resumed.Population()
+	if len(a) != len(b) {
+		t.Fatal("population sizes differ")
+	}
+	for i := range a {
+		if a[i].Eval.Score != b[i].Eval.Score || a[i].Origin != b[i].Origin {
+			t.Fatalf("individual %d differs after resume", i)
+		}
+		if !a[i].Data.Equal(b[i].Data) {
+			t.Fatalf("individual %d data differs after resume", i)
+		}
+	}
+}
+
+func TestResumeRejectsCorruptSnapshots(t *testing.T) {
+	e := testEngine(t, Config{Generations: 5, Seed: 95})
+	e.Run()
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	eval, _ := testPopulation(t)
+
+	cases := map[string]string{
+		"not json":      "{broken",
+		"wrong version": strings.Replace(good, `"version":1`, `"version":99`, 1),
+		"bad cells":     strings.Replace(good, `"cells":[`, `"cells":[99999,`, 1),
+	}
+	for name, payload := range cases {
+		if _, err := Resume(eval, strings.NewReader(payload), Config{Generations: 1, Seed: 95}); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+	if _, err := Resume(nil, strings.NewReader(good), Config{Generations: 1, Seed: 95}); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+	if _, err := Resume(eval, strings.NewReader(good), Config{Generations: 0, Seed: 95}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestResumeRejectsMismatchedEvaluator(t *testing.T) {
+	e := testEngine(t, Config{Generations: 5, Seed: 97})
+	e.Run()
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// An evaluator over different attribute indices must be rejected.
+	orig := e.eval.Orig()
+	other, err := scoreEvaluatorOverFirstAttr(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(other, bytes.NewReader(buf.Bytes()), Config{Generations: 1, Seed: 97}); err == nil {
+		t.Error("mismatched attrs accepted")
+	}
+}

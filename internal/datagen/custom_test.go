@@ -1,0 +1,103 @@
+package datagen
+
+import (
+	"testing"
+
+	"evoprot/internal/stats"
+)
+
+func validSpecs() []AttrSpec {
+	return []AttrSpec{
+		{Name: "region", Categories: []string{"north", "south", "east", "west"}, Skew: 0.8, Peak: 0.3, Parent: -1},
+		{Name: "city-size", Categories: []string{"small", "medium", "large"}, Ordered: true, Skew: 0.5, Peak: 0.5, Parent: 0, Coupling: 0.4, Jitter: 1},
+		{Name: "income", Categories: []string{"low", "mid", "high"}, Ordered: true, Skew: 1.0, Peak: 0.2, Parent: 1, Coupling: 0.5, Jitter: 1},
+	}
+}
+
+func TestCustomGeneratesValidData(t *testing.T) {
+	d, err := Custom(validSpecs(), 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 300 || d.Cols() != 3 {
+		t.Fatalf("shape = %dx%d", d.Rows(), d.Cols())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if name := d.Schema().Attr(1).Name(); name != "city-size" {
+		t.Fatalf("attr 1 name = %q", name)
+	}
+	if !d.Schema().Attr(2).Ordered() {
+		t.Fatal("income should be ordered")
+	}
+}
+
+func TestCustomDeterministic(t *testing.T) {
+	a, err := Custom(validSpecs(), 100, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Custom(validSpecs(), 100, 11)
+	if !a.Equal(b) {
+		t.Fatal("same seed differs")
+	}
+	c, _ := Custom(validSpecs(), 100, 12)
+	if a.Equal(c) {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestCustomCouplingProducesDependency(t *testing.T) {
+	d, err := Custom(validSpecs(), 1000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi := mutualInformation(d, 1, 2); mi < 0.02 {
+		t.Fatalf("I(city-size;income) = %.4f, want >= 0.02", mi)
+	}
+}
+
+func TestCustomSkewShapesMarginal(t *testing.T) {
+	flat := []AttrSpec{{Name: "u", Categories: seqLabels("c", 10), Parent: -1, Skew: 0}}
+	spiky := []AttrSpec{{Name: "u", Categories: seqLabels("c", 10), Parent: -1, Skew: 3, Peak: 0}}
+	df, _ := Custom(flat, 2000, 3)
+	ds, _ := Custom(spiky, 2000, 3)
+	hf := stats.Entropy(stats.Freq(df.Column(0), 10))
+	hs := stats.Entropy(stats.Freq(ds.Column(0), 10))
+	if hs >= hf {
+		t.Fatalf("skewed entropy %.3f >= flat entropy %.3f", hs, hf)
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	base := validSpecs()
+	mutate := func(f func(s []AttrSpec)) []AttrSpec {
+		specs := make([]AttrSpec, len(base))
+		copy(specs, base)
+		f(specs)
+		return specs
+	}
+	cases := map[string][]AttrSpec{
+		"empty":           nil,
+		"no name":         mutate(func(s []AttrSpec) { s[0].Name = "" }),
+		"no categories":   mutate(func(s []AttrSpec) { s[1].Categories = nil }),
+		"negative skew":   mutate(func(s []AttrSpec) { s[0].Skew = -1 }),
+		"peak > 1":        mutate(func(s []AttrSpec) { s[0].Peak = 1.5 }),
+		"forward parent":  mutate(func(s []AttrSpec) { s[0].Parent = 2 }),
+		"self parent":     mutate(func(s []AttrSpec) { s[1].Parent = 1 }),
+		"parent < -1":     mutate(func(s []AttrSpec) { s[0].Parent = -2 }),
+		"coupling > 1":    mutate(func(s []AttrSpec) { s[1].Coupling = 2 }),
+		"orphan coupling": mutate(func(s []AttrSpec) { s[0].Coupling = 0.5 }),
+		"negative jitter": mutate(func(s []AttrSpec) { s[2].Jitter = -1 }),
+		"duplicate names": mutate(func(s []AttrSpec) { s[1].Name = "region" }),
+	}
+	for name, specs := range cases {
+		if _, err := Custom(specs, 10, 1); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := Custom(base, 0, 1); err == nil {
+		t.Error("zero rows accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadCSV parses categorical microdata from CSV. The first row is a header
+// of attribute names. The domain of each attribute is inferred as the set
+// of distinct values in the column, sorted lexicographically (so that the
+// inferred domain is independent of record order); inferred attributes are
+// marked ordered, since a lexicographic order is all we can recover from a
+// bare file. Use ReadCSVWithSchema when the true domain (including
+// categories absent from the data, and the real order) is known.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	header, records, err := readAll(r)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]*Attribute, len(header))
+	for c, name := range header {
+		seen := make(map[string]bool)
+		var cats []string
+		for _, rec := range records {
+			if !seen[rec[c]] {
+				seen[rec[c]] = true
+				cats = append(cats, rec[c])
+			}
+		}
+		sort.Strings(cats)
+		a, err := NewAttribute(name, cats, true)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: inferring column %d: %w", c, err)
+		}
+		attrs[c] = a
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return FromRecords(schema, records)
+}
+
+// ReadCSVWithSchema parses CSV against a known schema. The header must list
+// exactly the schema's attribute names in order, and every value must
+// belong to its attribute's domain.
+func ReadCSVWithSchema(r io.Reader, schema *Schema) (*Dataset, error) {
+	header, records, err := readAll(r)
+	if err != nil {
+		return nil, err
+	}
+	want := schema.AttrNames()
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("dataset: header has %d columns, schema has %d", len(header), len(want))
+	}
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("dataset: header column %d is %q, schema expects %q", i, header[i], want[i])
+		}
+	}
+	return FromRecords(schema, records)
+}
+
+func readAll(r io.Reader) (header []string, records [][]string, err error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("dataset: empty CSV (missing header)")
+	}
+	header = rows[0]
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+	}
+	return header, rows[1:], nil
+}
+
+// WriteCSV writes the dataset as CSV with a header row of attribute names.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.schema.AttrNames()); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	a := d.schema.NumAttrs()
+	rec := make([]string, a)
+	for r := 0; r < d.rows; r++ {
+		for c := 0; c < a; c++ {
+			rec[c] = d.Value(r, c)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV record %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flushing CSV: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+// Package dataset implements the categorical microdata model the rest of
+// the module is built on: attributes with finite (optionally ordered)
+// category domains, schemas, and datasets stored as category indices.
+//
+// A protected ("masked") file is simply another Dataset over the same
+// Schema; the evolutionary engine treats such datasets as chromosomes whose
+// genes are whole categories. Values are stored as indices into the
+// attribute domain rather than raw strings — semantically identical (genes
+// are still entire categories, never partial strings, cf. paper §2.1) but
+// far cheaper to copy and compare.
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute describes one categorical variable: its name, its finite domain
+// of categories, and whether the domain carries a meaningful total order
+// (e.g. income brackets, construction decades). Order matters for the
+// rank-based masking methods and measures; purely nominal attributes fall
+// back to equality-based distances.
+type Attribute struct {
+	name       string
+	categories []string
+	ordered    bool
+	index      map[string]int
+}
+
+// NewAttribute builds an attribute. The category list must be non-empty and
+// free of duplicates; its order defines the domain order when ordered is
+// true.
+func NewAttribute(name string, categories []string, ordered bool) (*Attribute, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dataset: attribute with empty name")
+	}
+	if len(categories) == 0 {
+		return nil, fmt.Errorf("dataset: attribute %q has no categories", name)
+	}
+	idx := make(map[string]int, len(categories))
+	for i, c := range categories {
+		if c == "" {
+			return nil, fmt.Errorf("dataset: attribute %q has an empty category at position %d", name, i)
+		}
+		if _, dup := idx[c]; dup {
+			return nil, fmt.Errorf("dataset: attribute %q has duplicate category %q", name, c)
+		}
+		idx[c] = i
+	}
+	cats := make([]string, len(categories))
+	copy(cats, categories)
+	return &Attribute{name: name, categories: cats, ordered: ordered, index: idx}, nil
+}
+
+// MustAttribute is NewAttribute that panics on error; for tests and
+// statically-known schemas.
+func MustAttribute(name string, categories []string, ordered bool) *Attribute {
+	a, err := NewAttribute(name, categories, ordered)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name returns the attribute name.
+func (a *Attribute) Name() string { return a.name }
+
+// Cardinality returns the number of categories in the domain.
+func (a *Attribute) Cardinality() int { return len(a.categories) }
+
+// Ordered reports whether the domain carries a total order.
+func (a *Attribute) Ordered() bool { return a.ordered }
+
+// Category returns the label of category i. It panics if i is out of range,
+// which indicates a corrupted dataset.
+func (a *Attribute) Category(i int) string { return a.categories[i] }
+
+// Index returns the domain index of the given category label.
+func (a *Attribute) Index(category string) (int, bool) {
+	i, ok := a.index[category]
+	return i, ok
+}
+
+// Categories returns a copy of the domain in order.
+func (a *Attribute) Categories() []string {
+	out := make([]string, len(a.categories))
+	copy(out, a.categories)
+	return out
+}
+
+// Schema is an ordered collection of attributes with unique names.
+type Schema struct {
+	attrs  []*Attribute
+	byName map[string]int
+}
+
+// NewSchema builds a schema from the given attributes; names must be unique.
+func NewSchema(attrs ...*Attribute) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("dataset: schema with no attributes")
+	}
+	byName := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a == nil {
+			return nil, fmt.Errorf("dataset: nil attribute at position %d", i)
+		}
+		if _, dup := byName[a.name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a.name)
+		}
+		byName[a.name] = i
+	}
+	own := make([]*Attribute, len(attrs))
+	copy(own, attrs)
+	return &Schema{attrs: own, byName: byName}, nil
+}
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(attrs ...*Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumAttrs returns the number of attributes.
+func (s *Schema) NumAttrs() int { return len(s.attrs) }
+
+// Attr returns attribute i.
+func (s *Schema) Attr(i int) *Attribute { return s.attrs[i] }
+
+// IndexOf returns the position of the named attribute.
+func (s *Schema) IndexOf(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// Indices resolves a list of attribute names to column indices, failing on
+// the first unknown name.
+func (s *Schema) Indices(names ...string) ([]int, error) {
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		i, ok := s.byName[n]
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown attribute %q (have %s)", n, strings.Join(s.AttrNames(), ", "))
+		}
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+// AttrNames returns the attribute names in schema order.
+func (s *Schema) AttrNames() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.name
+	}
+	return out
+}
+
+// EqualStructure reports whether two schemas describe the same attributes:
+// same names, same domains in the same order, same orderedness.
+func (s *Schema) EqualStructure(o *Schema) bool {
+	if o == nil || len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for i, a := range s.attrs {
+		b := o.attrs[i]
+		if a.name != b.name || a.ordered != b.ordered || len(a.categories) != len(b.categories) {
+			return false
+		}
+		for j, c := range a.categories {
+			if b.categories[j] != c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Cardinalities returns the domain sizes of the given columns (all columns
+// when attrs is nil).
+func (s *Schema) Cardinalities(attrs []int) []int {
+	if attrs == nil {
+		attrs = make([]int, len(s.attrs))
+		for i := range attrs {
+			attrs[i] = i
+		}
+	}
+	out := make([]int, len(attrs))
+	for i, c := range attrs {
+		out[i] = s.attrs[c].Cardinality()
+	}
+	return out
+}
+
+// Dataset is a table of categorical microdata: Rows() records over the
+// schema's attributes, each cell a category index into the attribute's
+// domain.
+type Dataset struct {
+	schema *Schema
+	rows   int
+	cells  []int // row-major: cells[r*NumAttrs()+c]
+}
+
+// New returns a dataset of the given number of rows with every cell set to
+// category 0.
+func New(schema *Schema, rows int) *Dataset {
+	if schema == nil {
+		panic("dataset: nil schema")
+	}
+	if rows < 0 {
+		panic("dataset: negative row count")
+	}
+	return &Dataset{schema: schema, rows: rows, cells: make([]int, rows*schema.NumAttrs())}
+}
+
+// FromRecords builds a dataset from string records; every value must belong
+// to the corresponding attribute's domain.
+func FromRecords(schema *Schema, records [][]string) (*Dataset, error) {
+	d := New(schema, len(records))
+	a := schema.NumAttrs()
+	for r, rec := range records {
+		if len(rec) != a {
+			return nil, fmt.Errorf("dataset: record %d has %d fields, schema has %d", r, len(rec), a)
+		}
+		for c, v := range rec {
+			idx, ok := schema.Attr(c).Index(v)
+			if !ok {
+				return nil, fmt.Errorf("dataset: record %d: value %q not in domain of %s", r, v, schema.Attr(c).Name())
+			}
+			d.cells[r*a+c] = idx
+		}
+	}
+	return d, nil
+}
+
+// Schema returns the dataset's schema.
+func (d *Dataset) Schema() *Schema { return d.schema }
+
+// Rows returns the number of records.
+func (d *Dataset) Rows() int { return d.rows }
+
+// Cols returns the number of attributes.
+func (d *Dataset) Cols() int { return d.schema.NumAttrs() }
+
+// At returns the category index at (row, col).
+func (d *Dataset) At(row, col int) int {
+	return d.cells[row*d.schema.NumAttrs()+col]
+}
+
+// Set assigns the category index v at (row, col). It panics if v is outside
+// the attribute's domain: a cell outside the domain can only be a bug, and
+// every downstream measure would silently miscount.
+func (d *Dataset) Set(row, col, v int) {
+	if v < 0 || v >= d.schema.Attr(col).Cardinality() {
+		panic(fmt.Sprintf("dataset: value %d out of domain of %s (cardinality %d)",
+			v, d.schema.Attr(col).Name(), d.schema.Attr(col).Cardinality()))
+	}
+	d.cells[row*d.schema.NumAttrs()+col] = v
+}
+
+// Value returns the category label at (row, col).
+func (d *Dataset) Value(row, col int) string {
+	return d.schema.Attr(col).Category(d.At(row, col))
+}
+
+// Clone returns a deep copy sharing the (immutable) schema.
+func (d *Dataset) Clone() *Dataset {
+	cells := make([]int, len(d.cells))
+	copy(cells, d.cells)
+	return &Dataset{schema: d.schema, rows: d.rows, cells: cells}
+}
+
+// Equal reports whether both datasets have structurally equal schemas, the
+// same shape and the same cell values.
+func (d *Dataset) Equal(o *Dataset) bool {
+	if o == nil || d.rows != o.rows {
+		return false
+	}
+	if d.schema != o.schema && !d.schema.EqualStructure(o.schema) {
+		return false
+	}
+	for i, v := range d.cells {
+		if o.cells[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Column returns a copy of column c.
+func (d *Dataset) Column(c int) []int {
+	out := make([]int, d.rows)
+	d.ColumnInto(out, c)
+	return out
+}
+
+// ColumnInto fills dst (len >= Rows) with column c, avoiding allocation in
+// hot paths.
+func (d *Dataset) ColumnInto(dst []int, c int) {
+	a := d.schema.NumAttrs()
+	for r := 0; r < d.rows; r++ {
+		dst[r] = d.cells[r*a+c]
+	}
+}
+
+// Records materializes the dataset back to string records.
+func (d *Dataset) Records() [][]string {
+	a := d.schema.NumAttrs()
+	out := make([][]string, d.rows)
+	for r := 0; r < d.rows; r++ {
+		rec := make([]string, a)
+		for c := 0; c < a; c++ {
+			rec[c] = d.Value(r, c)
+		}
+		out[r] = rec
+	}
+	return out
+}
+
+// Mismatches counts cells that differ between d and o over the given
+// columns (all columns when attrs is nil). Both datasets must have the same
+// shape.
+func (d *Dataset) Mismatches(o *Dataset, attrs []int) int {
+	if d.rows != o.rows || d.schema.NumAttrs() != o.schema.NumAttrs() {
+		panic("dataset: Mismatches on datasets of different shape")
+	}
+	if attrs == nil {
+		attrs = make([]int, d.schema.NumAttrs())
+		for i := range attrs {
+			attrs[i] = i
+		}
+	}
+	a := d.schema.NumAttrs()
+	n := 0
+	for r := 0; r < d.rows; r++ {
+		base := r * a
+		for _, c := range attrs {
+			if d.cells[base+c] != o.cells[base+c] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Validate checks that every cell lies within its attribute's domain.
+func (d *Dataset) Validate() error {
+	a := d.schema.NumAttrs()
+	for r := 0; r < d.rows; r++ {
+		for c := 0; c < a; c++ {
+			v := d.cells[r*a+c]
+			if v < 0 || v >= d.schema.Attr(c).Cardinality() {
+				return fmt.Errorf("dataset: cell (%d,%d) value %d outside domain of %s", r, c, v, d.schema.Attr(c).Name())
+			}
+		}
+	}
+	return nil
+}

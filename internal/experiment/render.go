@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"evoprot/internal/textplot"
+)
+
+// DispersionSeries converts the report's initial/final populations into
+// scatter series for the paper's dispersion figures.
+func (r *Report) DispersionSeries() []textplot.ScatterSeries {
+	initial := make([]textplot.Point, len(r.Initial))
+	for i, p := range r.Initial {
+		initial[i] = textplot.Point{X: p.IL, Y: p.DR}
+	}
+	final := make([]textplot.Point, len(r.Final))
+	for i, p := range r.Final {
+		final[i] = textplot.Point{X: p.IL, Y: p.DR}
+	}
+	return []textplot.ScatterSeries{
+		{Name: "initial", Marker: 'o', Points: initial},
+		{Name: "final", Marker: '*', Points: final},
+	}
+}
+
+// EvolutionSeries converts the run history into max/mean/min line series
+// for the paper's evolution figures; generation 0 is included.
+func (r *Report) EvolutionSeries() []textplot.LineSeries {
+	maxS := make([]float64, 0, len(r.Series)+1)
+	meanS := make([]float64, 0, len(r.Series)+1)
+	minS := make([]float64, 0, len(r.Series)+1)
+	maxS = append(maxS, r.Gen0.Max)
+	meanS = append(meanS, r.Gen0.Mean)
+	minS = append(minS, r.Gen0.Min)
+	for _, gs := range r.Series {
+		maxS = append(maxS, gs.Max)
+		meanS = append(meanS, gs.Mean)
+		minS = append(minS, gs.Min)
+	}
+	return []textplot.LineSeries{
+		{Name: "max", Marker: 'M', Values: maxS},
+		{Name: "mean", Marker: '+', Values: meanS},
+		{Name: "min", Marker: '_', Values: minS},
+	}
+}
+
+// DispersionPlot renders the dispersion figure as text.
+func (r *Report) DispersionPlot(width, height int) string {
+	title := fmt.Sprintf("Dispersion %s: initial vs final population (IL, DR)", r.Spec.Name())
+	return textplot.Scatter(r.DispersionSeries(), width, height, title, "information loss", "DR")
+}
+
+// EvolutionPlot renders the evolution figure as text.
+func (r *Report) EvolutionPlot(width, height int) string {
+	title := fmt.Sprintf("Evolution %s: max/mean/min score by generation", r.Spec.Name())
+	return textplot.Lines(r.EvolutionSeries(), width, height, title, "generation", "score")
+}
+
+// WriteDispersionCSV exports the dispersion data.
+func (r *Report) WriteDispersionCSV(w io.Writer) error {
+	return textplot.WriteScatterCSV(w, r.DispersionSeries(), "il", "dr")
+}
+
+// WriteEvolutionCSV exports the evolution data.
+func (r *Report) WriteEvolutionCSV(w io.Writer) error {
+	return textplot.WriteLinesCSV(w, r.EvolutionSeries(), "generation")
+}
+
+// Summary formats the improvement numbers the paper reports in its §3
+// text, plus balance and timing.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment %s (%d individuals, %d generations, %d evaluations)\n",
+		r.Spec.Name(), len(r.Initial), len(r.Series), r.Evaluations)
+	fmt.Fprintf(&b, "  max score:  %7.2f -> %7.2f  (%5.2f%% improvement)\n", r.InitMax, r.FinalMax, r.ImpMax)
+	fmt.Fprintf(&b, "  mean score: %7.2f -> %7.2f  (%5.2f%% improvement)\n", r.InitMean, r.FinalMean, r.ImpMean)
+	fmt.Fprintf(&b, "  min score:  %7.2f -> %7.2f  (%5.2f%% improvement)\n", r.InitMin, r.FinalMin, r.ImpMin)
+	fmt.Fprintf(&b, "  balance |IL-DR|: %.2f -> %.2f\n", Balance(r.Initial), Balance(r.Final))
+	fmt.Fprintf(&b, "  pareto front: %d -> %d individuals, hypervolume %.0f -> %.0f\n",
+		r.FrontInit, r.FrontFinal, r.HVInit, r.HVFinal)
+	if r.TotalOffspring > 0 {
+		fmt.Fprintf(&b, "  offspring accepted: %d/%d (%.1f%%)\n",
+			r.AcceptedOffspring, r.TotalOffspring, 100*float64(r.AcceptedOffspring)/float64(r.TotalOffspring))
+	}
+	fmt.Fprintf(&b, "  avg generation: mutation %v, crossover %v (%.1f%% in fitness evaluation)\n",
+		r.AvgMutationGen.Round(time.Microsecond),
+		r.AvgCrossoverGen.Round(time.Microsecond),
+		100*r.EvalShare)
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strings"
+
+	"evoprot/internal/dataset"
+	"evoprot/internal/protection"
+	"evoprot/internal/score"
+)
+
+// Sweep evaluates one masking method across a parameter range — the
+// manual exploration an SDC practitioner does before (or instead of)
+// running the evolutionary optimizer, and the procedure that builds the
+// paper's initial populations in the first place. The result is the
+// method's trajectory through the (IL, DR) plane.
+
+// SweepPoint is one parameter setting's outcome.
+type SweepPoint struct {
+	// Param is the swept parameter value.
+	Param float64
+	// Spec is the full method spec that produced the point.
+	Spec string
+	// Eval is the fitness breakdown of the masked dataset.
+	Eval score.Evaluation
+}
+
+// SweepSpec describes a parameter sweep.
+type SweepSpec struct {
+	// Method is the method family: micro, top, bottom, recode, rankswap,
+	// pram.
+	Method string
+	// Param is the parameter to sweep (k, q, depth, p, theta — the
+	// family's main knob; see protection.Parse).
+	Param string
+	// From, To, Steps define the sweep grid (Steps >= 1 points, inclusive
+	// of both ends when Steps > 1).
+	From, To float64
+	// Steps is the number of grid points.
+	Steps int
+	// Seed drives the stochastic methods.
+	Seed uint64
+}
+
+// Sweep runs the spec against orig over the given protected attributes.
+func Sweep(orig *dataset.Dataset, attrs []int, eval *score.Evaluator, spec SweepSpec) ([]SweepPoint, error) {
+	if spec.Steps < 1 {
+		return nil, fmt.Errorf("experiment: sweep needs at least 1 step, got %d", spec.Steps)
+	}
+	integral := spec.Param == "k" || spec.Param == "depth" || spec.Param == "config"
+	rng := rand.New(rand.NewPCG(spec.Seed, 0x2545f4914f6cdd1d))
+	points := make([]SweepPoint, 0, spec.Steps)
+	for i := 0; i < spec.Steps; i++ {
+		v := spec.From
+		switch {
+		case spec.Steps > 1 && i == spec.Steps-1:
+			v = spec.To // exact endpoint, no accumulated float error
+		case spec.Steps > 1:
+			v += (spec.To - spec.From) * float64(i) / float64(spec.Steps-1)
+		}
+		var valueStr string
+		if integral {
+			valueStr = fmt.Sprintf("%d", int(v+0.5))
+		} else {
+			valueStr = fmt.Sprintf("%.6g", v)
+		}
+		methodSpec := fmt.Sprintf("%s:%s=%s", spec.Method, spec.Param, valueStr)
+		m, err := protection.Parse(methodSpec)
+		if err != nil {
+			return nil, err
+		}
+		masked, err := m.Protect(orig, attrs, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: sweep at %s: %w", methodSpec, err)
+		}
+		ev, err := eval.Evaluate(masked)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{Param: v, Spec: methodSpec, Eval: ev})
+	}
+	return points, nil
+}
+
+// WriteSweepCSV exports sweep points as CSV with the full measure
+// breakdown.
+func WriteSweepCSV(w io.Writer, points []SweepPoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("experiment: no sweep points")
+	}
+	ilNames := sortedKeys(points[0].Eval.ILParts)
+	drNames := sortedKeys(points[0].Eval.DRParts)
+	header := append([]string{"param", "spec", "il", "dr", "score"}, append(ilNames, drNames...)...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, p := range points {
+		fields := []string{
+			fmt.Sprintf("%g", p.Param), p.Spec,
+			fmt.Sprintf("%.4f", p.Eval.IL), fmt.Sprintf("%.4f", p.Eval.DR), fmt.Sprintf("%.4f", p.Eval.Score),
+		}
+		for _, n := range ilNames {
+			fields = append(fields, fmt.Sprintf("%.4f", p.Eval.ILParts[n]))
+		}
+		for _, n := range drNames {
+			fields = append(fields, fmt.Sprintf("%.4f", p.Eval.DRParts[n]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Insertion sort: the maps hold 3-5 entries.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

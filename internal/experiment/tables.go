@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file renders the paper's in-text tables (§3.1 improvement table,
+// §3.2 improvement and timing tables, §3.3 robustness table) from a set
+// of experiment reports, so cmd/experiments can emit them exactly as the
+// paper structures them.
+
+// ImprovementTable formats the §3.1/§3.2 improvement table for the given
+// reports (one row per report, in input order).
+func ImprovementTable(reports []*Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %21s %21s %21s\n", "experiment",
+		"max score", "mean score", "min score")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-16s %6.2f->%6.2f (%5.2f%%) %6.2f->%6.2f (%5.2f%%) %6.2f->%6.2f (%5.2f%%)\n",
+			r.Spec.Name(),
+			r.InitMax, r.FinalMax, r.ImpMax,
+			r.InitMean, r.FinalMean, r.ImpMean,
+			r.InitMin, r.FinalMin, r.ImpMin)
+	}
+	return b.String()
+}
+
+// TimingTable formats the §3.2 timing table: average generation cost per
+// operator and the fitness-evaluation share, averaged over the reports.
+func TimingTable(reports []*Report) string {
+	var mut, cross time.Duration
+	var share float64
+	n := 0
+	for _, r := range reports {
+		if r.AvgMutationGen == 0 && r.AvgCrossoverGen == 0 {
+			continue
+		}
+		mut += r.AvgMutationGen
+		cross += r.AvgCrossoverGen
+		share += r.EvalShare
+		n++
+	}
+	if n == 0 {
+		return "timing: no generation data\n"
+	}
+	mut /= time.Duration(n)
+	cross /= time.Duration(n)
+	share /= float64(n)
+	ratio := 0.0
+	if mut > 0 {
+		ratio = float64(cross) / float64(mut)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12v\n", "avg mutation generation", mut.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-28s %12v\n", "avg crossover generation", cross.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-28s %11.2fx\n", "crossover/mutation ratio", ratio)
+	fmt.Fprintf(&b, "%-28s %11.1f%%\n", "fitness evaluation share", 100*share)
+	return b.String()
+}
+
+// RobustnessTable formats the §3.3 robustness comparison: the full-
+// population report against the handicapped ones, with min-score gaps.
+// The full report is identified by RemoveBestFrac == 0; it must be
+// present.
+func RobustnessTable(reports []*Report) (string, error) {
+	var full *Report
+	var rest []*Report
+	for _, r := range reports {
+		if r.Spec.RemoveBestFrac == 0 {
+			full = r
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	if full == nil {
+		return "", fmt.Errorf("experiment: robustness table needs the full-population report")
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		return rest[i].Spec.RemoveBestFrac < rest[j].Spec.RemoveBestFrac
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s\n", "population", "init min", "final min", "gap")
+	fmt.Fprintf(&b, "%-18s %10.2f %10.2f %10s\n", "full", full.InitMin, full.FinalMin, "-")
+	for _, r := range rest {
+		fmt.Fprintf(&b, "%-18s %10.2f %10.2f %10.2f\n",
+			fmt.Sprintf("without best %.0f%%", r.Spec.RemoveBestFrac*100),
+			r.InitMin, r.FinalMin, r.FinalMin-full.FinalMin)
+	}
+	return b.String(), nil
+}

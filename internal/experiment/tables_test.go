@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func tableReports(t *testing.T) []*Report {
+	t.Helper()
+	var reports []*Report
+	for _, remove := range []float64{0, 0.10} {
+		spec := smallSpec("flare", "max")
+		spec.RemoveBestFrac = remove
+		rep, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+func TestImprovementTable(t *testing.T) {
+	reports := tableReports(t)
+	table := ImprovementTable(reports)
+	if !strings.Contains(table, "flare/max") || !strings.Contains(table, "flare/max-10%") {
+		t.Fatalf("rows missing:\n%s", table)
+	}
+	if !strings.Contains(table, "max score") || !strings.Contains(table, "min score") {
+		t.Fatalf("header missing:\n%s", table)
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 1+len(reports) {
+		t.Fatalf("line count = %d, want %d", len(lines), 1+len(reports))
+	}
+}
+
+func TestTimingTable(t *testing.T) {
+	reports := tableReports(t)
+	table := TimingTable(reports)
+	for _, want := range []string{"mutation generation", "crossover generation", "ratio", "evaluation share"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestTimingTableEmpty(t *testing.T) {
+	if got := TimingTable(nil); !strings.Contains(got, "no generation data") {
+		t.Fatalf("empty timing table = %q", got)
+	}
+	// Reports without any generations contribute nothing.
+	if got := TimingTable([]*Report{{}}); !strings.Contains(got, "no generation data") {
+		t.Fatalf("zero report timing table = %q", got)
+	}
+}
+
+func TestTimingTableAveraging(t *testing.T) {
+	a := &Report{AvgMutationGen: 10 * time.Millisecond, AvgCrossoverGen: 20 * time.Millisecond, EvalShare: 0.9}
+	b := &Report{AvgMutationGen: 30 * time.Millisecond, AvgCrossoverGen: 60 * time.Millisecond, EvalShare: 1.0}
+	table := TimingTable([]*Report{a, b})
+	if !strings.Contains(table, "20ms") || !strings.Contains(table, "40ms") {
+		t.Fatalf("averages wrong:\n%s", table)
+	}
+	if !strings.Contains(table, "2.00x") {
+		t.Fatalf("ratio wrong:\n%s", table)
+	}
+	if !strings.Contains(table, "95.0%") {
+		t.Fatalf("share wrong:\n%s", table)
+	}
+}
+
+func TestRobustnessTable(t *testing.T) {
+	reports := tableReports(t)
+	table, err := RobustnessTable(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table, "full") || !strings.Contains(table, "without best 10%") {
+		t.Fatalf("rows missing:\n%s", table)
+	}
+	if !strings.Contains(table, "gap") {
+		t.Fatalf("header missing:\n%s", table)
+	}
+}
+
+func TestRobustnessTableRequiresBaseline(t *testing.T) {
+	spec := smallSpec("flare", "max")
+	spec.RemoveBestFrac = 0.05
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RobustnessTable([]*Report{rep}); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Package hierarchy implements value generalization hierarchies (VGH) over
+// ordered categorical domains. Global recoding and top/bottom coding use a
+// hierarchy to decide which categories collapse together; the collapsed
+// group is then represented by an in-domain category (its weighted median),
+// so masked files stay within the original domain — a requirement of the
+// evolutionary operators, which may only produce "valid values for the
+// specific variable" (paper §2.2.1).
+package hierarchy
+
+import "fmt"
+
+// Hierarchy is a nested sequence of coarsenings of a categorical domain of
+// the given cardinality. Level 0 is the identity (every category its own
+// group); deeper levels merge groups; the last level need not be a single
+// group.
+type Hierarchy struct {
+	card   int
+	levels [][]int // levels[l][cat] = group id at level l; levels[0][c] = c
+}
+
+// Auto builds a hierarchy by repeatedly merging runs of `fanout` adjacent
+// categories (adjacency in domain order), until everything is one group.
+// This is the natural automatic VGH for ordered domains (e.g. decades ->
+// 20-year bins -> 40-year bins ...). fanout must be at least 2.
+func Auto(card, fanout int) (*Hierarchy, error) {
+	if card <= 0 {
+		return nil, fmt.Errorf("hierarchy: non-positive cardinality %d", card)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("hierarchy: fanout %d < 2", fanout)
+	}
+	var levels [][]int
+	identity := make([]int, card)
+	for c := range identity {
+		identity[c] = c
+	}
+	levels = append(levels, identity)
+	width := 1
+	for {
+		prevGroups := numGroups(levels[len(levels)-1])
+		if prevGroups == 1 {
+			break
+		}
+		width *= fanout
+		level := make([]int, card)
+		for c := 0; c < card; c++ {
+			level[c] = c / width
+		}
+		levels = append(levels, level)
+	}
+	return &Hierarchy{card: card, levels: levels}, nil
+}
+
+// MustAuto is Auto that panics on error; for statically-valid parameters.
+func MustAuto(card, fanout int) *Hierarchy {
+	h, err := Auto(card, fanout)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// FromLevels builds a hierarchy from explicit level maps. Level 0 must be
+// the identity, group ids at each level must be contiguous starting at 0,
+// and levels must nest: categories sharing a group at level l must share a
+// group at level l+1.
+func FromLevels(card int, levels [][]int) (*Hierarchy, error) {
+	if card <= 0 {
+		return nil, fmt.Errorf("hierarchy: non-positive cardinality %d", card)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("hierarchy: no levels")
+	}
+	for l, level := range levels {
+		if len(level) != card {
+			return nil, fmt.Errorf("hierarchy: level %d has %d entries, want %d", l, len(level), card)
+		}
+		seen := make(map[int]bool)
+		maxGroup := -1
+		for c, g := range level {
+			if g < 0 {
+				return nil, fmt.Errorf("hierarchy: level %d category %d has negative group", l, c)
+			}
+			seen[g] = true
+			if g > maxGroup {
+				maxGroup = g
+			}
+			if l == 0 && g != c {
+				return nil, fmt.Errorf("hierarchy: level 0 must be the identity (category %d -> group %d)", c, g)
+			}
+		}
+		for g := 0; g <= maxGroup; g++ {
+			if !seen[g] {
+				return nil, fmt.Errorf("hierarchy: level %d group ids not contiguous (missing %d)", l, g)
+			}
+		}
+		if l > 0 {
+			// Nesting: same group at l-1 implies same group at l.
+			groupOf := make(map[int]int)
+			for c := 0; c < card; c++ {
+				prev := levels[l-1][c]
+				if g, ok := groupOf[prev]; ok {
+					if g != level[c] {
+						return nil, fmt.Errorf("hierarchy: level %d does not nest level %d at category %d", l, l-1, c)
+					}
+				} else {
+					groupOf[prev] = level[c]
+				}
+			}
+		}
+	}
+	own := make([][]int, len(levels))
+	for l, level := range levels {
+		own[l] = make([]int, card)
+		copy(own[l], level)
+	}
+	return &Hierarchy{card: card, levels: own}, nil
+}
+
+// Cardinality returns the domain size the hierarchy is defined over.
+func (h *Hierarchy) Cardinality() int { return h.card }
+
+// NumLevels returns the number of levels including the identity level 0.
+func (h *Hierarchy) NumLevels() int { return len(h.levels) }
+
+// Group returns the group id of category cat at the given level.
+func (h *Hierarchy) Group(level, cat int) int { return h.levels[level][cat] }
+
+// GroupsAt returns the number of groups at the given level.
+func (h *Hierarchy) GroupsAt(level int) int { return numGroups(h.levels[level]) }
+
+// Members returns the categories belonging to the given group at the given
+// level, in domain order.
+func (h *Hierarchy) Members(level, group int) []int {
+	var out []int
+	for c, g := range h.levels[level] {
+		if g == group {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Representative returns the in-domain category that stands for the given
+// group at the given level: the weighted median member under the provided
+// per-category counts (the data distribution). With nil or all-zero counts
+// it falls back to the unweighted median member. Using the median keeps
+// recoded files inside the original domain and minimizes rank displacement,
+// matching the median-based categorical tradition of Torra (2004).
+func (h *Hierarchy) Representative(level, group int, counts []int) int {
+	members := h.Members(level, group)
+	if len(members) == 0 {
+		panic(fmt.Sprintf("hierarchy: empty group %d at level %d", group, level))
+	}
+	total := 0
+	if counts != nil {
+		for _, m := range members {
+			total += counts[m]
+		}
+	}
+	if total == 0 {
+		return members[len(members)/2]
+	}
+	half := (total + 1) / 2
+	cum := 0
+	for _, m := range members {
+		cum += counts[m]
+		if cum >= half {
+			return m
+		}
+	}
+	return members[len(members)-1]
+}
+
+// Recode returns the per-category recoding map at the given level: each
+// category maps to the representative of its group. counts may be nil.
+func (h *Hierarchy) Recode(level int, counts []int) []int {
+	reps := make(map[int]int)
+	out := make([]int, h.card)
+	for c := 0; c < h.card; c++ {
+		g := h.levels[level][c]
+		rep, ok := reps[g]
+		if !ok {
+			rep = h.Representative(level, g, counts)
+			reps[g] = rep
+		}
+		out[c] = rep
+	}
+	return out
+}
+
+func numGroups(level []int) int {
+	seen := make(map[int]bool)
+	for _, g := range level {
+		seen[g] = true
+	}
+	return len(seen)
+}

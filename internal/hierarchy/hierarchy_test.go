@@ -1,0 +1,204 @@
+package hierarchy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAutoBinary(t *testing.T) {
+	h, err := Auto(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Levels: identity(8 groups), 4, 2, 1.
+	if h.NumLevels() != 4 {
+		t.Fatalf("NumLevels = %d, want 4", h.NumLevels())
+	}
+	wantGroups := []int{8, 4, 2, 1}
+	for l, want := range wantGroups {
+		if got := h.GroupsAt(l); got != want {
+			t.Errorf("GroupsAt(%d) = %d, want %d", l, got, want)
+		}
+	}
+	if h.Group(1, 0) != h.Group(1, 1) {
+		t.Error("categories 0,1 should share a group at level 1")
+	}
+	if h.Group(1, 1) == h.Group(1, 2) {
+		t.Error("categories 1,2 should not share a group at level 1")
+	}
+}
+
+func TestAutoNonPowerCard(t *testing.T) {
+	h, err := Auto(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// identity(5), level1: {0,0,1,1,2} = 3 groups, level2: {0,0,0,0,1} = 2, level3: 1.
+	want := []int{5, 3, 2, 1}
+	if h.NumLevels() != len(want) {
+		t.Fatalf("NumLevels = %d, want %d", h.NumLevels(), len(want))
+	}
+	for l, w := range want {
+		if got := h.GroupsAt(l); got != w {
+			t.Errorf("GroupsAt(%d) = %d, want %d", l, got, w)
+		}
+	}
+}
+
+func TestAutoErrors(t *testing.T) {
+	if _, err := Auto(0, 2); err == nil {
+		t.Error("Auto(0,2) succeeded")
+	}
+	if _, err := Auto(4, 1); err == nil {
+		t.Error("Auto(4,1) succeeded")
+	}
+}
+
+func TestAutoSingleCategory(t *testing.T) {
+	h, err := Auto(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() != 1 || h.GroupsAt(0) != 1 {
+		t.Fatalf("degenerate hierarchy: levels=%d groups=%d", h.NumLevels(), h.GroupsAt(0))
+	}
+}
+
+func TestAutoNesting(t *testing.T) {
+	// Property: Auto hierarchies always nest.
+	f := func(rawCard, rawFan uint8) bool {
+		card := int(rawCard%30) + 1
+		fan := int(rawFan%4) + 2
+		h, err := Auto(card, fan)
+		if err != nil {
+			return false
+		}
+		for l := 1; l < h.NumLevels(); l++ {
+			for a := 0; a < card; a++ {
+				for b := a + 1; b < card; b++ {
+					if h.Group(l-1, a) == h.Group(l-1, b) && h.Group(l, a) != h.Group(l, b) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromLevelsValid(t *testing.T) {
+	levels := [][]int{
+		{0, 1, 2, 3},
+		{0, 0, 1, 1},
+		{0, 0, 0, 0},
+	}
+	h, err := FromLevels(4, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLevels() != 3 || h.Cardinality() != 4 {
+		t.Fatal("shape mismatch")
+	}
+}
+
+func TestFromLevelsErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		card   int
+		levels [][]int
+	}{
+		{"no levels", 2, nil},
+		{"wrong width", 2, [][]int{{0}}},
+		{"level0 not identity", 2, [][]int{{0, 0}}},
+		{"negative group", 2, [][]int{{0, 1}, {0, -1}}},
+		{"non-contiguous", 3, [][]int{{0, 1, 2}, {0, 2, 2}}},
+		{"not nested", 4, [][]int{{0, 1, 2, 3}, {0, 0, 1, 1}, {0, 1, 0, 1}}},
+		{"zero card", 0, [][]int{{}}},
+	}
+	for _, c := range cases {
+		if _, err := FromLevels(c.card, c.levels); err == nil {
+			t.Errorf("%s: FromLevels succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestMembers(t *testing.T) {
+	h := MustAuto(6, 3)
+	m := h.Members(1, 0)
+	if len(m) != 3 || m[0] != 0 || m[1] != 1 || m[2] != 2 {
+		t.Fatalf("Members(1,0) = %v", m)
+	}
+}
+
+func TestRepresentativeUnweighted(t *testing.T) {
+	h := MustAuto(4, 4) // level 1: one group of all four
+	if got := h.Representative(1, 0, nil); got != 2 {
+		t.Fatalf("unweighted representative = %d, want 2", got)
+	}
+}
+
+func TestRepresentativeWeighted(t *testing.T) {
+	h := MustAuto(4, 4)
+	// Mass concentrated on category 0 pulls the median there.
+	counts := []int{10, 1, 1, 1}
+	if got := h.Representative(1, 0, counts); got != 0 {
+		t.Fatalf("weighted representative = %d, want 0", got)
+	}
+	// Mass on the top category.
+	counts = []int{1, 1, 1, 10}
+	if got := h.Representative(1, 0, counts); got != 3 {
+		t.Fatalf("weighted representative = %d, want 3", got)
+	}
+}
+
+func TestRepresentativeZeroCounts(t *testing.T) {
+	h := MustAuto(3, 3)
+	if got := h.Representative(1, 0, []int{0, 0, 0}); got != 1 {
+		t.Fatalf("zero-count representative = %d, want middle (1)", got)
+	}
+}
+
+func TestRecodeStaysInGroup(t *testing.T) {
+	f := func(rawCard, rawLevel uint8, rawCounts []uint8) bool {
+		card := int(rawCard%20) + 1
+		h, err := Auto(card, 2)
+		if err != nil {
+			return false
+		}
+		level := int(rawLevel) % h.NumLevels()
+		counts := make([]int, card)
+		for i := range counts {
+			if i < len(rawCounts) {
+				counts[i] = int(rawCounts[i])
+			}
+		}
+		rec := h.Recode(level, counts)
+		for c := 0; c < card; c++ {
+			rep := rec[c]
+			if rep < 0 || rep >= card {
+				return false
+			}
+			// Representative must be in the same group as the category.
+			if h.Group(level, rep) != h.Group(level, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecodeIdentityAtLevelZero(t *testing.T) {
+	h := MustAuto(7, 2)
+	rec := h.Recode(0, nil)
+	for c, r := range rec {
+		if r != c {
+			t.Fatalf("Recode(0) not identity: %v", rec)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package pareto provides multi-objective utilities over (IL, DR) pairs:
+// non-dominated front extraction and the 2-D hypervolume indicator. The
+// paper folds both objectives into one score (Eq. 1/Eq. 2) and names
+// richer aggregations as future work (§4); the Pareto view is the standard
+// lens for judging how well a population covers the trade-off curve, and
+// the experiment reports use it to compare initial and final populations
+// beyond single-score summaries.
+package pareto
+
+import (
+	"sort"
+
+	"evoprot/internal/score"
+)
+
+// Front returns the non-dominated subset of the pairs, sorted by
+// increasing IL (and therefore strictly decreasing DR). A pair p dominates
+// q when p.IL <= q.IL and p.DR <= q.DR with at least one strict
+// inequality — both objectives are minimized. Duplicates of a front point
+// appear once.
+func Front(pairs []score.Pair) []score.Pair {
+	if len(pairs) == 0 {
+		return nil
+	}
+	sorted := make([]score.Pair, len(pairs))
+	copy(sorted, pairs)
+	// Sorted by IL ascending then DR ascending, a point belongs to the
+	// front exactly when its DR is strictly below every DR seen before it
+	// (equal-IL groups contribute only their lowest-DR member).
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].IL != sorted[j].IL {
+			return sorted[i].IL < sorted[j].IL
+		}
+		return sorted[i].DR < sorted[j].DR
+	})
+	var front []score.Pair
+	for _, p := range sorted {
+		if len(front) == 0 {
+			front = append(front, p)
+			continue
+		}
+		last := front[len(front)-1]
+		if p.IL == last.IL || p.DR >= last.DR {
+			continue // dominated (or a duplicate of) an existing front point
+		}
+		front = append(front, p)
+	}
+	return front
+}
+
+// Dominates reports whether p dominates q (both minimized).
+func Dominates(p, q score.Pair) bool {
+	if p.IL > q.IL || p.DR > q.DR {
+		return false
+	}
+	return p.IL < q.IL || p.DR < q.DR
+}
+
+// Hypervolume returns the area of the region within the rectangle
+// [0, ref.IL] x [0, ref.DR] dominated by the pairs. Larger is better: the
+// front sits closer to the ideal point (0, 0) and covers more of the
+// trade-off plane. Points outside the reference box contribute only the
+// part of their dominated region inside the box.
+func Hypervolume(pairs []score.Pair, ref score.Pair) float64 {
+	if ref.IL <= 0 || ref.DR <= 0 {
+		return 0
+	}
+	front := Front(pairs)
+	area := 0.0
+	lastIL := 0.0
+	minDR := ref.DR
+	for _, p := range front {
+		il, dr := p.IL, p.DR
+		if il >= ref.IL {
+			break
+		}
+		if il < 0 {
+			il = 0
+		}
+		if dr < 0 {
+			dr = 0
+		}
+		if dr >= minDR {
+			continue
+		}
+		// Everything in [lastIL, il) is dominated down to the previous
+		// staircase level minDR.
+		area += (il - lastIL) * (ref.DR - minDR)
+		lastIL = il
+		minDR = dr
+	}
+	area += (ref.IL - lastIL) * (ref.DR - minDR)
+	return area
+}
+
+// Coverage returns the fraction of pairs lying on their own front
+// (duplicates of front points count) — a quick diversity measure of how
+// much of a population is non-dominated.
+func Coverage(pairs []score.Pair) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	front := Front(pairs)
+	onFront := 0
+	for _, p := range pairs {
+		for _, f := range front {
+			if p == f {
+				onFront++
+				break
+			}
+		}
+	}
+	return float64(onFront) / float64(len(pairs))
+}

@@ -1,0 +1,174 @@
+package protection
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"evoprot/internal/dataset"
+)
+
+// MicroConfig describes how microaggregation groups the protected
+// attributes: Groups is a partition of the relative positions
+// 0..len(attrs)-1, and the order inside each group is the lexicographic
+// sort priority used to form the aggregation blocks. Different configs on
+// the same k explore different projections of the data, which is how the
+// paper's 72-variant microaggregation grids arise.
+type MicroConfig struct {
+	Groups [][]int
+}
+
+// microConfigs3 is the canonical config family for three protected
+// attributes (every dataset in the paper protects exactly three): the
+// joint projection under two sort rotations, every 2+1 split under both
+// pair orders, and the fully per-attribute split — nine configurations.
+var microConfigs3 = []MicroConfig{
+	{Groups: [][]int{{0, 1, 2}}},
+	{Groups: [][]int{{1, 2, 0}}},
+	{Groups: [][]int{{0, 1}, {2}}},
+	{Groups: [][]int{{1, 0}, {2}}},
+	{Groups: [][]int{{0, 2}, {1}}},
+	{Groups: [][]int{{2, 0}, {1}}},
+	{Groups: [][]int{{1, 2}, {0}}},
+	{Groups: [][]int{{2, 1}, {0}}},
+	{Groups: [][]int{{0}, {1}, {2}}},
+}
+
+// MicroConfigs returns the configuration family for the given number of
+// protected attributes: the 9-config family for three attributes, and a
+// generic {joint, per-attribute} pair otherwise.
+func MicroConfigs(numAttrs int) []MicroConfig {
+	if numAttrs == 3 {
+		out := make([]MicroConfig, len(microConfigs3))
+		copy(out, microConfigs3)
+		return out
+	}
+	joint := make([]int, numAttrs)
+	singles := make([][]int, numAttrs)
+	for i := 0; i < numAttrs; i++ {
+		joint[i] = i
+		singles[i] = []int{i}
+	}
+	return []MicroConfig{{Groups: [][]int{joint}}, {Groups: singles}}
+}
+
+// Microaggregation is the median-based categorical microaggregation of
+// Torra (2004): records are sorted by the grouped attributes, split into
+// consecutive blocks of at least K records, and every value in a block is
+// replaced by the block's per-attribute median category (mode for
+// unordered attributes). Deterministic.
+type Microaggregation struct {
+	K      int
+	Config int // index into MicroConfigs(len(attrs))
+}
+
+// NewMicroaggregation validates parameters. config indexes the
+// configuration family of the eventual attrs list; validation of the index
+// happens at Protect time when the family size is known.
+func NewMicroaggregation(k, config int) (*Microaggregation, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("protection: microaggregation k=%d < 2 provides no grouping", k)
+	}
+	if config < 0 {
+		return nil, fmt.Errorf("protection: negative microaggregation config %d", config)
+	}
+	return &Microaggregation{K: k, Config: config}, nil
+}
+
+// Name implements Method.
+func (m *Microaggregation) Name() string { return "microaggregation" }
+
+// Params implements Method.
+func (m *Microaggregation) Params() string { return fmt.Sprintf("k=%d config=%d", m.K, m.Config) }
+
+// Protect implements Method.
+func (m *Microaggregation) Protect(orig *dataset.Dataset, attrs []int, _ *rand.Rand) (*dataset.Dataset, error) {
+	if err := validateAttrs(orig, attrs); err != nil {
+		return nil, err
+	}
+	configs := MicroConfigs(len(attrs))
+	if m.Config >= len(configs) {
+		return nil, fmt.Errorf("protection: microaggregation config %d out of range [0,%d)", m.Config, len(configs))
+	}
+	cfg := configs[m.Config]
+	n := orig.Rows()
+	out := orig.Clone()
+	if n == 0 {
+		return out, nil
+	}
+	for _, group := range cfg.Groups {
+		cols := make([]int, len(group))
+		for i, rel := range group {
+			if rel < 0 || rel >= len(attrs) {
+				return nil, fmt.Errorf("protection: microaggregation config references attribute position %d", rel)
+			}
+			cols[i] = attrs[rel]
+		}
+		microaggregateGroup(orig, out, cols, m.K)
+	}
+	return out, nil
+}
+
+// microaggregateGroup sorts records by cols (lexicographically, on the
+// *original* values so blocks are stable regardless of other groups), forms
+// blocks of size >= k, and writes block centroids into out.
+func microaggregateGroup(orig, out *dataset.Dataset, cols []int, k int) {
+	n := orig.Rows()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := order[a], order[b]
+		for _, c := range cols {
+			va, vb := orig.At(ra, c), orig.At(rb, c)
+			if va != vb {
+				return va < vb
+			}
+		}
+		return false
+	})
+	numBlocks := n / k
+	if numBlocks == 0 {
+		numBlocks = 1
+	}
+	for b := 0; b < numBlocks; b++ {
+		lo := b * k
+		hi := lo + k
+		if b == numBlocks-1 {
+			hi = n // the remainder joins the last block (sizes k..2k-1)
+		}
+		block := order[lo:hi]
+		for _, c := range cols {
+			centroid := blockCentroid(orig, block, c)
+			for _, r := range block {
+				out.Set(r, c, centroid)
+			}
+		}
+	}
+}
+
+// blockCentroid returns the median category index (lower median) for
+// ordered attributes and the modal category (smallest index on ties) for
+// unordered ones.
+func blockCentroid(d *dataset.Dataset, block []int, col int) int {
+	vals := make([]int, len(block))
+	for i, r := range block {
+		vals[i] = d.At(r, col)
+	}
+	if d.Schema().Attr(col).Ordered() {
+		sort.Ints(vals)
+		return vals[(len(vals)-1)/2]
+	}
+	counts := make(map[int]int)
+	best, bestCount := vals[0], 0
+	for _, v := range vals {
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c > bestCount || (c == bestCount && v < best) {
+			best, bestCount = v, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,98 @@
+package protection
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"evoprot/internal/dataset"
+)
+
+// RankSwapping implements Moore's (1996) controlled data swapping adapted
+// to ordered categorical domains: per attribute, records are ranked by
+// category; each unswapped record exchanges values with a random unswapped
+// partner whose rank lies within P percent of the file size. Smaller P
+// preserves more structure; larger P protects more. Stochastic.
+type RankSwapping struct {
+	P float64 // rank window as a percentage of the number of records
+}
+
+// NewRankSwapping validates the window percentage.
+func NewRankSwapping(p float64) (*RankSwapping, error) {
+	if p <= 0 || p > 100 {
+		return nil, fmt.Errorf("protection: rank swapping p=%v outside (0,100]", p)
+	}
+	return &RankSwapping{P: p}, nil
+}
+
+// Name implements Method.
+func (rs *RankSwapping) Name() string { return "rankswapping" }
+
+// Params implements Method.
+func (rs *RankSwapping) Params() string { return fmt.Sprintf("p=%.1f", rs.P) }
+
+// Protect implements Method.
+func (rs *RankSwapping) Protect(orig *dataset.Dataset, attrs []int, rng *rand.Rand) (*dataset.Dataset, error) {
+	if err := validateAttrs(orig, attrs); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("protection: rank swapping requires an RNG")
+	}
+	out := orig.Clone()
+	n := orig.Rows()
+	if n < 2 {
+		return out, nil
+	}
+	window := int(rs.P * float64(n) / 100)
+	if window < 1 {
+		window = 1
+	}
+	order := make([]int, n)
+	swapped := make([]bool, n)
+	for _, c := range attrs {
+		for i := range order {
+			order[i] = i
+		}
+		// Rank records by original category; stable so ties keep record order.
+		sort.SliceStable(order, func(a, b int) bool {
+			return orig.At(order[a], c) < orig.At(order[b], c)
+		})
+		for i := range swapped {
+			swapped[i] = false
+		}
+		for i := 0; i < n; i++ {
+			if swapped[i] {
+				continue
+			}
+			hi := i + window
+			if hi > n-1 {
+				hi = n - 1
+			}
+			if hi == i {
+				break // tail record with no partner window left
+			}
+			// Collect unswapped candidates in (i, hi]; pick uniformly.
+			j := -1
+			count := 0
+			for k := i + 1; k <= hi; k++ {
+				if swapped[k] {
+					continue
+				}
+				count++
+				if rng.IntN(count) == 0 {
+					j = k
+				}
+			}
+			if j < 0 {
+				continue
+			}
+			ri, rj := order[i], order[j]
+			vi, vj := out.At(ri, c), out.At(rj, c)
+			out.Set(ri, c, vj)
+			out.Set(rj, c, vi)
+			swapped[i], swapped[j] = true, true
+		}
+	}
+	return out, nil
+}

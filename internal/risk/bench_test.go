@@ -1,0 +1,55 @@
+package risk
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/datagen"
+	"evoprot/internal/dataset"
+	"evoprot/internal/protection"
+)
+
+func benchPair(b *testing.B, rows int) (*dataset.Dataset, *dataset.Dataset, []int) {
+	b.Helper()
+	d := datagen.MustByName("flare", rows, 5)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, err := d.Schema().Indices(names...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	masked, err := protection.Must("pram:theta=0.7").Protect(d, attrs, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, masked, attrs
+}
+
+func benchMeasure(b *testing.B, m Measure, rows int) {
+	b.Helper()
+	orig, masked, attrs := benchPair(b, rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Risk(orig, masked, attrs)
+	}
+}
+
+func BenchmarkIntervalDisclosure(b *testing.B)   { benchMeasure(b, &IntervalDisclosure{}, 500) }
+func BenchmarkDistanceLinkage(b *testing.B)      { benchMeasure(b, &DistanceLinkage{}, 500) }
+func BenchmarkProbabilisticLinkage(b *testing.B) { benchMeasure(b, &ProbabilisticLinkage{}, 500) }
+func BenchmarkRankIntervalLinkage(b *testing.B)  { benchMeasure(b, &RankIntervalLinkage{}, 500) }
+
+// BenchmarkDistanceLinkageSampled shows the quadratic-cost mitigation the
+// paper's §4 asks for: 4x outer sampling should cut cost ~4x.
+func BenchmarkDistanceLinkageSampled(b *testing.B) {
+	benchMeasure(b, &DistanceLinkage{MaxRecords: 125}, 500)
+}
+
+func BenchmarkFullBattery(b *testing.B) {
+	orig, masked, attrs := benchPair(b, 500)
+	ms := Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Average(ms, orig, masked, attrs)
+	}
+}

@@ -1,0 +1,187 @@
+package risk
+
+import (
+	"math"
+
+	"evoprot/internal/dataset"
+)
+
+// ProbabilisticLinkage is Fellegi–Sunter probabilistic record linkage
+// (PRL): agreement patterns between original and masked records are scored
+// by the likelihood ratio of "pair is a true match" against "pair is
+// random", with the per-attribute match probabilities m and non-match
+// probabilities u estimated by expectation-maximization over all n² pairs
+// under the usual conditional-independence assumption. Every original
+// record links to the masked record(s) with the highest total log-ratio
+// weight; the true counterpart among them earns fractional credit. The
+// result is the percentage of re-identified records.
+type ProbabilisticLinkage struct {
+	// EMIters is the number of EM iterations; defaults to 30, which is
+	// plenty for the ≤2^len(attrs) distinct agreement patterns.
+	EMIters int
+	// MaxRecords caps the number of original records tallied and linked
+	// (deterministic stride sampling; see sampling.go). 0 uses every
+	// record exactly.
+	MaxRecords int
+}
+
+// Name implements Measure.
+func (pl *ProbabilisticLinkage) Name() string { return "PRL" }
+
+// Risk implements Measure.
+func (pl *ProbabilisticLinkage) Risk(orig, masked *dataset.Dataset, attrs []int) float64 {
+	iters := pl.EMIters
+	if iters <= 0 {
+		iters = 30
+	}
+	n := orig.Rows()
+	if n == 0 || len(attrs) == 0 {
+		return 0
+	}
+	if len(attrs) > 16 {
+		// 2^a patterns; 16 attributes is far beyond any sane QI set.
+		panic("risk: probabilistic linkage over more than 16 attributes")
+	}
+	oc, mc := columns(orig, attrs), columns(masked, attrs)
+	numPat := 1 << len(attrs)
+	stride := sampleStride(n, pl.MaxRecords)
+	sampled := sampledCount(n, stride)
+
+	// Tally agreement patterns over the (possibly sampled) pairs. Every
+	// sampled original record is compared against the full masked file, so
+	// exactly one true-match pair per sampled record is included.
+	patCount := make([]float64, numPat)
+	for i := 0; i < n; i += stride {
+		for j := 0; j < n; j++ {
+			patCount[pattern(i, j, oc, mc)]++
+		}
+	}
+	totalPairs := float64(sampled) * float64(n)
+
+	m, u, _ := emEstimate(patCount, len(attrs), totalPairs, float64(sampled), iters)
+
+	// Per-pattern match weight: sum of per-attribute log likelihood ratios.
+	weights := make([]float64, numPat)
+	for pat := 0; pat < numPat; pat++ {
+		w := 0.0
+		for a := range attrs {
+			if pat&(1<<a) != 0 {
+				w += math.Log2(m[a] / u[a])
+			} else {
+				w += math.Log2((1 - m[a]) / (1 - u[a]))
+			}
+		}
+		weights[pat] = w
+	}
+
+	credit := 0.0
+	for i := 0; i < n; i += stride {
+		best := math.Inf(-1)
+		count := 0
+		containsTrue := false
+		for j := 0; j < n; j++ {
+			w := weights[pattern(i, j, oc, mc)]
+			switch {
+			case w > best:
+				best, count, containsTrue = w, 1, j == i
+			case w == best:
+				count++
+				if j == i {
+					containsTrue = true
+				}
+			}
+		}
+		if containsTrue {
+			credit += 1 / float64(count)
+		}
+	}
+	return 100 * credit / float64(sampled)
+}
+
+// pattern returns the agreement bitmask between original record i and
+// masked record j: bit a is set when they agree on attribute a.
+func pattern(i, j int, oc, mc [][]int) int {
+	pat := 0
+	for a := range oc {
+		if oc[a][i] == mc[a][j] {
+			pat |= 1 << a
+		}
+	}
+	return pat
+}
+
+// emEstimate runs EM for the two-class mixture over agreement patterns,
+// returning per-attribute match probabilities m, non-match probabilities
+// u, and the match-class prevalence p. trueMatches seeds the prevalence at
+// its known value (n matches among n² pairs).
+func emEstimate(patCount []float64, numAttrs int, totalPairs, trueMatches float64, iters int) (m, u []float64, p float64) {
+	m = make([]float64, numAttrs)
+	u = make([]float64, numAttrs)
+	p = trueMatches / totalPairs
+	// Initialize m optimistically and u at the overall agreement rate.
+	for a := 0; a < numAttrs; a++ {
+		m[a] = 0.9
+		agree := 0.0
+		for pat, c := range patCount {
+			if pat&(1<<a) != 0 {
+				agree += c
+			}
+		}
+		u[a] = clampProb(agree / totalPairs)
+	}
+	for it := 0; it < iters; it++ {
+		sumG, sumNG := 0.0, 0.0
+		mNum := make([]float64, numAttrs)
+		uNum := make([]float64, numAttrs)
+		for pat, c := range patCount {
+			if c == 0 {
+				continue
+			}
+			pm, pu := 1.0, 1.0
+			for a := 0; a < numAttrs; a++ {
+				if pat&(1<<a) != 0 {
+					pm *= m[a]
+					pu *= u[a]
+				} else {
+					pm *= 1 - m[a]
+					pu *= 1 - u[a]
+				}
+			}
+			denom := p*pm + (1-p)*pu
+			if denom <= 0 {
+				continue
+			}
+			g := p * pm / denom
+			sumG += g * c
+			sumNG += (1 - g) * c
+			for a := 0; a < numAttrs; a++ {
+				if pat&(1<<a) != 0 {
+					mNum[a] += g * c
+					uNum[a] += (1 - g) * c
+				}
+			}
+		}
+		if sumG <= 0 || sumNG <= 0 {
+			break
+		}
+		p = clampProb(sumG / totalPairs)
+		for a := 0; a < numAttrs; a++ {
+			m[a] = clampProb(mNum[a] / sumG)
+			u[a] = clampProb(uNum[a] / sumNG)
+		}
+	}
+	return m, u, p
+}
+
+// clampProb keeps probabilities strictly inside (0,1) so log-ratios stay
+// finite.
+func clampProb(x float64) float64 {
+	const eps = 1e-6
+	if x < eps {
+		return eps
+	}
+	if x > 1-eps {
+		return 1 - eps
+	}
+	return x
+}

@@ -1,0 +1,110 @@
+package risk
+
+import (
+	"evoprot/internal/dataset"
+	"evoprot/internal/stats"
+)
+
+// RankIntervalLinkage is the rank-swapping-specific re-identification
+// attack of Nin, Herranz & Torra (2008), generalized to any masked file:
+// the intruder assumes every published value lies within a bounded rank
+// window (P percent of the file) of the original value — exactly the
+// guarantee rank swapping gives — so for each original record the
+// candidate set is the intersection, over attributes, of the masked
+// records whose value rank falls inside the window around the original
+// value's rank. A record whose candidate set contains its true masked
+// counterpart earns credit 1/|candidates|. The result is the percentage of
+// re-identified records.
+//
+// Window ranks for original values use the original file's mid-ranks;
+// candidate masked categories are matched through the masked file's
+// mid-ranks, so the attack adapts to however the masking reshaped the
+// distribution.
+type RankIntervalLinkage struct {
+	// P is the window half-width as a percentage of the number of
+	// records; defaults to 15, a conservative upper bound on the rank
+	// swapping grids used in practice.
+	P float64
+	// MaxRecords caps the number of original records attacked
+	// (deterministic stride sampling; see sampling.go). 0 attacks every
+	// record exactly.
+	MaxRecords int
+}
+
+// Name implements Measure.
+func (rl *RankIntervalLinkage) Name() string { return "RSRL" }
+
+// Risk implements Measure.
+func (rl *RankIntervalLinkage) Risk(orig, masked *dataset.Dataset, attrs []int) float64 {
+	p := rl.P
+	if p <= 0 {
+		p = 15
+	}
+	n := orig.Rows()
+	if n == 0 || len(attrs) == 0 {
+		return 0
+	}
+	window := p * float64(n) / 100
+
+	oc, mc := columns(orig, attrs), columns(masked, attrs)
+
+	// For each attribute, precompute the contiguous masked-category range
+	// admissible for every original category: categories are scanned in
+	// domain order, and mid-ranks are monotone in domain order, so the
+	// admissible set is an interval [lo[u], hi[u]].
+	lo := make([][]int, len(attrs))
+	hi := make([][]int, len(attrs))
+	for a, c := range attrs {
+		card := orig.Schema().Attr(c).Cardinality()
+		oRanks := stats.MidRanks(stats.Freq(oc[a], card))
+		mRanks := stats.MidRanks(stats.Freq(mc[a], card))
+		lo[a] = make([]int, card)
+		hi[a] = make([]int, card)
+		for u := 0; u < card; u++ {
+			l, h := card, -1
+			for v := 0; v < card; v++ {
+				gap := oRanks[u] - mRanks[v]
+				if gap < 0 {
+					gap = -gap
+				}
+				if gap <= window {
+					if v < l {
+						l = v
+					}
+					if v > h {
+						h = v
+					}
+				}
+			}
+			lo[a][u], hi[a][u] = l, h
+		}
+	}
+
+	stride := sampleStride(n, rl.MaxRecords)
+	credit := 0.0
+	for i := 0; i < n; i += stride {
+		count := 0
+		containsTrue := false
+		for j := 0; j < n; j++ {
+			inAll := true
+			for a := range attrs {
+				u := oc[a][i]
+				v := mc[a][j]
+				if v < lo[a][u] || v > hi[a][u] {
+					inAll = false
+					break
+				}
+			}
+			if inAll {
+				count++
+				if j == i {
+					containsTrue = true
+				}
+			}
+		}
+		if containsTrue {
+			credit += 1 / float64(count)
+		}
+	}
+	return 100 * credit / float64(sampledCount(n, stride))
+}

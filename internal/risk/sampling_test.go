@@ -1,0 +1,130 @@
+package risk
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/datagen"
+	"evoprot/internal/dataset"
+	"evoprot/internal/protection"
+)
+
+func TestSampleStride(t *testing.T) {
+	cases := []struct {
+		n, max, want int
+	}{
+		{1000, 0, 1},   // disabled
+		{100, 200, 1},  // already small enough
+		{100, 100, 1},  // exact fit
+		{1000, 500, 2}, // halve
+		{1000, 300, 4}, // ceil(1000/300) = 4
+		{7, 3, 3},      // ceil(7/3) = 3
+		{10, 1, 10},    // single record
+	}
+	for _, c := range cases {
+		if got := sampleStride(c.n, c.max); got != c.want {
+			t.Errorf("sampleStride(%d,%d) = %d, want %d", c.n, c.max, got, c.want)
+		}
+	}
+}
+
+func TestSampledCount(t *testing.T) {
+	cases := []struct {
+		n, stride, want int
+	}{
+		{10, 1, 10}, {10, 2, 5}, {10, 3, 4}, {7, 3, 3}, {1, 5, 1},
+	}
+	for _, c := range cases {
+		if got := sampledCount(c.n, c.stride); got != c.want {
+			t.Errorf("sampledCount(%d,%d) = %d, want %d", c.n, c.stride, got, c.want)
+		}
+	}
+	// Consistency: sampledCount matches the sampled loop length.
+	for n := 1; n < 50; n++ {
+		for stride := 1; stride < 8; stride++ {
+			count := 0
+			for i := 0; i < n; i += stride {
+				count++
+			}
+			if got := sampledCount(n, stride); got != count {
+				t.Fatalf("sampledCount(%d,%d) = %d, loop says %d", n, stride, got, count)
+			}
+		}
+	}
+}
+
+// sampledMeasures builds exact/sampled measure pairs for comparison.
+func sampledMeasures(maxRecords int) [][2]Measure {
+	return [][2]Measure{
+		{&DistanceLinkage{}, &DistanceLinkage{MaxRecords: maxRecords}},
+		{&ProbabilisticLinkage{}, &ProbabilisticLinkage{MaxRecords: maxRecords}},
+		{&RankIntervalLinkage{}, &RankIntervalLinkage{MaxRecords: maxRecords}},
+	}
+}
+
+func TestSampledRiskApproximatesExact(t *testing.T) {
+	d := datagen.MustByName("german", 600, 77)
+	names, _ := datagen.ProtectedAttrs("german")
+	attrs, err := d.Schema().Indices(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	masked, err := protection.Must("pram:theta=0.7").Protect(d, attrs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range sampledMeasures(150) {
+		exact := pair[0].Risk(d, masked, attrs)
+		approx := pair[1].Risk(d, masked, attrs)
+		if math.Abs(exact-approx) > 8 {
+			t.Errorf("%s: sampled %v too far from exact %v", pair[0].Name(), approx, exact)
+		}
+	}
+}
+
+func TestSampledRiskIsDeterministic(t *testing.T) {
+	d := datagen.MustByName("flare", 300, 13)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, _ := d.Schema().Indices(names...)
+	rng := rand.New(rand.NewPCG(9, 9))
+	masked, _ := protection.Must("rankswap:p=10").Protect(d, attrs, rng)
+	for _, pair := range sampledMeasures(100) {
+		a := pair[1].Risk(d, masked, attrs)
+		b := pair[1].Risk(d, masked, attrs)
+		if a != b {
+			t.Errorf("%s: sampling not deterministic (%v vs %v)", pair[1].Name(), a, b)
+		}
+	}
+}
+
+func TestSamplingDisabledMatchesExact(t *testing.T) {
+	d := datagen.MustByName("flare", 150, 13)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, _ := d.Schema().Indices(names...)
+	rng := rand.New(rand.NewPCG(11, 11))
+	masked, _ := protection.Must("pram:theta=0.6").Protect(d, attrs, rng)
+	// MaxRecords >= n must be bit-identical to the exact computation.
+	for _, pair := range sampledMeasures(150) {
+		exact := pair[0].Risk(d, masked, attrs)
+		capped := pair[1].Risk(d, masked, attrs)
+		if exact != capped {
+			t.Errorf("%s: MaxRecords=n changed the result (%v vs %v)", pair[0].Name(), exact, capped)
+		}
+	}
+}
+
+func TestSampledRiskStaysInBounds(t *testing.T) {
+	s := dataset.MustSchema(dataset.MustAttribute("x", []string{"a", "b", "c"}, true))
+	d := dataset.New(s, 17)
+	for r := 0; r < 17; r++ {
+		d.Set(r, 0, r%3)
+	}
+	for _, pair := range sampledMeasures(5) {
+		got := pair[1].Risk(d, d, []int{0})
+		if got < 0 || got > 100 {
+			t.Errorf("%s: out of bounds: %v", pair[1].Name(), got)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package score
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedCombine(t *testing.T) {
+	w, err := NewWeighted(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Combine(10, 30); math.Abs(got-16) > 1e-12 {
+		t.Fatalf("weighted = %v, want 16", got)
+	}
+	if w.Name() != "weighted(0.70)" {
+		t.Fatalf("name = %q", w.Name())
+	}
+}
+
+func TestWeightedHalfEqualsMean(t *testing.T) {
+	w, _ := NewWeighted(0.5)
+	f := func(il, dr uint8) bool {
+		a := w.Combine(float64(il), float64(dr))
+		b := Mean{}.Combine(float64(il), float64(dr))
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted(-0.1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewWeighted(1.1); err == nil {
+		t.Error("weight > 1 accepted")
+	}
+}
+
+func TestEuclideanProperties(t *testing.T) {
+	e := Euclidean{}
+	if got := e.Combine(0, 0); got != 0 {
+		t.Fatalf("ideal point = %v", got)
+	}
+	if got := e.Combine(100, 100); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("worst point = %v, want 100", got)
+	}
+	// For a fixed sum, balanced pairs score lower than unbalanced ones —
+	// the property that distinguishes Euclidean from Mean.
+	if e.Combine(20, 20) >= e.Combine(0, 40) {
+		t.Fatal("euclidean does not penalize imbalance")
+	}
+	// But it stays between Mean and Max.
+	f := func(ilRaw, drRaw uint8) bool {
+		il, dr := float64(ilRaw%101), float64(drRaw%101)
+		v := e.Combine(il, dr)
+		return v >= Mean{}.Combine(il, dr)-1e-9 && v <= Max{}.Combine(il, dr)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendedAggregatorByName(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"mean", "mean"},
+		{"max", "max"},
+		{"euclidean", "euclidean"},
+		{"weighted:0.25", "weighted(0.25)"},
+	}
+	for _, c := range cases {
+		agg, err := ExtendedAggregatorByName(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if agg.Name() != c.want {
+			t.Errorf("%s -> %q, want %q", c.spec, agg.Name(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "chebyshev", "weighted:2", "weighted:x"} {
+		if _, err := ExtendedAggregatorByName(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestAggregatorsInEvaluator(t *testing.T) {
+	d, attrs := testSetup(t)
+	for _, agg := range []Aggregator{Weighted{W: 0.3}, Euclidean{}} {
+		e, err := NewEvaluator(d, attrs, Config{Aggregator: agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := e.Evaluate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := agg.Combine(ev.IL, ev.DR); ev.Score != want {
+			t.Errorf("%s: score %v != %v", agg.Name(), ev.Score, want)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package stats provides the small statistical substrate shared by the
+// information-loss and disclosure-risk measures: Shannon entropy, frequency
+// tables, contingency tables over attribute subsets, rank utilities over
+// ordered categorical domains, and attribute-subset enumeration.
+//
+// All functions are deterministic and allocation-conscious; they are called
+// on every fitness evaluation of the evolutionary engine.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Log2 returns the base-2 logarithm of x. It exists so that entropy code
+// reads in information-theoretic units (bits) throughout the module.
+func Log2(x float64) float64 { return math.Log2(x) }
+
+// Entropy returns the Shannon entropy, in bits, of the distribution implied
+// by the non-negative counts. Zero counts contribute nothing. An empty or
+// all-zero slice has entropy 0.
+func Entropy(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	ft := float64(total)
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / ft
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// EntropyFloat is Entropy for already-normalized (or unnormalized) weights.
+func EntropyFloat(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		p := w / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Freq returns the frequency of each value in column, where values are
+// category indices in [0, card). Values outside the range are ignored.
+func Freq(column []int, card int) []int {
+	counts := make([]int, card)
+	for _, v := range column {
+		if v >= 0 && v < card {
+			counts[v]++
+		}
+	}
+	return counts
+}
+
+// CumFreq returns the exclusive cumulative frequencies of counts:
+// out[i] = counts[0] + ... + counts[i-1]. len(out) == len(counts)+1, and
+// out[len(counts)] is the total.
+func CumFreq(counts []int) []int {
+	out := make([]int, len(counts)+1)
+	for i, c := range counts {
+		out[i+1] = out[i] + c
+	}
+	return out
+}
+
+// MidRanks maps each category index to the average (mid) rank of its
+// occurrences in the data, given per-category counts. Ranks are 0-based over
+// the n records sorted by category index; a category with no occurrences is
+// assigned the rank it would occupy if present (the boundary position).
+//
+// Mid-ranks turn an ordered categorical column into a quasi-numerical one;
+// the interval-disclosure measure and rank-window linkage are defined on
+// them.
+func MidRanks(counts []int) []float64 {
+	ranks := make([]float64, len(counts))
+	cum := 0
+	for i, c := range counts {
+		if c > 0 {
+			ranks[i] = float64(cum) + float64(c-1)/2
+		} else {
+			ranks[i] = float64(cum)
+		}
+		cum += c
+	}
+	return ranks
+}
+
+// Quantile returns the index of the category at the q-quantile (0 <= q <= 1)
+// of the distribution given by counts, i.e. the smallest category c whose
+// cumulative relative frequency reaches q. For q <= 0 it returns the first
+// non-empty category; for q >= 1 the last.
+func Quantile(counts []int, q float64) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := 0
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= target && cum > 0 {
+			return i
+		}
+	}
+	return len(counts) - 1
+}
+
+// Combinations returns all k-element subsets of {0, ..., n-1} in
+// lexicographic order. It panics if k < 0. For k > n it returns nil.
+func Combinations(n, k int) [][]int {
+	if k < 0 {
+		panic("stats: negative k in Combinations")
+	}
+	if k > n {
+		return nil
+	}
+	if k == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		comb := make([]int, k)
+		copy(comb, idx)
+		out = append(out, comb)
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return out
+}
+
+// SubsetsUpTo returns all non-empty subsets of {0,...,n-1} of size at most k,
+// ordered by size then lexicographically.
+func SubsetsUpTo(n, k int) [][]int {
+	var out [][]int
+	for size := 1; size <= k && size <= n; size++ {
+		out = append(out, Combinations(n, size)...)
+	}
+	return out
+}
+
+// MixedRadixSize returns the product of the cardinalities, i.e. the number
+// of cells of a joint contingency table. It returns 0 for an empty slice.
+func MixedRadixSize(cards []int) int {
+	if len(cards) == 0 {
+		return 0
+	}
+	size := 1
+	for _, c := range cards {
+		size *= c
+	}
+	return size
+}
+
+// ArgminAll returns the smallest value in xs together with every index
+// attaining it. It panics on an empty slice.
+func ArgminAll(xs []float64) (min float64, idxs []int) {
+	if len(xs) == 0 {
+		panic("stats: ArgminAll of empty slice")
+	}
+	min = xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	for i, x := range xs {
+		if x == min {
+			idxs = append(idxs, i)
+		}
+	}
+	return min, idxs
+}
+
+// ArgmaxAll returns the largest value in xs together with every index
+// attaining it. It panics on an empty slice.
+func ArgmaxAll(xs []float64) (max float64, idxs []int) {
+	if len(xs) == 0 {
+		panic("stats: ArgmaxAll of empty slice")
+	}
+	max = xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	for i, x := range xs {
+		if x == max {
+			idxs = append(idxs, i)
+		}
+	}
+	return max, idxs
+}
+
+// MinMaxMean returns the minimum, maximum and mean of xs.
+// It panics on an empty slice.
+func MinMaxMean(xs []float64) (min, max, mean float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMaxMean of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		sum += x
+	}
+	return min, max, sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// nearest-rank on a sorted copy. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// AbsInt returns the absolute value of an int.
+func AbsInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MinInt returns the smaller of a and b.
+func MinInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxInt returns the larger of a and b.
+func MaxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,323 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestEntropyUniform(t *testing.T) {
+	// Uniform distribution over 8 categories has entropy exactly 3 bits.
+	counts := []int{5, 5, 5, 5, 5, 5, 5, 5}
+	if got := Entropy(counts); !almostEqual(got, 3, 1e-12) {
+		t.Fatalf("Entropy(uniform/8) = %v, want 3", got)
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	if got := Entropy([]int{42}); got != 0 {
+		t.Fatalf("Entropy(single category) = %v, want 0", got)
+	}
+	if got := Entropy(nil); got != 0 {
+		t.Fatalf("Entropy(nil) = %v, want 0", got)
+	}
+	if got := Entropy([]int{0, 0, 0}); got != 0 {
+		t.Fatalf("Entropy(all zero) = %v, want 0", got)
+	}
+}
+
+func TestEntropyTwoPoint(t *testing.T) {
+	// H(0.25, 0.75) = 0.811278...
+	got := Entropy([]int{1, 3})
+	want := -(0.25*math.Log2(0.25) + 0.75*math.Log2(0.75))
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Entropy = %v, want %v", got, want)
+	}
+}
+
+func TestEntropyNonNegativeAndBounded(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int, len(raw))
+		for i, v := range raw {
+			counts[i] = int(v)
+		}
+		h := Entropy(counts)
+		return h >= 0 && h <= math.Log2(float64(len(counts)))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropyFloatMatchesEntropy(t *testing.T) {
+	counts := []int{3, 0, 7, 2}
+	weights := []float64{3, 0, 7, 2}
+	if a, b := Entropy(counts), EntropyFloat(weights); !almostEqual(a, b, 1e-12) {
+		t.Fatalf("Entropy=%v EntropyFloat=%v", a, b)
+	}
+}
+
+func TestFreq(t *testing.T) {
+	col := []int{0, 2, 2, 1, 2, 0}
+	got := Freq(col, 4)
+	want := []int{2, 1, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Freq = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFreqIgnoresOutOfRange(t *testing.T) {
+	got := Freq([]int{-1, 0, 5, 1}, 2)
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("Freq with out-of-range = %v, want [1 1]", got)
+	}
+}
+
+func TestCumFreq(t *testing.T) {
+	got := CumFreq([]int{2, 0, 3})
+	want := []int{0, 2, 2, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CumFreq = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMidRanks(t *testing.T) {
+	// counts: cat0 x2, cat1 x0, cat2 x4  -> ranks 0.5, 2, 3.5
+	got := MidRanks([]int{2, 0, 4})
+	want := []float64{0.5, 2, 3.5}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("MidRanks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMidRanksMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := make([]int, len(raw))
+		for i, v := range raw {
+			counts[i] = int(v)
+		}
+		ranks := MidRanks(counts)
+		for i := 1; i < len(ranks); i++ {
+			if ranks[i] < ranks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	counts := []int{10, 20, 30, 40} // cum: 10,30,60,100
+	cases := []struct {
+		q    float64
+		want int
+	}{
+		{0, 0}, {0.05, 0}, {0.1, 0}, {0.11, 1}, {0.3, 1},
+		{0.5, 2}, {0.6, 2}, {0.61, 3}, {1, 3}, {2, 3}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := Quantile(counts, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(nil) = %d, want 0", got)
+	}
+	if got := Quantile([]int{0, 0}, 0.5); got != 0 {
+		t.Fatalf("Quantile(zeros) = %d, want 0", got)
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	got := Combinations(4, 2)
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("Combinations(4,2) has %d elems, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("Combinations(4,2) = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestCombinationsEdge(t *testing.T) {
+	if got := Combinations(3, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("Combinations(3,0) = %v, want [[]]", got)
+	}
+	if got := Combinations(2, 3); got != nil {
+		t.Fatalf("Combinations(2,3) = %v, want nil", got)
+	}
+	if got := Combinations(3, 3); len(got) != 1 {
+		t.Fatalf("Combinations(3,3) = %v, want single", got)
+	}
+}
+
+func TestCombinationsCount(t *testing.T) {
+	// C(6,3) = 20
+	if got := Combinations(6, 3); len(got) != 20 {
+		t.Fatalf("C(6,3) count = %d, want 20", len(got))
+	}
+}
+
+func TestSubsetsUpTo(t *testing.T) {
+	got := SubsetsUpTo(3, 2)
+	// size1: {0},{1},{2}; size2: {0,1},{0,2},{1,2} -> 6 subsets
+	if len(got) != 6 {
+		t.Fatalf("SubsetsUpTo(3,2) count = %d, want 6", len(got))
+	}
+	if len(got[0]) != 1 || len(got[5]) != 2 {
+		t.Fatalf("SubsetsUpTo ordering wrong: %v", got)
+	}
+}
+
+func TestMixedRadixSize(t *testing.T) {
+	if got := MixedRadixSize([]int{3, 4, 5}); got != 60 {
+		t.Fatalf("MixedRadixSize = %d, want 60", got)
+	}
+	if got := MixedRadixSize(nil); got != 0 {
+		t.Fatalf("MixedRadixSize(nil) = %d, want 0", got)
+	}
+}
+
+func TestArgminArgmaxAll(t *testing.T) {
+	xs := []float64{3, 1, 2, 1, 5}
+	min, mins := ArgminAll(xs)
+	if min != 1 || len(mins) != 2 || mins[0] != 1 || mins[1] != 3 {
+		t.Fatalf("ArgminAll = %v %v", min, mins)
+	}
+	max, maxs := ArgmaxAll(xs)
+	if max != 5 || len(maxs) != 1 || maxs[0] != 4 {
+		t.Fatalf("ArgmaxAll = %v %v", max, maxs)
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	min, max, mean := MinMaxMean([]float64{2, 4, 6})
+	if min != 2 || max != 6 || !almostEqual(mean, 4, 1e-12) {
+		t.Fatalf("MinMaxMean = %v %v %v", min, max, mean)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {20, 1}, {40, 2}, {50, 3}, {100, 5}, {95, 5}}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntHelpers(t *testing.T) {
+	if AbsInt(-3) != 3 || AbsInt(3) != 3 || AbsInt(0) != 0 {
+		t.Fatal("AbsInt broken")
+	}
+	if MinInt(2, 3) != 2 || MinInt(3, 2) != 2 {
+		t.Fatal("MinInt broken")
+	}
+	if MaxInt(2, 3) != 3 || MaxInt(3, 2) != 3 {
+		t.Fatal("MaxInt broken")
+	}
+}
+
+func TestContingencyTableBasic(t *testing.T) {
+	colA := []int{0, 0, 1, 1}
+	colB := []int{0, 1, 0, 1}
+	tab := NewContingencyTable([]int{0, 1}, [][]int{colA, colB}, []int{2, 2})
+	if tab.Total != 4 {
+		t.Fatalf("Total = %d, want 4", tab.Total)
+	}
+	if len(tab.Cells) != 4 {
+		t.Fatalf("Cells = %d, want 4", len(tab.Cells))
+	}
+	for _, c := range tab.Cells {
+		if c != 1 {
+			t.Fatalf("cell count = %d, want 1", c)
+		}
+	}
+}
+
+func TestContingencyL1SelfZero(t *testing.T) {
+	col := []int{0, 1, 2, 1, 0}
+	tab := NewContingencyTable([]int{0}, [][]int{col}, []int{3})
+	if d := tab.L1Distance(tab); d != 0 {
+		t.Fatalf("self L1 = %d, want 0", d)
+	}
+}
+
+func TestContingencyL1Disjoint(t *testing.T) {
+	a := NewContingencyTable([]int{0}, [][]int{{0, 0, 0}}, []int{2})
+	b := NewContingencyTable([]int{0}, [][]int{{1, 1, 1}}, []int{2})
+	if d := a.L1Distance(b); d != 6 {
+		t.Fatalf("disjoint L1 = %d, want 6", d)
+	}
+}
+
+func TestContingencyL1Symmetric(t *testing.T) {
+	f := func(rawA, rawB []uint8) bool {
+		colA := make([]int, len(rawA))
+		for i, v := range rawA {
+			colA[i] = int(v % 5)
+		}
+		colB := make([]int, len(rawB))
+		for i, v := range rawB {
+			colB[i] = int(v % 5)
+		}
+		ta := NewContingencyTable([]int{0}, [][]int{colA}, []int{5})
+		tb := NewContingencyTable([]int{0}, [][]int{colB}, []int{5})
+		return ta.L1Distance(tb) == tb.L1Distance(ta)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJointTransition(t *testing.T) {
+	orig := []int{0, 0, 1, 2}
+	masked := []int{0, 1, 1, 2}
+	m := JointTransition(orig, masked, 3)
+	if m[0][0] != 1 || m[0][1] != 1 || m[1][1] != 1 || m[2][2] != 1 {
+		t.Fatalf("JointTransition = %v", m)
+	}
+	sum := 0
+	for _, row := range m {
+		for _, c := range row {
+			sum += c
+		}
+	}
+	if sum != 4 {
+		t.Fatalf("total = %d, want 4", sum)
+	}
+}
+
+func TestJointTransitionPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched lengths")
+		}
+	}()
+	JointTransition([]int{0}, []int{0, 1}, 2)
+}

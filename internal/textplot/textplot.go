@@ -1,0 +1,260 @@
+// Package textplot renders the paper's two figure families as plain-text
+// charts: dispersion scatter plots of (IL, DR) pairs (Figures 1, 3, 5, ...)
+// and max/mean/min score evolution lines (Figures 2, 4, 6, ...). It also
+// exports the underlying series as CSV so the figures can be re-plotted
+// with any external tool.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Point is one (X, Y) mark on a scatter plot.
+type Point struct {
+	X, Y float64
+}
+
+// ScatterSeries is one named group of points drawn with one marker.
+type ScatterSeries struct {
+	Name   string
+	Marker rune
+	Points []Point
+}
+
+// LineSeries is one named trajectory; index is the x axis.
+type LineSeries struct {
+	Name   string
+	Marker rune
+	Values []float64
+}
+
+// Scatter renders the series on a width×height character canvas with axes
+// and a legend. Later series overdraw earlier ones where points collide.
+func Scatter(series []ScatterSeries, width, height int, title, xLabel, yLabel string) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, minY, maxY = 0, 1, 0, 1 // no points
+	}
+	minX, maxX = pad(minX, maxX)
+	minY, maxY = pad(minY, maxY)
+
+	canvas := newCanvas(width, height)
+	for _, s := range series {
+		for _, p := range s.Points {
+			cx := scale(p.X, minX, maxX, width)
+			cy := height - 1 - scale(p.Y, minY, maxY, height)
+			canvas[cy][cx] = s.Marker
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	writeFrame(&b, canvas, minX, maxX, minY, maxY, xLabel, yLabel)
+	writeLegend(&b, legendEntries(series))
+	return b.String()
+}
+
+// Lines renders trajectories over their index. Series longer than the
+// canvas are downsampled.
+func Lines(series []LineSeries, width, height int, title, xLabel, yLabel string) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	maxLen := 0
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+		for _, v := range s.Values {
+			minY, maxY = math.Min(minY, v), math.Max(maxY, v)
+		}
+	}
+	if maxLen == 0 {
+		minY, maxY = 0, 1
+	}
+	minY, maxY = pad(minY, maxY)
+
+	canvas := newCanvas(width, height)
+	for _, s := range series {
+		if len(s.Values) == 0 {
+			continue
+		}
+		for cx := 0; cx < width; cx++ {
+			idx := cx * (len(s.Values) - 1)
+			if width > 1 {
+				idx /= width - 1
+			}
+			v := s.Values[idx]
+			cy := height - 1 - scale(v, minY, maxY, height)
+			canvas[cy][cx] = s.Marker
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	writeFrame(&b, canvas, 0, float64(maxInt(maxLen-1, 1)), minY, maxY, xLabel, yLabel)
+	entries := make([]string, len(series))
+	for i, s := range series {
+		entries[i] = fmt.Sprintf("%c=%s", s.Marker, s.Name)
+	}
+	writeLegend(&b, entries)
+	return b.String()
+}
+
+// WriteScatterCSV emits "series,x,y" rows for external plotting.
+func WriteScatterCSV(w io.Writer, series []ScatterSeries, xName, yName string) error {
+	if _, err := fmt.Fprintf(w, "series,%s,%s\n", xName, yName); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%.6f,%.6f\n", s.Name, p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteLinesCSV emits "index,<series names...>" rows; shorter series leave
+// blanks past their end.
+func WriteLinesCSV(w io.Writer, series []LineSeries, indexName string) error {
+	names := make([]string, len(series))
+	maxLen := 0
+	for i, s := range series {
+		names[i] = s.Name
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s,%s\n", indexName, strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		fields := make([]string, 0, len(series)+1)
+		fields = append(fields, fmt.Sprintf("%d", i))
+		for _, s := range series {
+			if i < len(s.Values) {
+				fields = append(fields, fmt.Sprintf("%.6f", s.Values[i]))
+			} else {
+				fields = append(fields, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func newCanvas(width, height int) [][]rune {
+	canvas := make([][]rune, height)
+	for i := range canvas {
+		canvas[i] = make([]rune, width)
+		for j := range canvas[i] {
+			canvas[i][j] = ' '
+		}
+	}
+	return canvas
+}
+
+// scale maps v in [min,max] to a cell in [0,cells-1].
+func scale(v, min, max float64, cells int) int {
+	if max <= min {
+		return 0
+	}
+	c := int((v - min) / (max - min) * float64(cells-1))
+	if c < 0 {
+		c = 0
+	}
+	if c > cells-1 {
+		c = cells - 1
+	}
+	return c
+}
+
+// pad widens a degenerate range so scaling is well-defined.
+func pad(min, max float64) (float64, float64) {
+	if max > min {
+		return min, max
+	}
+	return min - 0.5, max + 0.5
+}
+
+func writeFrame(b *strings.Builder, canvas [][]rune, minX, maxX, minY, maxY float64, xLabel, yLabel string) {
+	height := len(canvas)
+	width := len(canvas[0])
+	yLo := fmt.Sprintf("%.1f", minY)
+	yHi := fmt.Sprintf("%.1f", maxY)
+	gutter := maxInt(len(yLo), len(yHi))
+	for i, row := range canvas {
+		label := strings.Repeat(" ", gutter)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", gutter, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", gutter, yLo)
+		case height / 2:
+			if yLabel != "" && len(yLabel) <= gutter {
+				label = fmt.Sprintf("%*s", gutter, yLabel)
+			}
+		}
+		fmt.Fprintf(b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(b, "%s +%s+\n", strings.Repeat(" ", gutter), strings.Repeat("-", width))
+	xLo := fmt.Sprintf("%.1f", minX)
+	xHi := fmt.Sprintf("%.1f", maxX)
+	mid := xLabel
+	inner := width - len(xLo) - len(xHi)
+	if len(mid) > inner-2 || inner < 2 {
+		mid = ""
+	}
+	leftPad := (inner - len(mid)) / 2
+	rightPad := inner - len(mid) - leftPad
+	fmt.Fprintf(b, "%s  %s%s%s%s\n", strings.Repeat(" ", gutter), xLo,
+		strings.Repeat(" ", maxInt(leftPad, 0)), mid+strings.Repeat(" ", maxInt(rightPad, 0)), xHi)
+}
+
+func legendEntries(series []ScatterSeries) []string {
+	entries := make([]string, len(series))
+	for i, s := range series {
+		entries[i] = fmt.Sprintf("%c=%s (%d)", s.Marker, s.Name, len(s.Points))
+	}
+	return entries
+}
+
+func writeLegend(b *strings.Builder, entries []string) {
+	if len(entries) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "  %s\n", strings.Join(entries, "   "))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScatterContainsMarkersAndLegend(t *testing.T) {
+	series := []ScatterSeries{
+		{Name: "initial", Marker: 'o', Points: []Point{{10, 20}, {30, 40}}},
+		{Name: "final", Marker: '*', Points: []Point{{15, 25}}},
+	}
+	out := Scatter(series, 40, 12, "Fig", "IL", "DR")
+	if !strings.Contains(out, "o") || !strings.Contains(out, "*") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o=initial (2)") || !strings.Contains(out, "*=final (1)") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Fig") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+}
+
+func TestScatterEmptySeries(t *testing.T) {
+	out := Scatter(nil, 30, 8, "", "x", "y")
+	if out == "" {
+		t.Fatal("empty scatter rendered nothing")
+	}
+	out = Scatter([]ScatterSeries{{Name: "e", Marker: '.', Points: nil}}, 30, 8, "", "x", "y")
+	if !strings.Contains(out, ".=e (0)") {
+		t.Fatalf("legend for empty series missing:\n%s", out)
+	}
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	// A single point gives degenerate ranges; must not panic or divide by
+	// zero.
+	out := Scatter([]ScatterSeries{{Name: "p", Marker: 'x', Points: []Point{{5, 5}}}}, 20, 6, "", "", "")
+	if !strings.Contains(out, "x") {
+		t.Fatalf("point missing:\n%s", out)
+	}
+}
+
+func TestScatterDimensions(t *testing.T) {
+	series := []ScatterSeries{{Name: "a", Marker: '#', Points: []Point{{0, 0}, {1, 1}}}}
+	out := Scatter(series, 50, 10, "t", "x", "y")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 canvas rows + axis + x labels + legend = 14
+	if len(lines) != 14 {
+		t.Fatalf("line count = %d, want 14:\n%s", len(lines), out)
+	}
+}
+
+func TestLinesRendersAllSeries(t *testing.T) {
+	series := []LineSeries{
+		{Name: "max", Marker: 'M', Values: []float64{40, 39, 38, 36}},
+		{Name: "mean", Marker: 'm', Values: []float64{30, 29.5, 29, 28}},
+		{Name: "min", Marker: '_', Values: []float64{25, 25, 24.8, 24.8}},
+	}
+	out := Lines(series, 40, 10, "Evolution", "generation", "score")
+	for _, marker := range []string{"M", "m", "_"} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("marker %s missing:\n%s", marker, out)
+		}
+	}
+	if !strings.Contains(out, "M=max") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestLinesEmptyAndShort(t *testing.T) {
+	if out := Lines(nil, 30, 8, "", "", ""); out == "" {
+		t.Fatal("empty lines rendered nothing")
+	}
+	out := Lines([]LineSeries{{Name: "one", Marker: 'o', Values: []float64{5}}}, 30, 8, "", "", "")
+	if !strings.Contains(out, "o") {
+		t.Fatalf("single-value series missing:\n%s", out)
+	}
+}
+
+func TestLinesDownsamplesLongSeries(t *testing.T) {
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	out := Lines([]LineSeries{{Name: "long", Marker: '+', Values: vals}}, 40, 10, "", "", "")
+	if !strings.Contains(out, "+") {
+		t.Fatal("downsampled series missing")
+	}
+}
+
+func TestWriteScatterCSV(t *testing.T) {
+	var buf bytes.Buffer
+	series := []ScatterSeries{
+		{Name: "a", Marker: 'a', Points: []Point{{1, 2}, {3, 4}}},
+		{Name: "b", Marker: 'b', Points: []Point{{5, 6}}},
+	}
+	if err := WriteScatterCSV(&buf, series, "il", "dr"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d, want 4:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "series,il,dr" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "b,5.000000,6.000000") {
+		t.Fatalf("row = %q", lines[3])
+	}
+}
+
+func TestWriteLinesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	series := []LineSeries{
+		{Name: "max", Values: []float64{3, 2}},
+		{Name: "min", Values: []float64{1}},
+	}
+	if err := WriteLinesCSV(&buf, series, "gen"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "gen,max,min" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "1,2.000000," {
+		t.Fatalf("ragged row = %q", lines[2])
+	}
+}
+
+func TestScaleClamps(t *testing.T) {
+	if got := scale(-5, 0, 10, 10); got != 0 {
+		t.Errorf("scale below min = %d", got)
+	}
+	if got := scale(15, 0, 10, 10); got != 9 {
+		t.Errorf("scale above max = %d", got)
+	}
+	if got := scale(5, 5, 5, 10); got != 0 {
+		t.Errorf("degenerate scale = %d", got)
+	}
+}

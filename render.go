@@ -1,0 +1,44 @@
+package evoprot
+
+import (
+	"evoprot/internal/core"
+	"evoprot/internal/textplot"
+)
+
+// RenderEvolution draws the max/mean/min score trajectories as a text
+// chart — the same view as the paper's evolution figures.
+func RenderEvolution(max, mean, min []float64, width, height int) string {
+	return textplot.Lines([]textplot.LineSeries{
+		{Name: "max", Marker: 'M', Values: max},
+		{Name: "mean", Marker: '+', Values: mean},
+		{Name: "min", Marker: '_', Values: min},
+	}, width, height, "score evolution", "generation", "score")
+}
+
+// RenderDispersion draws a population's (IL, DR) pairs as a text scatter —
+// the same view as the paper's dispersion figures.
+func RenderDispersion(pop []*core.Individual, width, height int) string {
+	points := make([]textplot.Point, len(pop))
+	for i, ind := range pop {
+		points[i] = textplot.Point{X: ind.Eval.IL, Y: ind.Eval.DR}
+	}
+	return textplot.Scatter([]textplot.ScatterSeries{
+		{Name: "population", Marker: '*', Points: points},
+	}, width, height, "population dispersion", "information loss", "DR")
+}
+
+// RenderPairs draws two labelled (IL, DR) point sets — e.g. an initial and
+// a final population — on one scatter.
+func RenderPairs(initial, final []Pair, width, height int) string {
+	toPoints := func(pairs []Pair) []textplot.Point {
+		out := make([]textplot.Point, len(pairs))
+		for i, p := range pairs {
+			out[i] = textplot.Point{X: p.IL, Y: p.DR}
+		}
+		return out
+	}
+	return textplot.Scatter([]textplot.ScatterSeries{
+		{Name: "initial", Marker: 'o', Points: toPoints(initial)},
+		{Name: "final", Marker: '*', Points: toPoints(final)},
+	}, width, height, "population dispersion", "information loss", "DR")
+}

@@ -1,0 +1,12 @@
+package evoprot
+
+import "math/rand/v2"
+
+// newTestRNG returns a fixed-seed RNG for facade tests; a fresh stream per
+// call keeps maskings independent of call order.
+var testRNGSeed uint64
+
+func newTestRNG() *rand.Rand {
+	testRNGSeed++
+	return rand.New(rand.NewPCG(testRNGSeed, 0xabcdef))
+}
