@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"evoprot/internal/core"
 	"evoprot/internal/datagen"
@@ -402,6 +403,95 @@ func BenchmarkEvaluateSingle(b *testing.B) {
 		if _, err := eval.Evaluate(masked); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Delta evaluation: before/after at paper scale (rows 0 selects the
+// paper's record count, 1066 for Flare) ---
+//
+// BenchmarkEvaluateFullPaperScale is the "before": a mutation offspring
+// re-scored from scratch. BenchmarkEvaluateDeltaPaperScale is the
+// "after": the same offspring scored by advancing the parent's
+// incremental state by the single changed cell. The acceptance bar for
+// the delta subsystem is >= 5x; the measured gap is orders of magnitude
+// (results are bit-identical — see the equivalence property tests in
+// internal/score and internal/core).
+
+// paperScaleDeltaFixture builds a paper-scale evaluator, a masked parent
+// with its prepared delta state, and a single-cell mutation child.
+func paperScaleDeltaFixture(b *testing.B) (*score.Evaluator, score.Evaluation, *score.DeltaState, *dataset.Dataset, []dataset.CellChange) {
+	b.Helper()
+	orig := datagen.MustByName("flare", 0, benchSeed)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, _ := orig.Schema().Indices(names...)
+	eval, err := score.NewEvaluator(orig, attrs, score.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parent := orig.Clone()
+	// A realistic parent: a few hundred cells moved off the original.
+	for i := 0; i < 300; i++ {
+		row, col := (i*37)%orig.Rows(), attrs[i%len(attrs)]
+		card := orig.Schema().Attr(col).Cardinality()
+		parent.Set(row, col, (parent.At(row, col)+1+i%(card-1))%card)
+	}
+	parentEval, err := eval.Evaluate(parent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state, err := eval.Prepare(parent)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	child := parent.Clone()
+	col := attrs[0]
+	card := orig.Schema().Attr(col).Cardinality()
+	old := child.At(7, col)
+	child.Set(7, col, (old+1)%card)
+	changes := []dataset.CellChange{{Row: 7, Col: col, Old: old, New: (old + 1) % card}}
+	return eval, parentEval, state, child, changes
+}
+
+func BenchmarkEvaluateFullPaperScale(b *testing.B) {
+	eval, _, _, child, _ := paperScaleDeltaFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Evaluate(child); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateDeltaPaperScale(b *testing.B) {
+	eval, parentEval, state, child, changes := paperScaleDeltaFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eval.EvaluateDelta(parentEval, state, child, changes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateDeltaSpeedup reports the measured full/delta ratio for
+// a paper-scale mutation offspring directly as a custom metric.
+func BenchmarkEvaluateDeltaSpeedup(b *testing.B) {
+	eval, parentEval, state, child, changes := paperScaleDeltaFixture(b)
+	var full, delta time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := eval.Evaluate(child); err != nil {
+			b.Fatal(err)
+		}
+		full += time.Since(start)
+		start = time.Now()
+		if _, _, err := eval.EvaluateDelta(parentEval, state, child, changes); err != nil {
+			b.Fatal(err)
+		}
+		delta += time.Since(start)
+	}
+	if delta > 0 {
+		b.ReportMetric(float64(full)/float64(delta), "full/delta_ratio")
 	}
 }
 

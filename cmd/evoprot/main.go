@@ -46,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		ckpt      = fs.String("checkpoint", "", "write engine snapshots to this path")
 		ckptEvery = fs.Int("checkpoint-every", 500, "snapshot interval in generations")
 		resume    = fs.String("resume", "", "resume from a snapshot written by -checkpoint")
+		noDelta   = fs.Bool("no-delta", false, "disable incremental (delta) offspring evaluation; identical results, much slower")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +72,7 @@ func run(args []string, stdout io.Writer) error {
 		Seed:                *seed,
 		InitWorkers:         *workers,
 		NoImprovementWindow: *stall,
+		DisableDelta:        *noDelta,
 	}
 	var engine *evoprot.Engine
 	if *resume != "" {

@@ -45,6 +45,30 @@
 //   - internal/core — the genetic algorithm itself
 //   - internal/experiment — the paper's experiments 1–3 as a harness
 //
+// # Incremental (delta) evaluation
+//
+// The paper's timing table (§3.2) shows fitness evaluation dominating run
+// time, yet each mutation changes a single cell and each crossover a gene
+// window. The engine therefore scores offspring incrementally: measures
+// implementing the infoloss.Incremental / risk.Incremental capability
+// interfaces precompute a per-individual State (contingency tables,
+// distance sums, transition matrices, nearest-neighbour and
+// agreement-pattern caches) and patch it per changed cell, and
+// score.Evaluator.EvaluateDelta routes each measure of the battery to its
+// fast path. CTBIL, DBIL, EBIL, ID, DBRL and PRL are incremental; RSRL is
+// the documented full-recompute fallback — a cell change shifts the
+// masked file's mid-ranks and with them every rank window, so it is
+// instead recomputed with a bitset-accelerated candidate intersection.
+// Measures configured with intruder-side sampling (MaxRecords) also fall
+// back to the full recompute.
+//
+// Delta evaluation is bit-for-bit identical to a full Evaluate — the
+// states keep exact integer summaries and share their final value
+// arithmetic with the full paths — so trajectories, snapshots and resumed
+// runs are unchanged; it is purely a speedup (two orders of magnitude per
+// mutation offspring at paper scale, see BenchmarkEvaluateDeltaSpeedup).
+// core.Config.DisableDelta restores full re-evaluation.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every figure and table.
 package evoprot

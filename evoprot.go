@@ -46,6 +46,11 @@ type (
 	EvaluatorConfig = score.Config
 	// Evaluation is a full fitness breakdown (IL, DR, Score, per-measure).
 	Evaluation = score.Evaluation
+	// DeltaState carries the incremental-evaluation state of one masked
+	// dataset; see Evaluator.Prepare and Evaluator.EvaluateDelta.
+	DeltaState = score.DeltaState
+	// CellChange records one cell edit, the unit of delta evaluation.
+	CellChange = dataset.CellChange
 	// Pair is an (IL, DR) point.
 	Pair = score.Pair
 	// Individual is one member of the evolutionary population.
@@ -63,6 +68,11 @@ type (
 	// ExperimentReport is the full outcome of an experiment run.
 	ExperimentReport = experiment.Report
 )
+
+// AllCrossover is the EngineConfig.MutationRate sentinel requesting an
+// explicit rate of 0.0 (every generation performs crossover); the zero
+// value selects the paper's default of 0.5.
+const AllCrossover = core.AllCrossover
 
 // DatasetNames returns the built-in synthetic dataset names:
 // housing, german, flare, adult.

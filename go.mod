@@ -1,0 +1,3 @@
+module evoprot
+
+go 1.24

@@ -11,6 +11,11 @@ import (
 
 func benchEngine(b *testing.B, forceOp string) *Engine {
 	b.Helper()
+	return benchEngineCfg(b, Config{Generations: 1 << 30, Seed: 5, ForceOp: forceOp, InitWorkers: 8})
+}
+
+func benchEngineCfg(b *testing.B, cfg Config) *Engine {
+	b.Helper()
 	d := datagen.MustByName("flare", 300, 5)
 	names, _ := datagen.ProtectedAttrs("flare")
 	attrs, err := d.Schema().Indices(names...)
@@ -31,7 +36,7 @@ func benchEngine(b *testing.B, forceOp string) *Engine {
 		}
 		pop = append(pop, NewIndividual(masked, protection.String(m)))
 	}
-	e, err := NewEngine(eval, pop, Config{Generations: 1 << 30, Seed: 5, ForceOp: forceOp, InitWorkers: 8})
+	e, err := NewEngine(eval, pop, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -54,6 +59,25 @@ func BenchmarkStepCrossover(b *testing.B) {
 	}
 }
 
+// BenchmarkStepMutationFullEval is the pre-delta baseline: identical
+// generations with incremental evaluation disabled. Compare against
+// BenchmarkStepMutation for the engine-level delta speedup.
+func BenchmarkStepMutationFullEval(b *testing.B) {
+	e := benchEngineCfg(b, Config{Generations: 1 << 30, Seed: 5, ForceOp: "mutation", InitWorkers: 8, DisableDelta: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkStepCrossoverFullEval(b *testing.B) {
+	e := benchEngineCfg(b, Config{Generations: 1 << 30, Seed: 5, ForceOp: "crossover", InitWorkers: 8, DisableDelta: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
 // BenchmarkMutateOperator isolates the genetic operator from fitness
 // evaluation: the paper's "rest of each generation" (0.02s of 120.34s).
 func BenchmarkMutateOperator(b *testing.B) {
@@ -62,6 +86,18 @@ func BenchmarkMutateOperator(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.mutate(parent)
+	}
+}
+
+// BenchmarkEvaluateOffspringDelta isolates a single mutation offspring's
+// delta evaluation (states already warm) from the operator itself.
+func BenchmarkEvaluateOffspringDelta(b *testing.B) {
+	e := benchEngine(b, "mutation")
+	parent := e.pop[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child, changes := e.mutate(parent)
+		e.evaluateOffspring(parent, child, changes)
 	}
 }
 

@@ -244,7 +244,14 @@ func TestMutateChangesExactlyOneGene(t *testing.T) {
 	e := testEngine(t, Config{Generations: 1, Seed: 17})
 	parent := e.Population()[3]
 	for i := 0; i < 50; i++ {
-		child := e.mutate(parent)
+		child, changes := e.mutate(parent)
+		if len(changes) != 1 {
+			t.Fatalf("mutation reported %d changes, want 1", len(changes))
+		}
+		ch := changes[0]
+		if child.Data.At(ch.Row, ch.Col) != ch.New || parent.Data.At(ch.Row, ch.Col) != ch.Old {
+			t.Fatalf("change record %+v does not match the datasets", ch)
+		}
 		if got := child.Data.Mismatches(parent.Data, e.attrs); got != 1 {
 			t.Fatalf("mutation changed %d genes, want 1", got)
 		}
@@ -264,7 +271,14 @@ func TestCrossoverIsComplementary(t *testing.T) {
 	p1, p2 := pop[0], pop[5]
 	parentDiff := p1.Data.Mismatches(p2.Data, e.attrs)
 	for i := 0; i < 50; i++ {
-		c1, c2 := e.cross(p1, p2)
+		c1, c2, ch1, ch2 := e.cross(p1, p2)
+		// The change lists are each child's exact diff against its parent.
+		if want := dataset.Diff(p1.Data, c1.Data, e.attrs); len(ch1) != len(want) {
+			t.Fatalf("c1 change list has %d entries, diff has %d", len(ch1), len(want))
+		}
+		if want := dataset.Diff(p2.Data, c2.Data, e.attrs); len(ch2) != len(want) {
+			t.Fatalf("c2 change list has %d entries, diff has %d", len(ch2), len(want))
+		}
 		// Every gene of c1 comes from p1 or p2 at the same position, and
 		// c2 takes the complementary choice.
 		rows := p1.Data.Rows()
@@ -455,7 +469,7 @@ func TestHistoryReturnsCopy(t *testing.T) {
 func TestCrossoverOriginLabels(t *testing.T) {
 	e := testEngine(t, Config{Generations: 1, Seed: 67})
 	pop := e.Population()
-	c1, c2 := e.cross(pop[0], pop[1])
+	c1, c2, _, _ := e.cross(pop[0], pop[1])
 	if c1.Origin != "crossover" || c2.Origin != "crossover" {
 		t.Fatalf("origins = %q, %q", c1.Origin, c2.Origin)
 	}
@@ -530,9 +544,10 @@ func TestAcceptanceBookkeeping(t *testing.T) {
 	}
 }
 
-func TestSingleCategoryAttributeMutation(t *testing.T) {
-	// A domain with one category cannot mutate; the operator must not
-	// panic and must return an identical chromosome.
+func TestSingleCategoryAttributesRejectedAtConstruction(t *testing.T) {
+	// When every protected domain has a single category no gene can ever
+	// change, so the engine refuses to start instead of silently no-oping
+	// on every mutation.
 	s := dataset.MustSchema(
 		dataset.MustAttribute("only", []string{"x"}, true),
 		dataset.MustAttribute("pad", []string{"a", "b"}, true),
@@ -543,12 +558,59 @@ func TestSingleCategoryAttributeMutation(t *testing.T) {
 		t.Fatal(err)
 	}
 	pop := []*Individual{NewIndividual(orig.Clone(), "a"), NewIndividual(orig.Clone(), "b")}
+	if _, err := NewEngine(eval, pop, Config{Generations: 1, Seed: 71}); err == nil {
+		t.Fatal("engine accepted a protected set where nothing can mutate")
+	}
+}
+
+func TestMutationSkipsSingleCategoryColumns(t *testing.T) {
+	// With a mixed protected set the gene draw must be restricted to the
+	// columns that can actually change: every mutation alters exactly one
+	// gene, never in the single-category column.
+	s := dataset.MustSchema(
+		dataset.MustAttribute("only", []string{"x"}, true),
+		dataset.MustAttribute("pad", []string{"a", "b", "c"}, true),
+	)
+	orig := dataset.New(s, 10)
+	eval, err := score.NewEvaluator(orig, []int{0, 1}, score.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := []*Individual{NewIndividual(orig.Clone(), "a"), NewIndividual(orig.Clone(), "b")}
 	e, err := NewEngine(eval, pop, Config{Generations: 1, Seed: 71})
 	if err != nil {
 		t.Fatal(err)
 	}
-	child := e.mutate(e.pop[0])
-	if child.Data.Mismatches(e.pop[0].Data, []int{0}) != 0 {
-		t.Fatal("mutation invented a category in a single-category domain")
+	for i := 0; i < 100; i++ {
+		child, changes := e.mutate(e.pop[0])
+		if got := child.Data.Mismatches(e.pop[0].Data, e.attrs); got != 1 {
+			t.Fatalf("mutation changed %d genes, want exactly 1", got)
+		}
+		if changes[0].Col != 1 {
+			t.Fatalf("mutation touched single-category column %d", changes[0].Col)
+		}
+	}
+}
+
+func TestAllCrossoverSentinel(t *testing.T) {
+	// MutationRate 0 keeps the paper's default of 0.5; the AllCrossover
+	// sentinel requests a true rate of 0.0.
+	e := testEngine(t, Config{Generations: 20, Seed: 101, MutationRate: AllCrossover})
+	for _, gs := range e.Run().History {
+		if gs.Op != "crossover" {
+			t.Fatalf("AllCrossover produced op %q", gs.Op)
+		}
+	}
+	if e.cfg.MutationRate != 0 {
+		t.Fatalf("effective rate = %v, want 0", e.cfg.MutationRate)
+	}
+	def := testEngine(t, Config{Generations: 1, Seed: 101})
+	if def.cfg.MutationRate != 0.5 {
+		t.Fatalf("zero-value rate resolved to %v, want 0.5", def.cfg.MutationRate)
+	}
+	// Other negative rates stay invalid.
+	eval, pop := testPopulation(t)
+	if _, err := NewEngine(eval, pop, Config{Generations: 1, MutationRate: -0.25}); err == nil {
+		t.Fatal("negative non-sentinel mutation rate accepted")
 	}
 }

@@ -14,10 +14,20 @@ import (
 // the original file), cached evaluations, history, counters and the RNG
 // stream — serializes to JSON and resumes bit-for-bit: a run of N+M
 // generations equals a run of N, a snapshot/resume, and a run of M.
+//
+// Incremental-evaluation states are deliberately not serialized: they are
+// derived data, large, and cheap to rebuild relative to a long run.
+// Resumed individuals start with a nil state, and the engine rebuilds one
+// lazily the first time each individual becomes a parent; because delta
+// evaluation is bit-identical to full evaluation, the resumed trajectory
+// is unchanged.
 
 // snapshotVersion guards against loading snapshots from incompatible
-// layouts.
-const snapshotVersion = 1
+// layouts or trajectories. Version 2: the mutation gene draw spans only
+// mutable columns and DBIL accumulates exact per-attribute integer sums,
+// so version-1 snapshots would silently resume on a different stochastic
+// trajectory with incomparable cached scores.
+const snapshotVersion = 2
 
 type snapshotJSON struct {
 	Version     int              `json:"version"`
@@ -141,6 +151,10 @@ func Resume(eval *score.Evaluator, r io.Reader, cfg Config) (*Engine, error) {
 		pop[i] = &Individual{Data: data, Eval: ij.Eval, Origin: ij.Origin}
 	}
 
+	mutable, err := mutableAttrs(eval)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		eval:      eval,
 		cfg:       c,
@@ -148,6 +162,7 @@ func Resume(eval *score.Evaluator, r io.Reader, cfg Config) (*Engine, error) {
 		pcg:       pcg,
 		pop:       pop,
 		attrs:     attrs,
+		mutable:   mutable,
 		history:   snap.History,
 		evals:     snap.Evals,
 		gen:       snap.Gen,

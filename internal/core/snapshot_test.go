@@ -92,7 +92,7 @@ func TestResumeRejectsCorruptSnapshots(t *testing.T) {
 
 	cases := map[string]string{
 		"not json":      "{broken",
-		"wrong version": strings.Replace(good, `"version":1`, `"version":99`, 1),
+		"wrong version": strings.Replace(good, `"version":2`, `"version":99`, 1),
 		"bad cells":     strings.Replace(good, `"cells":[`, `"cells":[99999,`, 1),
 	}
 	for name, payload := range cases {

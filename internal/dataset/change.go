@@ -1,0 +1,67 @@
+package dataset
+
+import "math/rand/v2"
+
+// CellChange records one cell edit of a dataset: the cell position, the
+// category index the cell held before the edit, and the one it holds after.
+//
+// Change lists are the currency of incremental (delta) fitness evaluation:
+// the genetic operators report exactly which genes they touched, and the
+// incremental measures patch their precomputed summaries per change instead
+// of rescanning the whole file. A list describes a *sequence* of edits
+// applied in order — consumers replay it front to back, so a later change
+// may touch a cell an earlier change produced.
+type CellChange struct {
+	// Row and Col locate the cell.
+	Row, Col int
+	// Old is the category index the cell held before the change.
+	Old int
+	// New is the category index the cell holds after the change.
+	New int
+}
+
+// RandomChange draws one uniformly-random in-domain cell edit over the
+// given columns, applies it to d and returns the change record. The new
+// value always differs from the old one. It panics when no listed column
+// has more than one category (no cell could ever change). Used by the
+// randomized delta-evaluation property tests and handy for any random
+// local search over a dataset.
+func RandomChange(rng *rand.Rand, d *Dataset, attrs []int) CellChange {
+	var mutable []int
+	for _, c := range attrs {
+		if d.Schema().Attr(c).Cardinality() > 1 {
+			mutable = append(mutable, c)
+		}
+	}
+	if len(mutable) == 0 {
+		panic("dataset: RandomChange over columns with no alternative categories")
+	}
+	row := rng.IntN(d.Rows())
+	col := mutable[rng.IntN(len(mutable))]
+	card := d.Schema().Attr(col).Cardinality()
+	old := d.At(row, col)
+	v := rng.IntN(card - 1)
+	if v >= old {
+		v++
+	}
+	d.Set(row, col, v)
+	return CellChange{Row: row, Col: col, Old: old, New: v}
+}
+
+// Diff returns the cell changes that turn `from` into `to` over the given
+// columns, in row-major order. Both datasets must have the same shape.
+func Diff(from, to *Dataset, attrs []int) []CellChange {
+	if from.rows != to.rows || from.schema.NumAttrs() != to.schema.NumAttrs() {
+		panic("dataset: Diff on datasets of different shape")
+	}
+	var out []CellChange
+	for r := 0; r < from.rows; r++ {
+		for _, c := range attrs {
+			u, v := from.At(r, c), to.At(r, c)
+			if u != v {
+				out = append(out, CellChange{Row: r, Col: c, Old: u, New: v})
+			}
+		}
+	}
+	return out
+}

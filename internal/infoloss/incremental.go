@@ -1,0 +1,332 @@
+package infoloss
+
+// Incremental (delta) evaluation: the evolutionary engine's operators
+// change one cell (mutation) or a gene window (crossover) of an otherwise
+// already-scored dataset, so rescoring from scratch wastes almost all of
+// its work. Measures that can do better implement Incremental: Prepare
+// builds a per-masked-file State whose summaries (contingency tables,
+// distance sums, transition matrices) support O(changes) patching, and
+// Apply advances the state by a change list and returns the new value.
+//
+// Every state stores exact integer summaries and funnels them through the
+// same value helpers the full Loss methods use (ctbilValue, dbilValue,
+// ebilTerm), so a delta-evaluated value is bit-for-bit identical to a full
+// recompute — the property internal/score relies on and the equivalence
+// tests assert.
+
+import (
+	"evoprot/internal/dataset"
+	"evoprot/internal/stats"
+)
+
+// State is an opaque per-masked-dataset summary maintained by an
+// Incremental measure. States are single-goroutine values; use Clone to
+// branch one (e.g. for an offspring that may be discarded).
+type State interface {
+	// CloneState returns an independent deep copy.
+	CloneState() State
+}
+
+// Incremental is the capability interface for measures that can rescore a
+// masked dataset in time proportional to the number of changed cells
+// rather than the dataset size.
+type Incremental interface {
+	Measure
+	// Prepare builds the incremental state for masked against orig over
+	// the protected attrs. A nil state means the measure cannot run
+	// incrementally under its current configuration; callers must fall
+	// back to Loss.
+	Prepare(orig, masked *dataset.Dataset, attrs []int) State
+	// Apply advances state by the given cell changes — which must describe
+	// edits to the state's masked file, applied in order — and returns the
+	// measure's value for the edited file. An empty change list returns
+	// the current value.
+	Apply(state State, changes []dataset.CellChange) float64
+}
+
+// Compile-time capability checks: the whole default battery is
+// incremental.
+var (
+	_ Incremental = (*CTBIL)(nil)
+	_ Incremental = (*DBIL)(nil)
+	_ Incremental = (*EBIL)(nil)
+)
+
+// --- CTBIL ---
+
+// ctbilTable is one contingency table of the CTBIL state: the masked
+// file's cell counts plus the running L1 distance to the original file's
+// (immutable, shared) table.
+type ctbilTable struct {
+	rel   []int // positions into attrs of the table's columns
+	cards []int
+	orig  map[stats.ContingencyKey]int // shared, never written
+	cells map[stats.ContingencyKey]int // owned
+	l1    int
+}
+
+type ctbilState struct {
+	n      int
+	attrs  []int
+	pos    map[int]int // column index -> position in attrs
+	tables []*ctbilTable
+	byPos  [][]int // attr position -> indices of tables containing it
+	mc     [][]int // masked protected columns, by attr position; owned
+}
+
+// CloneState implements State.
+func (s *ctbilState) CloneState() State {
+	out := &ctbilState{n: s.n, attrs: s.attrs, pos: s.pos, byPos: s.byPos}
+	out.tables = make([]*ctbilTable, len(s.tables))
+	for i, t := range s.tables {
+		cells := make(map[stats.ContingencyKey]int, len(t.cells))
+		for k, v := range t.cells {
+			cells[k] = v
+		}
+		out.tables[i] = &ctbilTable{rel: t.rel, cards: t.cards, orig: t.orig, cells: cells, l1: t.l1}
+	}
+	out.mc = make([][]int, len(s.mc))
+	for i, col := range s.mc {
+		own := make([]int, len(col))
+		copy(own, col)
+		out.mc[i] = own
+	}
+	return out
+}
+
+// Prepare implements Incremental.
+func (c *CTBIL) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
+	n := orig.Rows()
+	if n == 0 || len(attrs) == 0 {
+		return nil
+	}
+	st := &ctbilState{n: n, attrs: attrs, pos: make(map[int]int, len(attrs))}
+	for a, col := range attrs {
+		st.pos[col] = a
+	}
+	st.mc = make([][]int, len(attrs))
+	for a, col := range attrs {
+		st.mc[a] = masked.Column(col)
+	}
+	subsets := stats.SubsetsUpTo(len(attrs), c.maxDimOrDefault())
+	st.byPos = make([][]int, len(attrs))
+	for _, subset := range subsets {
+		cols := make([]int, len(subset))
+		for i, rel := range subset {
+			cols[i] = attrs[rel]
+		}
+		cards := orig.Schema().Cardinalities(cols)
+		co := make([][]int, len(cols))
+		cm := make([][]int, len(cols))
+		for i, col := range cols {
+			co[i] = orig.Column(col)
+			cm[i] = masked.Column(col)
+		}
+		to := stats.NewContingencyTable(cols, co, cards)
+		tm := stats.NewContingencyTable(cols, cm, cards)
+		rel := make([]int, len(subset))
+		copy(rel, subset)
+		t := &ctbilTable{rel: rel, cards: cards, orig: to.Cells, cells: tm.Cells, l1: to.L1Distance(tm)}
+		for _, a := range rel {
+			st.byPos[a] = append(st.byPos[a], len(st.tables))
+		}
+		st.tables = append(st.tables, t)
+	}
+	return st
+}
+
+// Apply implements Incremental.
+func (c *CTBIL) Apply(state State, changes []dataset.CellChange) float64 {
+	st := state.(*ctbilState)
+	for _, ch := range changes {
+		a0 := st.pos[ch.Col]
+		for _, ti := range st.byPos[a0] {
+			t := st.tables[ti]
+			var oldKey, newKey stats.ContingencyKey
+			for i, a := range t.rel {
+				v := st.mc[a][ch.Row]
+				if a == a0 {
+					v = ch.Old
+				}
+				oldKey = oldKey*stats.ContingencyKey(t.cards[i]) + stats.ContingencyKey(v)
+				if a == a0 {
+					v = ch.New
+				}
+				newKey = newKey*stats.ContingencyKey(t.cards[i]) + stats.ContingencyKey(v)
+			}
+			t.bump(oldKey, -1)
+			t.bump(newKey, +1)
+		}
+		st.mc[a0][ch.Row] = ch.New
+	}
+	l1 := make([]int, len(st.tables))
+	for i, t := range st.tables {
+		l1[i] = t.l1
+	}
+	return ctbilValue(l1, st.n)
+}
+
+// bump adjusts one masked cell count by ±1, keeping the L1 distance to the
+// original table in sync.
+func (t *ctbilTable) bump(key stats.ContingencyKey, delta int) {
+	o := t.orig[key]
+	m := t.cells[key]
+	t.l1 += stats.AbsInt(m+delta-o) - stats.AbsInt(m-o)
+	if m+delta == 0 {
+		delete(t.cells, key)
+	} else {
+		t.cells[key] = m + delta
+	}
+}
+
+// --- DBIL ---
+
+type dbilState struct {
+	n     int
+	orig  *dataset.Dataset // read-only
+	attrs []int
+	pos   map[int]int
+	sums  []int64 // per attr position: rank-displacement sum or mismatch count
+}
+
+// CloneState implements State.
+func (s *dbilState) CloneState() State {
+	sums := make([]int64, len(s.sums))
+	copy(sums, s.sums)
+	return &dbilState{n: s.n, orig: s.orig, attrs: s.attrs, pos: s.pos, sums: sums}
+}
+
+// Prepare implements Incremental.
+func (d *DBIL) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
+	n := orig.Rows()
+	if n == 0 || len(attrs) == 0 {
+		return nil
+	}
+	st := &dbilState{n: n, orig: orig, attrs: attrs, pos: make(map[int]int, len(attrs)), sums: make([]int64, len(attrs))}
+	for a, c := range attrs {
+		st.pos[c] = a
+		attr := orig.Schema().Attr(c)
+		if attr.Ordered() && attr.Cardinality() > 1 {
+			for r := 0; r < n; r++ {
+				st.sums[a] += int64(stats.AbsInt(orig.At(r, c) - masked.At(r, c)))
+			}
+		} else {
+			for r := 0; r < n; r++ {
+				if orig.At(r, c) != masked.At(r, c) {
+					st.sums[a]++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Apply implements Incremental.
+func (d *DBIL) Apply(state State, changes []dataset.CellChange) float64 {
+	st := state.(*dbilState)
+	for _, ch := range changes {
+		a := st.pos[ch.Col]
+		attr := st.orig.Schema().Attr(ch.Col)
+		o := st.orig.At(ch.Row, ch.Col)
+		if attr.Ordered() && attr.Cardinality() > 1 {
+			st.sums[a] += int64(stats.AbsInt(o-ch.New) - stats.AbsInt(o-ch.Old))
+		} else {
+			if o != ch.Old {
+				st.sums[a]--
+			}
+			if o != ch.New {
+				st.sums[a]++
+			}
+		}
+	}
+	return dbilValue(st.orig.Schema(), st.attrs, st.sums, st.n)
+}
+
+// --- EBIL ---
+
+type ebilState struct {
+	n     int
+	orig  *dataset.Dataset // read-only
+	attrs []int
+	pos   map[int]int
+	joint [][][]int // per attr position (nil when card < 2): card x card
+	terms []float64 // cached ebilTerm per attr position
+}
+
+// CloneState implements State.
+func (s *ebilState) CloneState() State {
+	out := &ebilState{n: s.n, orig: s.orig, attrs: s.attrs, pos: s.pos}
+	out.joint = make([][][]int, len(s.joint))
+	for a, j := range s.joint {
+		if j == nil {
+			continue
+		}
+		card := len(j)
+		backing := make([]int, card*card)
+		m := make([][]int, card)
+		for u := 0; u < card; u++ {
+			m[u] = backing[u*card : (u+1)*card]
+			copy(m[u], j[u])
+		}
+		out.joint[a] = m
+	}
+	out.terms = make([]float64, len(s.terms))
+	copy(out.terms, s.terms)
+	return out
+}
+
+// Prepare implements Incremental.
+func (e *EBIL) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
+	n := orig.Rows()
+	if n == 0 || len(attrs) == 0 {
+		return nil
+	}
+	st := &ebilState{
+		n: n, orig: orig, attrs: attrs,
+		pos:   make(map[int]int, len(attrs)),
+		joint: make([][][]int, len(attrs)),
+		terms: make([]float64, len(attrs)),
+	}
+	for a, c := range attrs {
+		st.pos[c] = a
+		card := orig.Schema().Attr(c).Cardinality()
+		if card < 2 {
+			continue // mirrors Loss: constant attributes are skipped
+		}
+		st.joint[a] = stats.JointTransition(orig.Column(c), masked.Column(c), card)
+		st.terms[a] = ebilTerm(st.joint[a], card, n)
+	}
+	return st
+}
+
+// Apply implements Incremental.
+func (e *EBIL) Apply(state State, changes []dataset.CellChange) float64 {
+	st := state.(*ebilState)
+	dirty := make(map[int]bool, len(changes))
+	for _, ch := range changes {
+		a := st.pos[ch.Col]
+		if st.joint[a] == nil {
+			continue // constant attribute; cannot actually change value
+		}
+		o := st.orig.At(ch.Row, ch.Col)
+		st.joint[a][o][ch.Old]--
+		st.joint[a][o][ch.New]++
+		dirty[a] = true
+	}
+	for a := range dirty {
+		st.terms[a] = ebilTerm(st.joint[a], len(st.joint[a]), st.n)
+	}
+	sum := 0.0
+	counted := 0
+	for a := range st.attrs {
+		if st.joint[a] == nil {
+			continue
+		}
+		sum += st.terms[a]
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return 100 * sum / float64(counted)
+}

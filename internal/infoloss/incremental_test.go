@@ -1,0 +1,115 @@
+package infoloss
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/dataset"
+)
+
+// TestIncrementalMatchesFullLoss drives each incremental measure through
+// long randomized change sequences — single-cell steps and multi-cell
+// batches — and demands bit-identical agreement with a full Loss recompute
+// at every step.
+func TestIncrementalMatchesFullLoss(t *testing.T) {
+	for _, seed := range []uint64{1, 17, 99} {
+		d, attrs := testData(t)
+		rng := rand.New(rand.NewPCG(seed, 5))
+		masked := scramble(d, attrs, seed)
+		for _, m := range Default() {
+			inc, ok := m.(Incremental)
+			if !ok {
+				t.Fatalf("%s does not implement Incremental", m.Name())
+			}
+			work := masked.Clone()
+			st := inc.Prepare(d, work, attrs)
+			if st == nil {
+				t.Fatalf("%s: Prepare returned nil", m.Name())
+			}
+			if got, want := inc.Apply(st, nil), m.Loss(d, work, attrs); got != want {
+				t.Fatalf("%s: Apply(nil) = %v, Prepare-time Loss = %v", m.Name(), got, want)
+			}
+			for step := 0; step < 120; step++ {
+				batch := 1 + rng.IntN(4)
+				changes := make([]dataset.CellChange, batch)
+				for i := range changes {
+					changes[i] = dataset.RandomChange(rng, work, attrs)
+				}
+				got := inc.Apply(st, changes)
+				want := m.Loss(d, work, attrs)
+				if got != want {
+					t.Fatalf("%s seed %d step %d: delta %v != full %v", m.Name(), seed, step, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalCloneIsolation branches a state, applies divergent
+// changes to the branch, and checks the original still tracks its own
+// file exactly.
+func TestIncrementalCloneIsolation(t *testing.T) {
+	d, attrs := testData(t)
+	rng := rand.New(rand.NewPCG(3, 9))
+	for _, m := range Default() {
+		inc := m.(Incremental)
+		work := scramble(d, attrs, 7)
+		st := inc.Prepare(d, work, attrs)
+
+		branchData := work.Clone()
+		branch := st.CloneState()
+		for i := 0; i < 25; i++ {
+			ch := dataset.RandomChange(rng, branchData, attrs)
+			inc.Apply(branch, []dataset.CellChange{ch})
+		}
+		// The original state must still describe `work`, untouched by the
+		// branch's evolution.
+		if got, want := inc.Apply(st, nil), m.Loss(d, work, attrs); got != want {
+			t.Fatalf("%s: original state corrupted by clone: %v != %v", m.Name(), got, want)
+		}
+		if got, want := inc.Apply(branch, nil), m.Loss(d, branchData, attrs); got != want {
+			t.Fatalf("%s: branch state wrong: %v != %v", m.Name(), got, want)
+		}
+	}
+}
+
+// TestIncrementalRevertRoundTrip applies a change and its inverse and
+// expects the exact original value back — the integer-state property that
+// underpins long delta chains.
+func TestIncrementalRevertRoundTrip(t *testing.T) {
+	d, attrs := testData(t)
+	rng := rand.New(rand.NewPCG(11, 2))
+	for _, m := range Default() {
+		inc := m.(Incremental)
+		work := scramble(d, attrs, 21)
+		st := inc.Prepare(d, work, attrs)
+		before := inc.Apply(st, nil)
+		for i := 0; i < 30; i++ {
+			ch := dataset.RandomChange(rng, work, attrs)
+			inc.Apply(st, []dataset.CellChange{ch})
+			inv := dataset.CellChange{Row: ch.Row, Col: ch.Col, Old: ch.New, New: ch.Old}
+			work.Set(ch.Row, ch.Col, ch.Old)
+			if got := inc.Apply(st, []dataset.CellChange{inv}); got != before {
+				t.Fatalf("%s: revert %d drifted: %v != %v", m.Name(), i, got, before)
+			}
+		}
+	}
+}
+
+// TestCTBILPrepareRespectsMaxDim checks the incremental state enumerates
+// the same table set as Loss for non-default dimensions.
+func TestCTBILPrepareRespectsMaxDim(t *testing.T) {
+	d, attrs := testData(t)
+	rng := rand.New(rand.NewPCG(13, 4))
+	for _, maxDim := range []int{1, 2, 3} {
+		c := &CTBIL{MaxDim: maxDim}
+		work := scramble(d, attrs, 31)
+		st := c.Prepare(d, work, attrs)
+		for i := 0; i < 20; i++ {
+			ch := dataset.RandomChange(rng, work, attrs)
+			if got, want := c.Apply(st, []dataset.CellChange{ch}), c.Loss(d, work, attrs); got != want {
+				t.Fatalf("MaxDim=%d: delta %v != full %v", maxDim, got, want)
+			}
+		}
+	}
+}

@@ -64,19 +64,23 @@ type CTBIL struct {
 // Name implements Measure.
 func (c *CTBIL) Name() string { return "CTBIL" }
 
+// maxDimOrDefault resolves the effective table-order bound.
+func (c *CTBIL) maxDimOrDefault() int {
+	if c.MaxDim <= 0 {
+		return 2
+	}
+	return c.MaxDim
+}
+
 // Loss implements Measure.
 func (c *CTBIL) Loss(orig, masked *dataset.Dataset, attrs []int) float64 {
-	maxDim := c.MaxDim
-	if maxDim <= 0 {
-		maxDim = 2
-	}
 	n := orig.Rows()
 	if n == 0 || len(attrs) == 0 {
 		return 0
 	}
-	subsets := stats.SubsetsUpTo(len(attrs), maxDim)
-	totalNorm := 0.0
-	for _, subset := range subsets {
+	subsets := stats.SubsetsUpTo(len(attrs), c.maxDimOrDefault())
+	l1 := make([]int, len(subsets))
+	for s, subset := range subsets {
 		cols := make([]int, len(subset))
 		for i, rel := range subset {
 			cols[i] = attrs[rel]
@@ -90,9 +94,21 @@ func (c *CTBIL) Loss(orig, masked *dataset.Dataset, attrs []int) float64 {
 		}
 		to := stats.NewContingencyTable(cols, co, cards)
 		tm := stats.NewContingencyTable(cols, cm, cards)
-		totalNorm += float64(to.L1Distance(tm)) / float64(2*n)
+		l1[s] = to.L1Distance(tm)
 	}
-	return 100 * totalNorm / float64(len(subsets))
+	return ctbilValue(l1, n)
+}
+
+// ctbilValue folds the per-table L1 distances into the measure value. Both
+// the full and the incremental path end here, with identical float
+// operations in identical order, so delta evaluation is bit-for-bit equal
+// to a full recompute.
+func ctbilValue(l1 []int, n int) float64 {
+	totalNorm := 0.0
+	for _, d := range l1 {
+		totalNorm += float64(d) / float64(2*n)
+	}
+	return 100 * totalNorm / float64(len(l1))
 }
 
 // DBIL is distance-based information loss: the mean per-cell distance
@@ -111,24 +127,39 @@ func (d *DBIL) Loss(orig, masked *dataset.Dataset, attrs []int) float64 {
 	if n == 0 || len(attrs) == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, c := range attrs {
+	sums := make([]int64, len(attrs))
+	for a, c := range attrs {
 		attr := orig.Schema().Attr(c)
-		card := attr.Cardinality()
-		if attr.Ordered() && card > 1 {
-			denom := float64(card - 1)
+		if attr.Ordered() && attr.Cardinality() > 1 {
 			for r := 0; r < n; r++ {
-				sum += float64(stats.AbsInt(orig.At(r, c)-masked.At(r, c))) / denom
+				sums[a] += int64(stats.AbsInt(orig.At(r, c) - masked.At(r, c)))
 			}
 		} else {
 			for r := 0; r < n; r++ {
 				if orig.At(r, c) != masked.At(r, c) {
-					sum++
+					sums[a]++
 				}
 			}
 		}
 	}
-	return 100 * sum / float64(n*len(attrs))
+	return dbilValue(orig.Schema(), attrs, sums, n)
+}
+
+// dbilValue folds the exact per-attribute distance sums — rank
+// displacements for ordered attributes, mismatch counts for nominal ones —
+// into the measure value. Shared by the full and incremental paths so both
+// produce bit-identical results.
+func dbilValue(s *dataset.Schema, attrs []int, sums []int64, n int) float64 {
+	total := 0.0
+	for a, c := range attrs {
+		attr := s.Attr(c)
+		if attr.Ordered() && attr.Cardinality() > 1 {
+			total += float64(sums[a]) / float64(attr.Cardinality()-1)
+		} else {
+			total += float64(sums[a])
+		}
+	}
+	return 100 * total / float64(n*len(attrs))
 }
 
 // EBIL is entropy-based information loss: per attribute it estimates the
@@ -158,27 +189,34 @@ func (e *EBIL) Loss(orig, masked *dataset.Dataset, attrs []int) float64 {
 			continue // a constant attribute carries no information to lose
 		}
 		joint := stats.JointTransition(orig.Column(c), masked.Column(c), card)
-		// H(U|V) = sum_v p(v) H(U | V=v).
-		hcond := 0.0
-		for v := 0; v < card; v++ {
-			colTotal := 0
-			for u := 0; u < card; u++ {
-				colTotal += joint[u][v]
-			}
-			if colTotal == 0 {
-				continue
-			}
-			col := make([]int, card)
-			for u := 0; u < card; u++ {
-				col[u] = joint[u][v]
-			}
-			hcond += float64(colTotal) / float64(n) * stats.Entropy(col)
-		}
-		sum += hcond / stats.Log2(float64(card))
+		sum += ebilTerm(joint, card, n)
 		counted++
 	}
 	if counted == 0 {
 		return 0
 	}
 	return 100 * sum / float64(counted)
+}
+
+// ebilTerm computes one attribute's normalized conditional entropy
+// H(orig|masked)/log2(card) from its dense joint transition matrix. Shared
+// by the full and incremental paths so both produce bit-identical results.
+func ebilTerm(joint [][]int, card, n int) float64 {
+	// H(U|V) = sum_v p(v) H(U | V=v).
+	hcond := 0.0
+	for v := 0; v < card; v++ {
+		colTotal := 0
+		for u := 0; u < card; u++ {
+			colTotal += joint[u][v]
+		}
+		if colTotal == 0 {
+			continue
+		}
+		col := make([]int, card)
+		for u := 0; u < card; u++ {
+			col[u] = joint[u][v]
+		}
+		hcond += float64(colTotal) / float64(n) * stats.Entropy(col)
+	}
+	return hcond / stats.Log2(float64(card))
 }

@@ -1,0 +1,423 @@
+package risk
+
+// Incremental (delta) evaluation for the disclosure-risk battery. See the
+// twin file internal/infoloss/incremental.go for the overall contract:
+// Prepare builds a per-masked-file State, Apply advances it by a cell
+// change list and returns the measure's value, and every state keeps
+// exact integer summaries so delta values are bit-for-bit identical to a
+// full recompute.
+//
+// Coverage:
+//
+//   - ID keeps one integer (the disclosed-window count) and per-attribute
+//     contribution tables that depend only on the original file.
+//   - DBRL caches each original record's nearest-masked-record distance,
+//     tie count and true-match distance. A cell change moves one masked
+//     record, so exactly one distance per original record is replaced;
+//     only when the unique minimum is displaced upward does one row
+//     rescan (O(n)) occur — rare in practice, so updates are ~O(n·attrs)
+//     per changed cell.
+//   - PRL caches each original record's histogram of agreement patterns
+//     against all masked records. A cell change flips one pattern bit for
+//     the original records whose value matches the old or new category;
+//     EM then reruns over the (tiny) pattern tally and records are
+//     re-linked from their histograms in O(n·2^attrs).
+//   - RSRL has no incremental state (Prepare returns nil): a single cell
+//     change shifts the masked file's mid-ranks and with them every rank
+//     window, so there is no cheap patch. Callers fall back to the full
+//     Risk, which is itself bitset-accelerated (see rsrl.go) and cheap
+//     enough to recompute per offspring.
+//
+// The DBRL and PRL states support only exact linkage (MaxRecords == 0,
+// every record linked); with sampling configured Prepare returns nil and
+// callers fall back to the sampled full recompute.
+
+import (
+	"math"
+
+	"evoprot/internal/dataset"
+)
+
+// State is an opaque per-masked-dataset summary maintained by an
+// Incremental measure. States are single-goroutine values; use CloneState
+// to branch one.
+type State interface {
+	// CloneState returns an independent deep copy.
+	CloneState() State
+}
+
+// Incremental is the capability interface for measures that can rescore a
+// masked dataset in time roughly proportional to the number of changed
+// cells rather than quadratic in the dataset size.
+type Incremental interface {
+	Measure
+	// Prepare builds the incremental state for masked against orig over
+	// the protected attrs. A nil state means the measure cannot run
+	// incrementally under its current configuration; callers must fall
+	// back to Risk.
+	Prepare(orig, masked *dataset.Dataset, attrs []int) State
+	// Apply advances state by the given cell changes — which must describe
+	// edits to the state's masked file, applied in order — and returns the
+	// measure's value for the edited file. An empty change list returns
+	// the current value.
+	Apply(state State, changes []dataset.CellChange) float64
+}
+
+// Compile-time capability checks. RankIntervalLinkage is deliberately
+// absent: it is the documented full-recompute fallback.
+var (
+	_ Incremental = (*IntervalDisclosure)(nil)
+	_ Incremental = (*DistanceLinkage)(nil)
+	_ Incremental = (*ProbabilisticLinkage)(nil)
+)
+
+// --- ID (interval disclosure) ---
+
+type idState struct {
+	n         int
+	orig      *dataset.Dataset // read-only
+	numAttrs  int
+	maxP      int
+	pos       map[int]int
+	contrib   [][][]int // per attr position: card x card, shared (orig-only)
+	disclosed int
+}
+
+// CloneState implements State.
+func (s *idState) CloneState() State {
+	out := *s
+	return &out
+}
+
+// Prepare implements Incremental.
+func (id *IntervalDisclosure) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
+	n := orig.Rows()
+	if n == 0 || len(attrs) == 0 {
+		return nil
+	}
+	maxP := id.maxPOrDefault()
+	st := &idState{
+		n: n, orig: orig, numAttrs: len(attrs), maxP: maxP,
+		pos:     make(map[int]int, len(attrs)),
+		contrib: make([][][]int, len(attrs)),
+	}
+	for a, c := range attrs {
+		st.pos[c] = a
+		st.contrib[a] = idContrib(orig, c, maxP)
+		oc := orig.Column(c)
+		mc := masked.Column(c)
+		for r := 0; r < n; r++ {
+			st.disclosed += st.contrib[a][oc[r]][mc[r]]
+		}
+	}
+	return st
+}
+
+// Apply implements Incremental.
+func (id *IntervalDisclosure) Apply(state State, changes []dataset.CellChange) float64 {
+	st := state.(*idState)
+	for _, ch := range changes {
+		a := st.pos[ch.Col]
+		u := st.orig.At(ch.Row, ch.Col)
+		st.disclosed += st.contrib[a][u][ch.New] - st.contrib[a][u][ch.Old]
+	}
+	return idValue(st.disclosed, st.n, st.numAttrs, st.maxP)
+}
+
+// --- DBRL (distance-based record linkage) ---
+
+type dbrlState struct {
+	n      int
+	attrs  []int
+	pos    map[int]int
+	oc     [][]int     // original protected columns, shared read-only
+	mc     [][]int     // masked protected columns, owned
+	tables []distTable // shared (schema-only)
+	// Per original record: distance to its nearest masked record, how many
+	// masked records tie at that distance, and the distance to its true
+	// masked counterpart.
+	best     []int64
+	count    []int32
+	trueDist []int64
+}
+
+// CloneState implements State.
+func (s *dbrlState) CloneState() State {
+	out := &dbrlState{n: s.n, attrs: s.attrs, pos: s.pos, oc: s.oc, tables: s.tables}
+	out.mc = make([][]int, len(s.mc))
+	for a, col := range s.mc {
+		own := make([]int, len(col))
+		copy(own, col)
+		out.mc[a] = own
+	}
+	out.best = append([]int64(nil), s.best...)
+	out.count = append([]int32(nil), s.count...)
+	out.trueDist = append([]int64(nil), s.trueDist...)
+	return out
+}
+
+// Prepare implements Incremental.
+func (dl *DistanceLinkage) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
+	n := orig.Rows()
+	if n == 0 || len(attrs) == 0 || sampleStride(n, dl.MaxRecords) != 1 {
+		return nil
+	}
+	st := &dbrlState{
+		n: n, attrs: attrs, pos: make(map[int]int, len(attrs)),
+		oc: columns(orig, attrs), mc: columns(masked, attrs),
+		tables:   distanceTables(orig, attrs),
+		best:     make([]int64, n),
+		count:    make([]int32, n),
+		trueDist: make([]int64, n),
+	}
+	for a, c := range attrs {
+		st.pos[c] = a
+	}
+	for i := 0; i < n; i++ {
+		st.rescan(i)
+		st.trueDist[i] = st.dist(i, i)
+	}
+	return st
+}
+
+// dist returns the mixed categorical distance between original record i
+// and masked record j under the state's current masked columns.
+func (s *dbrlState) dist(i, j int) int64 {
+	var d int64
+	for a := range s.tables {
+		d += s.tables[a].at(s.oc[a][i], s.mc[a][j])
+	}
+	return d
+}
+
+// rescan recomputes record i's nearest-distance and tie count from
+// scratch against the current masked columns.
+func (s *dbrlState) rescan(i int) {
+	best := int64(1) << 62
+	count := int32(0)
+	for j := 0; j < s.n; j++ {
+		d := s.dist(i, j)
+		switch {
+		case d < best:
+			best, count = d, 1
+		case d == best:
+			count++
+		}
+	}
+	s.best[i], s.count[i] = best, count
+}
+
+// Apply implements Incremental.
+func (dl *DistanceLinkage) Apply(state State, changes []dataset.CellChange) float64 {
+	st := state.(*dbrlState)
+	for _, ch := range changes {
+		a0 := st.pos[ch.Col]
+		j0 := ch.Row
+		t := st.tables[a0]
+		st.mc[a0][j0] = ch.New
+		for i := 0; i < st.n; i++ {
+			dOldA, dNewA := t.at(st.oc[a0][i], ch.Old), t.at(st.oc[a0][i], ch.New)
+			if dOldA == dNewA && i != j0 {
+				continue // the replaced distance is unchanged
+			}
+			var base int64
+			for a := range st.tables {
+				if a != a0 {
+					base += st.tables[a].at(st.oc[a][i], st.mc[a][j0])
+				}
+			}
+			dOld, dNew := base+dOldA, base+dNewA
+			if i == j0 {
+				st.trueDist[i] = dNew
+			}
+			if dOld == dNew {
+				continue
+			}
+			// Replace one element of record i's distance multiset.
+			switch {
+			case dOld > st.best[i]:
+				if dNew < st.best[i] {
+					st.best[i], st.count[i] = dNew, 1
+				} else if dNew == st.best[i] {
+					st.count[i]++
+				}
+			default: // dOld == st.best[i]; dOld < best is impossible
+				if st.count[i] > 1 {
+					st.count[i]--
+					if dNew < st.best[i] {
+						st.best[i], st.count[i] = dNew, 1
+					} else if dNew == st.best[i] {
+						st.count[i]++
+					}
+				} else if dNew <= dOld {
+					st.best[i] = dNew // still the unique minimum
+				} else {
+					st.rescan(i) // the unique minimum moved away
+				}
+			}
+		}
+	}
+	credit := 0.0
+	for i := 0; i < st.n; i++ {
+		if st.trueDist[i] == st.best[i] {
+			credit += 1 / float64(st.count[i])
+		}
+	}
+	return 100 * credit / float64(st.n)
+}
+
+// --- PRL (probabilistic record linkage) ---
+
+type prlState struct {
+	n        int
+	numAttrs int
+	iters    int
+	pos      map[int]int
+	oc       [][]int   // shared read-only
+	mc       [][]int   // owned
+	ocByCat  [][][]int // shared: per attr, per category, original record indices
+	// cnt[i*numPat+pat] counts masked records j with pattern(i,j) == pat;
+	// patCount aggregates cnt over all i (exact integers in float64).
+	cnt      []int32
+	patCount []float64
+	truePat  []int32 // pattern(i, i) per record
+}
+
+// CloneState implements State.
+func (s *prlState) CloneState() State {
+	out := &prlState{n: s.n, numAttrs: s.numAttrs, iters: s.iters, pos: s.pos, oc: s.oc, ocByCat: s.ocByCat}
+	out.mc = make([][]int, len(s.mc))
+	for a, col := range s.mc {
+		own := make([]int, len(col))
+		copy(own, col)
+		out.mc[a] = own
+	}
+	out.cnt = append([]int32(nil), s.cnt...)
+	out.patCount = append([]float64(nil), s.patCount...)
+	out.truePat = append([]int32(nil), s.truePat...)
+	return out
+}
+
+// Prepare implements Incremental.
+func (pl *ProbabilisticLinkage) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
+	n := orig.Rows()
+	if n == 0 || len(attrs) == 0 || len(attrs) > 16 || sampleStride(n, pl.MaxRecords) != 1 {
+		return nil
+	}
+	if 1<<len(attrs) > n {
+		// The per-record pattern histograms cost O(n·2^attrs) to store,
+		// clone and re-link; once the pattern space outgrows the record
+		// count the full O(n²·attrs) recompute is the cheaper path.
+		return nil
+	}
+	iters := pl.EMIters
+	if iters <= 0 {
+		iters = 30
+	}
+	numPat := 1 << len(attrs)
+	st := &prlState{
+		n: n, numAttrs: len(attrs), iters: iters,
+		pos: make(map[int]int, len(attrs)),
+		oc:  columns(orig, attrs), mc: columns(masked, attrs),
+		cnt:      make([]int32, n*numPat),
+		patCount: make([]float64, numPat),
+		truePat:  make([]int32, n),
+	}
+	st.ocByCat = make([][][]int, len(attrs))
+	for a, c := range attrs {
+		st.pos[c] = a
+		card := orig.Schema().Attr(c).Cardinality()
+		st.ocByCat[a] = make([][]int, card)
+		for i := 0; i < n; i++ {
+			v := st.oc[a][i]
+			st.ocByCat[a][v] = append(st.ocByCat[a][v], i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := st.cnt[i*numPat : (i+1)*numPat]
+		for j := 0; j < n; j++ {
+			row[pattern(i, j, st.oc, st.mc)]++
+		}
+		st.truePat[i] = int32(pattern(i, i, st.oc, st.mc))
+		for pat, c := range row {
+			st.patCount[pat] += float64(c)
+		}
+	}
+	return st
+}
+
+// Apply implements Incremental.
+func (pl *ProbabilisticLinkage) Apply(state State, changes []dataset.CellChange) float64 {
+	st := state.(*prlState)
+	numPat := 1 << st.numAttrs
+	for _, ch := range changes {
+		a0 := st.pos[ch.Col]
+		j0 := ch.Row
+		// Only original records agreeing with the old or new category see
+		// their pattern against masked record j0 flip bit a0.
+		for _, cat := range []int{ch.Old, ch.New} {
+			for _, i := range st.ocByCat[a0][cat] {
+				patOld := 0
+				for a := range st.oc {
+					v := st.mc[a][j0]
+					if a == a0 {
+						v = ch.Old
+					}
+					if st.oc[a][i] == v {
+						patOld |= 1 << a
+					}
+				}
+				patNew := patOld &^ (1 << a0)
+				if st.oc[a0][i] == ch.New {
+					patNew |= 1 << a0
+				}
+				st.cnt[i*numPat+patOld]--
+				st.cnt[i*numPat+patNew]++
+				st.patCount[patOld]--
+				st.patCount[patNew]++
+			}
+		}
+		st.mc[a0][j0] = ch.New
+		// The true-match pattern of record j0 itself.
+		st.truePat[j0] = int32(pattern(j0, j0, st.oc, st.mc))
+	}
+
+	// Re-estimate and re-link from the pattern tallies — identical inputs
+	// to the full Risk, so identical m/u estimates and weights.
+	totalPairs := float64(st.n) * float64(st.n)
+	m, u, _ := emEstimate(st.patCount, st.numAttrs, totalPairs, float64(st.n), st.iters)
+	weights := make([]float64, numPat)
+	for pat := 0; pat < numPat; pat++ {
+		w := 0.0
+		for a := 0; a < st.numAttrs; a++ {
+			if pat&(1<<a) != 0 {
+				w += math.Log2(m[a] / u[a])
+			} else {
+				w += math.Log2((1 - m[a]) / (1 - u[a]))
+			}
+		}
+		weights[pat] = w
+	}
+	credit := 0.0
+	for i := 0; i < st.n; i++ {
+		row := st.cnt[i*numPat : (i+1)*numPat]
+		best := math.Inf(-1)
+		count := int32(0)
+		for pat, c := range row {
+			if c == 0 {
+				continue
+			}
+			w := weights[pat]
+			switch {
+			case w > best:
+				best, count = w, c
+			case w == best:
+				count += c
+			}
+		}
+		if weights[st.truePat[i]] == best && row[st.truePat[i]] > 0 {
+			credit += 1 / float64(count)
+		}
+	}
+	return 100 * credit / float64(st.n)
+}

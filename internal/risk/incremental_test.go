@@ -1,0 +1,219 @@
+package risk
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/dataset"
+)
+
+// incrementalDefaults returns the default battery's incremental measures.
+func incrementalDefaults(t *testing.T) []Incremental {
+	t.Helper()
+	var out []Incremental
+	for _, m := range Default() {
+		if inc, ok := m.(Incremental); ok {
+			out = append(out, inc)
+		} else if m.Name() != "RSRL" {
+			t.Fatalf("%s unexpectedly lacks an incremental implementation", m.Name())
+		}
+	}
+	if len(out) != 3 {
+		t.Fatalf("expected 3 incremental risk measures, got %d", len(out))
+	}
+	return out
+}
+
+// TestIncrementalMatchesFullRisk drives each incremental risk measure
+// through randomized change sequences and demands bit-identical agreement
+// with a full Risk recompute at every step.
+func TestIncrementalMatchesFullRisk(t *testing.T) {
+	for _, seed := range []uint64{2, 19, 101} {
+		d, attrs := testData(t)
+		rng := rand.New(rand.NewPCG(seed, 6))
+		for _, inc := range incrementalDefaults(t) {
+			work := scramble(d, attrs, seed)
+			st := inc.Prepare(d, work, attrs)
+			if st == nil {
+				t.Fatalf("%s: Prepare returned nil", inc.Name())
+			}
+			if got, want := inc.Apply(st, nil), inc.Risk(d, work, attrs); got != want {
+				t.Fatalf("%s: Apply(nil) = %v, full = %v", inc.Name(), got, want)
+			}
+			for step := 0; step < 60; step++ {
+				batch := 1 + rng.IntN(3)
+				changes := make([]dataset.CellChange, batch)
+				for i := range changes {
+					changes[i] = dataset.RandomChange(rng, work, attrs)
+				}
+				got := inc.Apply(st, changes)
+				want := inc.Risk(d, work, attrs)
+				if got != want {
+					t.Fatalf("%s seed %d step %d: delta %v != full %v", inc.Name(), seed, step, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalFromIdentityMasking starts the chain from the
+// identity masking (the best-case for linkage: every record its own
+// nearest neighbour), where DBRL's unique-minimum displacement path is
+// exercised heavily.
+func TestIncrementalFromIdentityMasking(t *testing.T) {
+	d, attrs := uniqueData(t, 120)
+	rng := rand.New(rand.NewPCG(23, 8))
+	for _, inc := range incrementalDefaults(t) {
+		work := d.Clone()
+		st := inc.Prepare(d, work, attrs)
+		for step := 0; step < 80; step++ {
+			ch := dataset.RandomChange(rng, work, attrs)
+			got := inc.Apply(st, []dataset.CellChange{ch})
+			want := inc.Risk(d, work, attrs)
+			if got != want {
+				t.Fatalf("%s step %d: delta %v != full %v", inc.Name(), step, got, want)
+			}
+		}
+	}
+}
+
+// TestIncrementalCloneIsolation branches a state, mutates the branch, and
+// checks the original still tracks its own file exactly.
+func TestIncrementalCloneIsolation(t *testing.T) {
+	d, attrs := testData(t)
+	rng := rand.New(rand.NewPCG(5, 11))
+	for _, inc := range incrementalDefaults(t) {
+		work := scramble(d, attrs, 13)
+		st := inc.Prepare(d, work, attrs)
+
+		branchData := work.Clone()
+		branch := st.CloneState()
+		for i := 0; i < 20; i++ {
+			ch := dataset.RandomChange(rng, branchData, attrs)
+			inc.Apply(branch, []dataset.CellChange{ch})
+		}
+		if got, want := inc.Apply(st, nil), inc.Risk(d, work, attrs); got != want {
+			t.Fatalf("%s: original state corrupted by clone: %v != %v", inc.Name(), got, want)
+		}
+		if got, want := inc.Apply(branch, nil), inc.Risk(d, branchData, attrs); got != want {
+			t.Fatalf("%s: branch state wrong: %v != %v", inc.Name(), got, want)
+		}
+	}
+}
+
+// TestSampledLinkageHasNoIncrementalState checks the documented contract:
+// with intruder-side sampling configured the linkage states are
+// unavailable and callers must use the full (sampled) recompute.
+func TestSampledLinkageHasNoIncrementalState(t *testing.T) {
+	d, attrs := testData(t)
+	if st := (&DistanceLinkage{MaxRecords: 50}).Prepare(d, d.Clone(), attrs); st != nil {
+		t.Error("sampled DBRL returned an incremental state")
+	}
+	if st := (&ProbabilisticLinkage{MaxRecords: 50}).Prepare(d, d.Clone(), attrs); st != nil {
+		t.Error("sampled PRL returned an incremental state")
+	}
+}
+
+// rsrlReference is the literal pairwise O(n²) rank-interval linkage the
+// bitset implementation in rsrl.go replaced; kept as the oracle for the
+// equivalence property below.
+func rsrlReference(rl *RankIntervalLinkage, orig, masked *dataset.Dataset, attrs []int) float64 {
+	p := rl.P
+	if p <= 0 {
+		p = 15
+	}
+	n := orig.Rows()
+	if n == 0 || len(attrs) == 0 {
+		return 0
+	}
+	oc, mc := columns(orig, attrs), columns(masked, attrs)
+	lo, hi := rsrlWindows(orig, oc, mc, attrs, p)
+	stride := sampleStride(n, rl.MaxRecords)
+	credit := 0.0
+	for i := 0; i < n; i += stride {
+		count := 0
+		containsTrue := false
+		for j := 0; j < n; j++ {
+			inAll := true
+			for a := range attrs {
+				u := oc[a][i]
+				v := mc[a][j]
+				if v < lo[a][u] || v > hi[a][u] {
+					inAll = false
+					break
+				}
+			}
+			if inAll {
+				count++
+				if j == i {
+					containsTrue = true
+				}
+			}
+		}
+		if containsTrue {
+			credit += 1 / float64(count)
+		}
+	}
+	return 100 * credit / float64(sampledCount(n, stride))
+}
+
+// TestRSRLBitsetMatchesPairwiseReference property-tests the accelerated
+// RSRL against the literal pairwise scan across maskings, window widths
+// and sampling strides.
+func TestRSRLBitsetMatchesPairwiseReference(t *testing.T) {
+	d, attrs := testData(t)
+	rng := rand.New(rand.NewPCG(31, 14))
+	maskings := []*dataset.Dataset{d.Clone(), scramble(d, attrs, 3), scramble(d, attrs, 77)}
+	work := d.Clone()
+	for i := 0; i < 40; i++ {
+		dataset.RandomChange(rng, work, attrs)
+	}
+	maskings = append(maskings, work)
+	for _, p := range []float64{0, 1, 5, 15, 60, 100} {
+		for _, maxRecords := range []int{0, 70} {
+			rl := &RankIntervalLinkage{P: p, MaxRecords: maxRecords}
+			for mi, masked := range maskings {
+				got := rl.Risk(d, masked, attrs)
+				want := rsrlReference(rl, d, masked, attrs)
+				if got != want {
+					t.Fatalf("P=%v MaxRecords=%d masking %d: bitset %v != reference %v", p, maxRecords, mi, got, want)
+				}
+			}
+		}
+	}
+	// Single-attribute edge: the intersection loop starts from attr 0 only.
+	u, uattrs := uniqueData(t, 64)
+	rl := &RankIntervalLinkage{P: 10}
+	if got, want := rl.Risk(u, u.Clone(), uattrs), rsrlReference(rl, u, u.Clone(), uattrs); got != want {
+		t.Fatalf("unique data: bitset %v != reference %v", got, want)
+	}
+}
+
+// TestRSRLProfileKeyOverflow covers the uncached path: with a QI set
+// whose cardinality product overflows uint64 the profile cache must be
+// bypassed (not silently collide) and results still match the reference.
+func TestRSRLProfileKeyOverflow(t *testing.T) {
+	const numAttrs, card, n = 11, 100, 40 // 100^11 ≈ 1e22 > 2^64
+	cats := make([]string, card)
+	for i := range cats {
+		cats[i] = string(rune('A'+i/26)) + string(rune('a'+i%26))
+	}
+	specs := make([]*dataset.Attribute, numAttrs)
+	attrs := make([]int, numAttrs)
+	for a := range specs {
+		specs[a] = dataset.MustAttribute(string(rune('p'+a)), cats, true)
+		attrs[a] = a
+	}
+	d := dataset.New(dataset.MustSchema(specs...), n)
+	rng := rand.New(rand.NewPCG(41, 3))
+	for r := 0; r < n; r++ {
+		for c := 0; c < numAttrs; c++ {
+			d.Set(r, c, rng.IntN(card))
+		}
+	}
+	masked := scramble(d, attrs, 9)
+	rl := &RankIntervalLinkage{P: 20}
+	if got, want := rl.Risk(d, masked, attrs), rsrlReference(rl, d, masked, attrs); got != want {
+		t.Fatalf("overflowing profile space: bitset %v != reference %v", got, want)
+	}
+}

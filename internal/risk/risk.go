@@ -78,24 +78,46 @@ type IntervalDisclosure struct {
 // Name implements Measure.
 func (id *IntervalDisclosure) Name() string { return "ID" }
 
+// maxPOrDefault resolves the effective largest window half-width.
+func (id *IntervalDisclosure) maxPOrDefault() int {
+	if id.MaxP <= 0 {
+		return 10
+	}
+	return id.MaxP
+}
+
 // Risk implements Measure.
 func (id *IntervalDisclosure) Risk(orig, masked *dataset.Dataset, attrs []int) float64 {
-	maxP := id.MaxP
-	if maxP <= 0 {
-		maxP = 10
-	}
+	maxP := id.maxPOrDefault()
 	n := orig.Rows()
 	if n == 0 || len(attrs) == 0 {
 		return 0
 	}
 	disclosed := 0
 	for _, c := range attrs {
-		card := orig.Schema().Attr(c).Cardinality()
+		contrib := idContrib(orig, c, maxP)
 		oc := orig.Column(c)
 		mc := masked.Column(c)
-		ranks := stats.MidRanks(stats.Freq(oc, card))
 		for r := 0; r < n; r++ {
-			gap := ranks[oc[r]] - ranks[mc[r]]
+			disclosed += contrib[oc[r]][mc[r]]
+		}
+	}
+	return idValue(disclosed, n, len(attrs), maxP)
+}
+
+// idContrib precomputes, for one attribute, how many of the window sizes
+// 1..maxP disclose a cell whose original category is u and published
+// category is v. The table depends only on the original file's mid-ranks,
+// so the full and incremental paths share it and stay bit-identical.
+func idContrib(orig *dataset.Dataset, col, maxP int) [][]int {
+	card := orig.Schema().Attr(col).Cardinality()
+	n := orig.Rows()
+	ranks := stats.MidRanks(stats.Freq(orig.Column(col), card))
+	out := make([][]int, card)
+	for u := 0; u < card; u++ {
+		out[u] = make([]int, card)
+		for v := 0; v < card; v++ {
+			gap := ranks[u] - ranks[v]
 			if gap < 0 {
 				gap = -gap
 			}
@@ -103,11 +125,17 @@ func (id *IntervalDisclosure) Risk(orig, masked *dataset.Dataset, attrs []int) f
 				if gap <= float64(p)*float64(n)/100 {
 					// Larger windows contain smaller ones: all remaining
 					// window sizes disclose too.
-					disclosed += maxP - p + 1
+					out[u][v] = maxP - p + 1
 					break
 				}
 			}
 		}
 	}
-	return 100 * float64(disclosed) / float64(n*len(attrs)*maxP)
+	return out
+}
+
+// idValue folds the exact disclosed-window count into the measure value;
+// shared by the full and incremental paths.
+func idValue(disclosed, n, numAttrs, maxP int) float64 {
+	return 100 * float64(disclosed) / float64(n*numAttrs*maxP)
 }

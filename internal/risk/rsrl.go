@@ -35,6 +35,15 @@ type RankIntervalLinkage struct {
 func (rl *RankIntervalLinkage) Name() string { return "RSRL" }
 
 // Risk implements Measure.
+//
+// The candidate predicate factors per attribute into "masked category v is
+// admissible for original category u", so instead of testing all n² record
+// pairs the measure intersects per-attribute candidate bitsets: records
+// sharing an original category profile share one intersection, and each
+// intersection costs n/64 word operations per attribute. The candidate
+// counts, and therefore the result, are bit-identical to the pairwise
+// scan (incremental_test.go keeps the literal O(n²) implementation as a
+// reference oracle, rsrlReference).
 func (rl *RankIntervalLinkage) Risk(orig, masked *dataset.Dataset, attrs []int) float64 {
 	p := rl.P
 	if p <= 0 {
@@ -44,16 +53,96 @@ func (rl *RankIntervalLinkage) Risk(orig, masked *dataset.Dataset, attrs []int) 
 	if n == 0 || len(attrs) == 0 {
 		return 0
 	}
-	window := p * float64(n) / 100
 
 	oc, mc := columns(orig, attrs), columns(masked, attrs)
+	lo, hi := rsrlWindows(orig, oc, mc, attrs, p)
 
-	// For each attribute, precompute the contiguous masked-category range
-	// admissible for every original category: categories are scanned in
-	// domain order, and mid-ranks are monotone in domain order, so the
-	// admissible set is an interval [lo[u], hi[u]].
-	lo := make([][]int, len(attrs))
-	hi := make([][]int, len(attrs))
+	// cand[a][u] is the set of masked records admissible for original
+	// category u of attribute a, assembled from per-category record sets.
+	cand := make([][]*stats.Bitset, len(attrs))
+	for a, c := range attrs {
+		card := orig.Schema().Attr(c).Cardinality()
+		byCat := make([]*stats.Bitset, card)
+		for v := 0; v < card; v++ {
+			byCat[v] = stats.NewBitset(n)
+		}
+		for j := 0; j < n; j++ {
+			byCat[mc[a][j]].Set(j)
+		}
+		cand[a] = make([]*stats.Bitset, card)
+		for u := 0; u < card; u++ {
+			acc := stats.NewBitset(n)
+			for v := lo[a][u]; v <= hi[a][u]; v++ {
+				acc.OrWith(byCat[v])
+			}
+			cand[a][u] = acc
+		}
+	}
+
+	// Records with the same original profile share their candidate set;
+	// intersect once per distinct profile. The mixed-radix profile key
+	// only fits a uint64 while the cardinality product does; beyond that
+	// (absurdly wide QI sets) the cache is skipped rather than risking
+	// silent key collisions — results are identical, just uncached.
+	type profile struct {
+		count int
+		set   *stats.Bitset
+	}
+	cacheable := true
+	radix := uint64(1)
+	for _, c := range attrs {
+		card := uint64(orig.Schema().Attr(c).Cardinality())
+		if radix > 0 && radix*card/card != radix { // overflow
+			cacheable = false
+			break
+		}
+		radix *= card
+	}
+	cache := make(map[uint64]*profile)
+	stride := sampleStride(n, rl.MaxRecords)
+	credit := 0.0
+	for i := 0; i < n; i += stride {
+		var pr *profile
+		if cacheable {
+			var key uint64
+			for a, c := range attrs {
+				key = key*uint64(orig.Schema().Attr(c).Cardinality()) + uint64(oc[a][i])
+			}
+			pr = cache[key]
+			if pr == nil {
+				set := cand[0][oc[0][i]].Clone()
+				for a := 1; a < len(attrs); a++ {
+					set.AndWith(cand[a][oc[a][i]])
+				}
+				pr = &profile{count: set.Count(), set: set}
+				cache[key] = pr
+			}
+		} else {
+			set := cand[0][oc[0][i]].Clone()
+			for a := 1; a < len(attrs); a++ {
+				set.AndWith(cand[a][oc[a][i]])
+			}
+			pr = &profile{count: set.Count(), set: set}
+		}
+		if pr.set.Test(i) {
+			credit += 1 / float64(pr.count)
+		}
+	}
+	return 100 * credit / float64(sampledCount(n, stride))
+}
+
+// rsrlWindows precomputes, per attribute, the contiguous masked-category
+// range admissible for every original category: categories are scanned in
+// domain order, and mid-ranks are monotone in domain order, so the
+// admissible set is an interval [lo[u], hi[u]] (empty when lo > hi).
+// Window ranks for original values use the original file's mid-ranks;
+// candidate masked categories are matched through the masked file's
+// mid-ranks.
+func rsrlWindows(orig *dataset.Dataset, oc, mc [][]int, attrs []int, p float64) (lo, hi [][]int) {
+	n := orig.Rows()
+	window := p * float64(n) / 100
+	lo = make([][]int, len(attrs))
+	hi = make([][]int, len(attrs))
 	for a, c := range attrs {
 		card := orig.Schema().Attr(c).Cardinality()
 		oRanks := stats.MidRanks(stats.Freq(oc[a], card))
@@ -79,32 +168,5 @@ func (rl *RankIntervalLinkage) Risk(orig, masked *dataset.Dataset, attrs []int) 
 			lo[a][u], hi[a][u] = l, h
 		}
 	}
-
-	stride := sampleStride(n, rl.MaxRecords)
-	credit := 0.0
-	for i := 0; i < n; i += stride {
-		count := 0
-		containsTrue := false
-		for j := 0; j < n; j++ {
-			inAll := true
-			for a := range attrs {
-				u := oc[a][i]
-				v := mc[a][j]
-				if v < lo[a][u] || v > hi[a][u] {
-					inAll = false
-					break
-				}
-			}
-			if inAll {
-				count++
-				if j == i {
-					containsTrue = true
-				}
-			}
-		}
-		if containsTrue {
-			credit += 1 / float64(count)
-		}
-	}
-	return 100 * credit / float64(sampledCount(n, stride))
+	return lo, hi
 }

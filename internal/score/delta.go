@@ -1,0 +1,222 @@
+package score
+
+// Delta (incremental) evaluation. A genetic operator derives an offspring
+// from an already-scored parent by changing a handful of cells, so most of
+// a full re-evaluation repeats work the parent's evaluation already did.
+// EvaluateDelta instead advances per-measure incremental states (see
+// infoloss.Incremental and risk.Incremental) by the operator's change
+// list, in time proportional to the number of changed cells for the
+// incremental measures; measures without an incremental implementation
+// (or whose configuration rules one out) are recomputed in full.
+//
+// Delta evaluation is bit-for-bit identical to Evaluate: the incremental
+// measures maintain exact integer summaries and share their final value
+// arithmetic with the full path, and EvaluateDelta accumulates the
+// battery sums in the same order Evaluate does.
+
+import (
+	"fmt"
+
+	"evoprot/internal/dataset"
+	"evoprot/internal/infoloss"
+	"evoprot/internal/risk"
+)
+
+// DeltaState carries the per-measure incremental states describing one
+// masked dataset. It is produced by Prepare or EvaluateDelta, always
+// describes exactly one masked file, and must only be advanced with
+// change lists for that file. A nil slot means the corresponding measure
+// runs without a fast path and is fully recomputed on every delta
+// evaluation.
+type DeltaState struct {
+	il []infoloss.State
+	dr []risk.State
+}
+
+// Clone returns an independent deep copy — the branch point for an
+// offspring whose survival is not yet known.
+func (s *DeltaState) Clone() *DeltaState {
+	out := &DeltaState{
+		il: make([]infoloss.State, len(s.il)),
+		dr: make([]risk.State, len(s.dr)),
+	}
+	for i, st := range s.il {
+		if st != nil {
+			out.il[i] = st.CloneState()
+		}
+	}
+	for i, st := range s.dr {
+		if st != nil {
+			out.dr[i] = st.CloneState()
+		}
+	}
+	return out
+}
+
+// Prepare builds the incremental evaluation state for a masked dataset.
+// The cost is comparable to one full evaluation; every EvaluateDelta from
+// the state then costs a small fraction of that.
+func (e *Evaluator) Prepare(masked *dataset.Dataset) (*DeltaState, error) {
+	if masked == nil {
+		return nil, fmt.Errorf("score: nil masked dataset")
+	}
+	if masked.Rows() != e.orig.Rows() || masked.Cols() != e.orig.Cols() {
+		return nil, fmt.Errorf("score: masked dataset is %dx%d, original is %dx%d",
+			masked.Rows(), masked.Cols(), e.orig.Rows(), e.orig.Cols())
+	}
+	s := &DeltaState{
+		il: make([]infoloss.State, len(e.cfg.IL)),
+		dr: make([]risk.State, len(e.cfg.DR)),
+	}
+	for i, m := range e.cfg.IL {
+		if inc, ok := m.(infoloss.Incremental); ok {
+			s.il[i] = inc.Prepare(e.orig, masked, e.attrs)
+		}
+	}
+	for i, m := range e.cfg.DR {
+		if inc, ok := m.(risk.Incremental); ok {
+			s.dr[i] = inc.Prepare(e.orig, masked, e.attrs)
+		}
+	}
+	return s, nil
+}
+
+// deltaRebuildFraction bounds when patching states change-by-change stops
+// paying off: once a change list touches more than rows/deltaRebuildFraction
+// cells (a wide crossover window), the per-change updates of the linkage
+// states approach the cost of rebuilding them, so EvaluateDelta rebuilds
+// from the child instead. Results are identical either way.
+const deltaRebuildFraction = 2
+
+// protected reports whether col is one of the protected attributes.
+func (e *Evaluator) protected(col int) bool {
+	for _, a := range e.attrs {
+		if a == col {
+			return true
+		}
+	}
+	return false
+}
+
+// WideEdit reports whether a change list is past the incremental
+// break-even point: EvaluateDelta will then evaluate the child in full
+// and return a nil state, so callers holding no state for the parent can
+// skip building one.
+func (e *Evaluator) WideEdit(changes []dataset.CellChange) bool {
+	return len(changes)*deltaRebuildFraction > e.orig.Rows()
+}
+
+// EvaluateDelta scores child — the dataset obtained by applying changes,
+// in order, to the masked file parentState describes — and returns its
+// evaluation together with its own state. parent is that file's
+// evaluation; it is returned unchanged (with a cloned state) when changes
+// is empty. parentState is never modified.
+//
+// For edits wider than the incremental break-even point the child is
+// fully evaluated instead and the returned state is nil: building fresh
+// linkage states costs as much as the evaluation itself and is wasted
+// whenever the caller discards the child (an offspring losing its
+// survival tournament), so callers re-Prepare lazily if such a child
+// ever needs to parent a delta evaluation.
+//
+// The result is bit-for-bit identical to Evaluate(child), including the
+// per-measure parts maps.
+func (e *Evaluator) EvaluateDelta(parent Evaluation, parentState *DeltaState, child *dataset.Dataset, changes []dataset.CellChange) (Evaluation, *DeltaState, error) {
+	if child == nil {
+		return Evaluation{}, nil, fmt.Errorf("score: nil child dataset")
+	}
+	if parentState == nil {
+		return Evaluation{}, nil, fmt.Errorf("score: nil parent delta state")
+	}
+	if len(parentState.il) != len(e.cfg.IL) || len(parentState.dr) != len(e.cfg.DR) {
+		return Evaluation{}, nil, fmt.Errorf("score: delta state has %d+%d measure slots, evaluator has %d+%d",
+			len(parentState.il), len(parentState.dr), len(e.cfg.IL), len(e.cfg.DR))
+	}
+	if child.Rows() != e.orig.Rows() || child.Cols() != e.orig.Cols() {
+		return Evaluation{}, nil, fmt.Errorf("score: child dataset is %dx%d, original is %dx%d",
+			child.Rows(), child.Cols(), e.orig.Rows(), e.orig.Cols())
+	}
+	final := make(map[[2]int]int, len(changes))
+	for _, ch := range changes {
+		// Only in-domain edits of protected cells may appear in a change
+		// list: the states index their summaries by protected-attribute
+		// position and category, so an unchecked foreign column or
+		// out-of-domain value would silently corrupt them. (Edits to
+		// unprotected columns are invisible to every measure and need no
+		// change entries at all.) The Old values must describe the file
+		// parentState was built from — that file is not at hand here, so
+		// beyond the replay checks below correctness of Old is the
+		// caller's contract.
+		if ch.Row < 0 || ch.Row >= e.orig.Rows() {
+			return Evaluation{}, nil, fmt.Errorf("score: change row %d outside [0,%d)", ch.Row, e.orig.Rows())
+		}
+		if !e.protected(ch.Col) {
+			return Evaluation{}, nil, fmt.Errorf("score: change column %d is not a protected attribute", ch.Col)
+		}
+		card := e.orig.Schema().Attr(ch.Col).Cardinality()
+		if ch.Old < 0 || ch.Old >= card || ch.New < 0 || ch.New >= card {
+			return Evaluation{}, nil, fmt.Errorf("score: change (%d,%d) values %d->%d outside domain [0,%d)",
+				ch.Row, ch.Col, ch.Old, ch.New, card)
+		}
+		cell := [2]int{ch.Row, ch.Col}
+		// Within one cell the list must chain: each edit starts from the
+		// value the previous one produced (catches reordered or merged
+		// lists from different ancestors).
+		if prev, seen := final[cell]; seen && ch.Old != prev {
+			return Evaluation{}, nil, fmt.Errorf("score: change chain broken at cell (%d,%d): edit starts from %d, previous edit ended at %d",
+				ch.Row, ch.Col, ch.Old, prev)
+		}
+		final[cell] = ch.New
+	}
+	for cell, v := range final {
+		// The replayed list must land on the child (catches swapped
+		// Old/New, e.g. a diff taken in the wrong direction).
+		if child.At(cell[0], cell[1]) != v {
+			return Evaluation{}, nil, fmt.Errorf("score: change list does not replay to child at cell (%d,%d): list ends at %d, child holds %d",
+				cell[0], cell[1], v, child.At(cell[0], cell[1]))
+		}
+	}
+	if len(changes) == 0 {
+		return parent, parentState.Clone(), nil
+	}
+	if e.WideEdit(changes) {
+		// Wide edit: evaluate in full and let the caller rebuild a state
+		// lazily if this child ever needs one.
+		ev, err := e.Evaluate(child)
+		if err != nil {
+			return Evaluation{}, nil, err
+		}
+		return ev, nil, nil
+	}
+
+	out := parentState.Clone()
+	ev := Evaluation{
+		ILParts: make(map[string]float64, len(e.cfg.IL)),
+		DRParts: make(map[string]float64, len(e.cfg.DR)),
+	}
+	// Accumulate in battery order, exactly like Evaluate.
+	for i, m := range e.cfg.IL {
+		var v float64
+		if inc, ok := m.(infoloss.Incremental); ok && out.il[i] != nil {
+			v = inc.Apply(out.il[i], changes)
+		} else {
+			v = m.Loss(e.orig, child, e.attrs)
+		}
+		ev.ILParts[m.Name()] = v
+		ev.IL += v
+	}
+	for i, m := range e.cfg.DR {
+		var v float64
+		if inc, ok := m.(risk.Incremental); ok && out.dr[i] != nil {
+			v = inc.Apply(out.dr[i], changes)
+		} else {
+			v = m.Risk(e.orig, child, e.attrs)
+		}
+		ev.DRParts[m.Name()] = v
+		ev.DR += v
+	}
+	ev.IL /= float64(len(e.cfg.IL))
+	ev.DR /= float64(len(e.cfg.DR))
+	ev.Score = e.cfg.Aggregator.Combine(ev.IL, ev.DR)
+	return ev, out, nil
+}

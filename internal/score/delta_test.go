@@ -1,0 +1,291 @@
+package score
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/datagen"
+	"evoprot/internal/dataset"
+	"evoprot/internal/risk"
+)
+
+func deltaTestEvaluator(t *testing.T) (*Evaluator, *dataset.Dataset) {
+	t.Helper()
+	orig := datagen.MustByName("german", 150, 61)
+	names, _ := datagen.ProtectedAttrs("german")
+	attrs, err := orig.Schema().Indices(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := NewEvaluator(orig, attrs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eval, orig
+}
+
+// applyRandomChanges draws a batch of in-domain cell changes, applies them
+// to masked, and returns the batch.
+func applyRandomChanges(rng *rand.Rand, masked *dataset.Dataset, attrs []int, batch int) []dataset.CellChange {
+	changes := make([]dataset.CellChange, 0, batch)
+	for len(changes) < batch {
+		changes = append(changes, dataset.RandomChange(rng, masked, attrs))
+	}
+	return changes
+}
+
+func mustPrepare(t *testing.T, eval *Evaluator, masked *dataset.Dataset) *DeltaState {
+	t.Helper()
+	st, err := eval.Prepare(masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func requireIdentical(t *testing.T, context string, got, want Evaluation) {
+	t.Helper()
+	if got.Score != want.Score || got.IL != want.IL || got.DR != want.DR {
+		t.Fatalf("%s: delta (IL=%v DR=%v Score=%v) != full (IL=%v DR=%v Score=%v)",
+			context, got.IL, got.DR, got.Score, want.IL, want.DR, want.Score)
+	}
+	if len(got.ILParts) != len(want.ILParts) || len(got.DRParts) != len(want.DRParts) {
+		t.Fatalf("%s: parts map sizes differ", context)
+	}
+	for k, v := range want.ILParts {
+		if got.ILParts[k] != v {
+			t.Fatalf("%s: ILParts[%s] = %v, want %v", context, k, got.ILParts[k], v)
+		}
+	}
+	for k, v := range want.DRParts {
+		if got.DRParts[k] != v {
+			t.Fatalf("%s: DRParts[%s] = %v, want %v", context, k, got.DRParts[k], v)
+		}
+	}
+}
+
+// TestEvaluateDeltaMatchesEvaluate is the core equivalence property: over
+// long randomized change chains — small batches (the incremental path) and
+// wide batches (the rebuild path) — EvaluateDelta must equal a fresh
+// Evaluate bit-for-bit, parts maps included.
+func TestEvaluateDeltaMatchesEvaluate(t *testing.T) {
+	for _, seed := range []uint64{3, 29, 127} {
+		eval, orig := deltaTestEvaluator(t)
+		attrs := eval.Attrs()
+		rng := rand.New(rand.NewPCG(seed, 7))
+
+		masked := orig.Clone()
+		applyRandomChanges(rng, masked, attrs, 40)
+		st := mustPrepare(t, eval, masked)
+		ev, err := eval.Evaluate(masked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 25; step++ {
+			batch := 1 + rng.IntN(3)
+			if step%7 == 6 {
+				batch = orig.Rows() // force the wide-edit rebuild path
+			}
+			changes := applyRandomChanges(rng, masked, attrs, batch)
+			got, nextSt, err := eval.EvaluateDelta(ev, st, masked, changes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := eval.Evaluate(masked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, "step", got, want)
+			if batch*2 > orig.Rows() {
+				// The wide-edit path returns no state; rebuild lazily as
+				// the engine would.
+				if nextSt != nil {
+					t.Fatal("wide edit returned a state; want nil (lazy rebuild)")
+				}
+				nextSt = mustPrepare(t, eval, masked)
+			}
+			ev, st = got, nextSt
+		}
+	}
+}
+
+// TestEvaluateDeltaLeavesParentStateIntact checks the branching contract:
+// evaluating an offspring must not corrupt the parent's state.
+func TestEvaluateDeltaLeavesParentStateIntact(t *testing.T) {
+	eval, orig := deltaTestEvaluator(t)
+	attrs := eval.Attrs()
+	rng := rand.New(rand.NewPCG(9, 13))
+
+	parentData := orig.Clone()
+	applyRandomChanges(rng, parentData, attrs, 30)
+	parentState := mustPrepare(t, eval, parentData)
+	parentEval, err := eval.Evaluate(parentData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spawn several divergent offspring from the same parent state.
+	for k := 0; k < 5; k++ {
+		child := parentData.Clone()
+		changes := applyRandomChanges(rng, child, attrs, 2)
+		got, _, err := eval.EvaluateDelta(parentEval, parentState, child, changes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := eval.Evaluate(child)
+		requireIdentical(t, "offspring", got, want)
+	}
+	// The parent state must still describe parentData exactly.
+	got, _, err := eval.EvaluateDelta(parentEval, parentState, parentData, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "parent after offspring", got, parentEval)
+}
+
+// TestEvaluateDeltaEmptyChanges returns the parent evaluation unchanged.
+func TestEvaluateDeltaEmptyChanges(t *testing.T) {
+	eval, orig := deltaTestEvaluator(t)
+	masked := orig.Clone()
+	st := mustPrepare(t, eval, masked)
+	ev, err := eval.Evaluate(masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st2, err := eval.EvaluateDelta(ev, st, masked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 == st {
+		t.Fatal("empty-changes delta returned the parent state itself, not a clone")
+	}
+	requireIdentical(t, "empty changes", got, ev)
+}
+
+// TestEvaluateDeltaErrors covers the argument contract.
+func TestEvaluateDeltaErrors(t *testing.T) {
+	eval, orig := deltaTestEvaluator(t)
+	masked := orig.Clone()
+	st := mustPrepare(t, eval, masked)
+	ev, _ := eval.Evaluate(masked)
+	if _, _, err := eval.EvaluateDelta(ev, st, nil, nil); err == nil {
+		t.Error("nil child accepted")
+	}
+	if _, _, err := eval.EvaluateDelta(ev, nil, masked, nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	small := dataset.New(orig.Schema(), orig.Rows()-1)
+	if _, _, err := eval.EvaluateDelta(ev, st, small, nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, _, err := eval.EvaluateDelta(ev, &DeltaState{}, masked, nil); err == nil {
+		t.Error("foreign state shape accepted")
+	}
+	attrs := eval.Attrs()
+	unprotected := -1
+	for c := 0; c < orig.Cols(); c++ {
+		if !slicesContain(attrs, c) {
+			unprotected = c
+			break
+		}
+	}
+	if unprotected >= 0 {
+		bad := []dataset.CellChange{{Row: 0, Col: unprotected, Old: 0, New: 0}}
+		if _, _, err := eval.EvaluateDelta(ev, st, masked, bad); err == nil {
+			t.Error("change on unprotected column accepted")
+		}
+	}
+	oob := []dataset.CellChange{{Row: orig.Rows(), Col: attrs[0], Old: 0, New: 1}}
+	if _, _, err := eval.EvaluateDelta(ev, st, masked, oob); err == nil {
+		t.Error("out-of-range change row accepted")
+	}
+	card := orig.Schema().Attr(attrs[0]).Cardinality()
+	badVal := []dataset.CellChange{{Row: 0, Col: attrs[0], Old: 0, New: card}}
+	if _, _, err := eval.EvaluateDelta(ev, st, masked, badVal); err == nil {
+		t.Error("out-of-domain change value accepted")
+	}
+	// A diff taken in the wrong direction must be rejected, not silently
+	// corrupt the state: the replayed list does not land on the child.
+	child := masked.Clone()
+	old := child.At(0, attrs[0])
+	child.Set(0, attrs[0], (old+1)%card)
+	swapped := []dataset.CellChange{{Row: 0, Col: attrs[0], Old: (old + 1) % card, New: old}}
+	if _, _, err := eval.EvaluateDelta(ev, st, child, swapped); err == nil {
+		t.Error("swapped Old/New change list accepted")
+	}
+	// A per-cell chain whose second edit does not start where the first
+	// ended (a merged list from different ancestors) must be rejected.
+	if card >= 3 {
+		broken := []dataset.CellChange{
+			{Row: 0, Col: attrs[0], Old: masked.At(0, attrs[0]), New: (masked.At(0, attrs[0]) + 1) % card},
+			{Row: 0, Col: attrs[0], Old: (masked.At(0, attrs[0]) + 2) % card, New: masked.At(0, attrs[0])},
+		}
+		if _, _, err := eval.EvaluateDelta(ev, st, masked, broken); err == nil {
+			t.Error("broken per-cell change chain accepted")
+		}
+	}
+	// Prepare mirrors Evaluate's argument validation.
+	if _, err := eval.Prepare(nil); err == nil {
+		t.Error("Prepare accepted a nil dataset")
+	}
+	if _, err := eval.Prepare(dataset.New(orig.Schema(), orig.Rows()-1)); err == nil {
+		t.Error("Prepare accepted a wrong-shaped dataset")
+	}
+}
+
+func slicesContain(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEvaluateDeltaWithNonIncrementalBattery: a battery of measures with
+// no incremental implementations must still work (pure fallback) and the
+// parallel-evaluation flag must not change delta results.
+func TestEvaluateDeltaWithNonIncrementalBattery(t *testing.T) {
+	_, orig := deltaTestEvaluator(t)
+	names, _ := datagen.ProtectedAttrs("german")
+	attrs, _ := orig.Schema().Indices(names...)
+	for _, cfg := range []Config{
+		{DR: []risk.Measure{&RankOnly{}}},
+		{Parallel: true},
+	} {
+		eval, err := NewEvaluator(orig, attrs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(21, 17))
+		masked := orig.Clone()
+		applyRandomChanges(rng, masked, attrs, 10)
+		st := mustPrepare(t, eval, masked)
+		ev, err := eval.Evaluate(masked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 8; step++ {
+			changes := applyRandomChanges(rng, masked, attrs, 1)
+			got, nextSt, err := eval.EvaluateDelta(ev, st, masked, changes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := eval.Evaluate(masked)
+			requireIdentical(t, "fallback battery", got, want)
+			ev, st = got, nextSt
+		}
+	}
+}
+
+// RankOnly is a tiny non-incremental test measure: the RSRL fallback with
+// a fixed window.
+type RankOnly struct{}
+
+// Name implements risk.Measure.
+func (RankOnly) Name() string { return "rank-only" }
+
+// Risk implements risk.Measure.
+func (RankOnly) Risk(orig, masked *dataset.Dataset, attrs []int) float64 {
+	rl := risk.RankIntervalLinkage{P: 10}
+	return rl.Risk(orig, masked, attrs)
+}

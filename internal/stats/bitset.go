@@ -1,0 +1,75 @@
+package stats
+
+import "math/bits"
+
+// Bitset is a fixed-size set of integers in [0, n), packed 64 per word.
+// The record-linkage measures use bitsets to intersect per-attribute
+// candidate sets over all records at machine-word speed.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty bitset over [0, n).
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		panic("stats: negative bitset size")
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the universe size n.
+func (b *Bitset) Len() int { return b.n }
+
+// Set adds i to the set.
+func (b *Bitset) Set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) {
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Test reports whether i is in the set.
+func (b *Bitset) Test(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// OrWith adds every element of o to b. Both bitsets must share the same
+// universe size.
+func (b *Bitset) OrWith(o *Bitset) {
+	if b.n != o.n {
+		panic("stats: OrWith on bitsets of different size")
+	}
+	for i, w := range o.words {
+		b.words[i] |= w
+	}
+}
+
+// AndWith removes every element of b not in o. Both bitsets must share the
+// same universe size.
+func (b *Bitset) AndWith(o *Bitset) {
+	if b.n != o.n {
+		panic("stats: AndWith on bitsets of different size")
+	}
+	for i, w := range o.words {
+		b.words[i] &= w
+	}
+}
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	words := make([]uint64, len(b.words))
+	copy(words, b.words)
+	return &Bitset{words: words, n: b.n}
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130) // spans three words
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatalf("fresh bitset: len=%d count=%d", b.Len(), b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("Test(%d) false after Set", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) || b.Count() != 3 {
+		t.Fatalf("Clear(64) left Test=%v Count=%d", b.Test(64), b.Count())
+	}
+	// Setting twice is idempotent.
+	b.Set(0)
+	if b.Count() != 3 {
+		t.Fatalf("double Set changed count to %d", b.Count())
+	}
+}
+
+func TestBitsetAndOrAgainstMaps(t *testing.T) {
+	const n = 200
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 20; trial++ {
+		a, b := NewBitset(n), NewBitset(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.4 {
+				a.Set(i)
+				ma[i] = true
+			}
+			if rng.Float64() < 0.4 {
+				b.Set(i)
+				mb[i] = true
+			}
+		}
+		or := a.Clone()
+		or.OrWith(b)
+		and := a.Clone()
+		and.AndWith(b)
+		for i := 0; i < n; i++ {
+			if or.Test(i) != (ma[i] || mb[i]) {
+				t.Fatalf("trial %d: OrWith wrong at %d", trial, i)
+			}
+			if and.Test(i) != (ma[i] && mb[i]) {
+				t.Fatalf("trial %d: AndWith wrong at %d", trial, i)
+			}
+		}
+		// Clone independence: mutating the clone leaves the original alone.
+		c := a.Clone()
+		c.Clear(0)
+		c.Set(1)
+		if a.Test(1) && !ma[1] {
+			t.Fatal("Clone shares storage with original")
+		}
+	}
+}
+
+func TestBitsetSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AndWith across sizes did not panic")
+		}
+	}()
+	NewBitset(10).AndWith(NewBitset(11))
+}
