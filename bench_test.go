@@ -9,6 +9,7 @@ package evoprot
 // standard ns/op output.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -301,7 +302,10 @@ func BenchmarkAblationCrowding(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res := eng.Run()
+				res, err := eng.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
 				final = res.History[len(res.History)-1].Mean
 			}
 			b.ReportMetric(final, "final_mean")
@@ -378,7 +382,7 @@ func BenchmarkAblationParallelEval(b *testing.B) {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := eval.EvaluateAll(data, workers); err != nil {
+				if _, err := eval.EvaluateAll(context.Background(), data, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,34 +1,41 @@
 // Command evoprot runs the evolutionary optimizer end to end: build or
-// load an initial population of protections, evolve it (optionally
-// checkpointing so long runs survive restarts), and report the best
-// protection found.
+// load an initial population of protections, evolve it — optionally as
+// several concurrent islands exchanging elites, optionally checkpointing
+// so long runs survive restarts — and report the best protection found.
+// Ctrl-C (or -timeout) cancels gracefully: the run stops at the next
+// generation boundary and still reports (and saves) the best so far.
 //
 //	evoprot -dataset adult -gens 400 -seed 42 -plots
+//	evoprot -dataset flare -gens 2000 -islands 4 -migrate-every 50
 //	evoprot -orig mydata.csv -attrs A,B,C -grid flare -gens 200 -best best.csv
 //	evoprot -dataset flare -gens 5000 -checkpoint run.ckpt -checkpoint-every 500
-//	evoprot -dataset flare -gens 5000 -resume run.ckpt
+//	evoprot -dataset flare -gens 5000 -resume run.ckpt -timeout 2m
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 
 	"evoprot"
-	"evoprot/internal/experiment"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "evoprot:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("evoprot", flag.ContinueOnError)
 	var (
 		name      = fs.String("dataset", "", "built-in dataset: housing|german|flare|adult")
@@ -37,10 +44,15 @@ func run(args []string, stdout io.Writer) error {
 		grid      = fs.String("grid", "", "masking grid for -orig runs (defaults to -dataset, else flare)")
 		rows      = fs.Int("rows", 0, "records when generating (0 = paper scale)")
 		agg       = fs.String("agg", "max", "fitness aggregation: mean | max | euclidean | weighted:<w>")
-		gens      = fs.Int("gens", 400, "generations")
+		gens      = fs.Int("gens", 400, "generations per island")
 		seed      = fs.Uint64("seed", 42, "run seed")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "initial-evaluation workers")
-		stall     = fs.Int("stall", 0, "stop after N generations without improvement (0 = off)")
+		stall     = fs.Int("stall", 0, "stop an island after N generations without improvement (0 = off)")
+		nIslands  = fs.Int("islands", 1, "concurrently evolving islands")
+		migEvery  = fs.Int("migrate-every", 0, "generations between island migrations (0 = default 25)")
+		migrants  = fs.Int("migrants", 0, "elite individuals exchanged per migration (0 = default 2)")
+		topoName  = fs.String("topology", "ring", "migration topology: ring | broadcast")
+		timeout   = fs.Duration("timeout", 0, "overall run deadline, e.g. 90s or 5m (0 = none)")
 		best      = fs.String("best", "", "write the best protection to this CSV")
 		plots     = fs.Bool("plots", false, "print dispersion and evolution plots")
 		ckpt      = fs.String("checkpoint", "", "write engine snapshots to this path")
@@ -51,97 +63,128 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	orig, attrNames, gridName, err := resolveInput(*name, *origCSV, *attrCSV, *grid, *rows, *seed)
 	if err != nil {
 		return err
 	}
-	aggregator, err := evoprot.AggregatorByName(*agg)
+	topo, err := evoprot.TopologyByName(*topoName)
 	if err != nil {
 		return err
 	}
-	eval, err := evoprot.NewEvaluator(orig, attrNames, evoprot.EvaluatorConfig{
-		Aggregator: aggregator,
-	})
+	options := []evoprot.Option{
+		evoprot.WithGrid(gridName),
+		evoprot.WithAggregator(*agg),
+		evoprot.WithGenerations(*gens),
+		evoprot.WithSeed(*seed),
+		evoprot.WithWorkers(*workers),
+		evoprot.WithEarlyStop(*stall),
+		evoprot.WithIslands(*nIslands),
+		evoprot.WithMigration(*migEvery, *migrants),
+		evoprot.WithTopology(topo),
+	}
+	if *noDelta {
+		options = append(options, evoprot.WithoutDelta())
+	}
+	if *ckpt != "" {
+		options = append(options, evoprot.WithCheckpoint(*ckpt, *ckptEvery))
+	}
+	runner, err := evoprot.NewRunner(orig, attrNames, options...)
 	if err != nil {
 		return err
 	}
-
-	cfg := evoprot.EngineConfig{
-		Generations:         *gens,
-		Seed:                *seed,
-		InitWorkers:         *workers,
-		NoImprovementWindow: *stall,
-		DisableDelta:        *noDelta,
-	}
-	var engine *evoprot.Engine
 	if *resume != "" {
 		f, err := os.Open(*resume)
 		if err != nil {
 			return err
 		}
-		engine, err = evoprot.ResumeEngine(eval, f, cfg)
+		err = runner.Resume(f)
 		f.Close()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "resumed at generation %d\n", engine.Generation())
-	} else {
-		attrs, err := orig.Schema().Indices(attrNames...)
-		if err != nil {
-			return err
+		fmt.Fprintf(stdout, "resumed %d island(s) at generation %d\n", runner.Islands(), runner.Generation())
+	}
+
+	res, runErr := runner.Run(ctx)
+	ckptFailed := errors.Is(runErr, evoprot.ErrCheckpoint)
+	var exitErr error
+	switch {
+	case runErr == nil:
+	case errors.Is(runErr, context.Canceled):
+		fmt.Fprintln(stdout, "interrupted; reporting best so far")
+	case errors.Is(runErr, context.DeadlineExceeded):
+		fmt.Fprintln(stdout, "timeout reached; reporting best so far")
+	default:
+		if res == nil {
+			return runErr
 		}
-		pop, err := experiment.BuildPopulation(orig, attrs, gridName, *seed)
-		if err != nil {
-			return err
-		}
-		engine, err = evoprot.NewEngine(eval, pop, cfg)
-		if err != nil {
-			return err
-		}
+		// The run itself finished but something else failed (e.g. the
+		// final checkpoint write); still report the result below.
+	}
+	if runErr != nil && (ckptFailed || (res != nil && ctx.Err() == nil)) {
+		// Surface non-context failures after the report.
+		exitErr = runErr
+	}
+	if res == nil {
+		fmt.Fprintln(stdout, "cancelled before any evolution")
+		return exitErr
 	}
 	if *ckpt != "" {
-		every := *ckptEvery
-		if every < 1 {
-			every = 1
+		if ckptFailed {
+			fmt.Fprintf(stdout, "final checkpoint write FAILED; %s may be stale\n", *ckpt)
+		} else {
+			fmt.Fprintf(stdout, "final checkpoint written to %s\n", *ckpt)
 		}
-		engine.SetOnGeneration(func(gs evoprot.GenStats) {
-			if gs.Gen%every == 0 {
-				if err := writeCheckpoint(engine, *ckpt); err != nil {
-					fmt.Fprintf(stdout, "checkpoint failed: %v\n", err)
-				}
-			}
-		})
 	}
-
-	res := engine.Run()
-	if *ckpt != "" {
-		if err := writeCheckpoint(engine, *ckpt); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "final checkpoint written to %s\n", *ckpt)
-	}
-
-	first := res.History[0]
-	last := res.History[len(res.History)-1]
-	fmt.Fprintf(stdout, "evolved %d individuals for %d generations (%d evaluations, %d/%d offspring accepted)\n",
-		len(res.Population), res.Generations, res.Evaluations, res.AcceptedOffspring, res.TotalOffspring)
-	fmt.Fprintf(stdout, "  max score:  %7.2f -> %7.2f\n", first.Max, last.Max)
-	fmt.Fprintf(stdout, "  mean score: %7.2f -> %7.2f\n", first.Mean, last.Mean)
-	fmt.Fprintf(stdout, "  min score:  %7.2f -> %7.2f\n", first.Min, last.Min)
-	fmt.Fprintf(stdout, "best protection: origin=%s IL=%.2f DR=%.2f score=%.2f\n",
-		res.Best.Origin, res.Best.Eval.IL, res.Best.Eval.DR, res.Best.Eval.Score)
-
-	if *plots {
-		printPlots(stdout, res)
-	}
+	report(stdout, res, *plots)
 	if *best != "" {
 		if err := evoprot.SaveCSV(res.Best.Data, *best); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "best protection written to %s\n", *best)
 	}
-	return nil
+	return exitErr
+}
+
+// report prints the run summary: the best island's trajectory plus, for
+// multi-island runs, one line per island.
+func report(w io.Writer, res *evoprot.RunResult, plots bool) {
+	lead := res.Islands[res.BestIsland]
+	if len(lead.History) == 0 {
+		fmt.Fprintln(w, "no generations executed")
+		return
+	}
+	first := lead.History[0]
+	last := lead.History[len(lead.History)-1]
+	fmt.Fprintf(w, "evolved %d individuals for %d generations (%d evaluations, stop: %s)\n",
+		len(lead.Population), res.Generations, res.Evaluations, res.StopReason)
+	if len(res.Islands) > 1 {
+		fmt.Fprintf(w, "%d islands, %d accepted migrations; per-island best:\n", len(res.Islands), res.Migrations)
+		for i, ir := range res.Islands {
+			marker := " "
+			if i == res.BestIsland {
+				marker = "*"
+			}
+			fmt.Fprintf(w, " %s island %d: best %7.2f after %d generations (%d/%d offspring accepted, stop: %s)\n",
+				marker, i, ir.Best.Eval.Score, ir.Generations, ir.AcceptedOffspring, ir.TotalOffspring, ir.StopReason)
+		}
+	} else {
+		fmt.Fprintf(w, "  offspring accepted: %d/%d\n", lead.AcceptedOffspring, lead.TotalOffspring)
+	}
+	fmt.Fprintf(w, "  max score:  %7.2f -> %7.2f\n", first.Max, last.Max)
+	fmt.Fprintf(w, "  mean score: %7.2f -> %7.2f\n", first.Mean, last.Mean)
+	fmt.Fprintf(w, "  min score:  %7.2f -> %7.2f\n", first.Min, last.Min)
+	fmt.Fprintf(w, "best protection: origin=%s IL=%.2f DR=%.2f score=%.2f\n",
+		res.Best.Origin, res.Best.Eval.IL, res.Best.Eval.DR, res.Best.Eval.Score)
+	if plots {
+		printPlots(w, lead)
+	}
 }
 
 // resolveInput loads or generates the original dataset and resolves the
@@ -176,22 +219,6 @@ func resolveInput(name, origCSV, attrCSV, grid string, rows int, seed uint64) (*
 	default:
 		return nil, nil, "", fmt.Errorf("one of -dataset or -orig is required")
 	}
-}
-
-func writeCheckpoint(engine *evoprot.Engine, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := engine.Snapshot(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 func printPlots(w io.Writer, res *evoprot.Result) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,10 +10,15 @@ import (
 	"evoprot"
 )
 
+func runCLI(t *testing.T, args []string, out *strings.Builder) error {
+	t.Helper()
+	return run(context.Background(), args, out)
+}
+
 func TestRunBuiltinDataset(t *testing.T) {
 	bestPath := filepath.Join(t.TempDir(), "best.csv")
 	var out strings.Builder
-	err := run([]string{
+	err := runCLI(t, []string{
 		"-dataset", "flare", "-rows", "80", "-gens", "15", "-seed", "3",
 		"-best", bestPath, "-plots",
 	}, &out)
@@ -34,10 +40,27 @@ func TestRunBuiltinDataset(t *testing.T) {
 	}
 }
 
+func TestRunIslands(t *testing.T) {
+	var out strings.Builder
+	err := runCLI(t, []string{
+		"-dataset", "flare", "-rows", "80", "-gens", "20", "-seed", "3",
+		"-islands", "3", "-migrate-every", "5", "-topology", "broadcast",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"3 islands", "island 0:", "island 2:", "best protection:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("output missing %q:\n%s", want, report)
+		}
+	}
+}
+
 func TestRunCheckpointAndResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
 	var out strings.Builder
-	err := run([]string{
+	err := runCLI(t, []string{
 		"-dataset", "flare", "-rows", "80", "-gens", "10", "-seed", "3",
 		"-checkpoint", ckpt, "-checkpoint-every", "4",
 	}, &out)
@@ -48,15 +71,67 @@ func TestRunCheckpointAndResume(t *testing.T) {
 		t.Fatalf("checkpoint not written: %v", err)
 	}
 	out.Reset()
-	err = run([]string{
+	err = runCLI(t, []string{
 		"-dataset", "flare", "-rows", "80", "-gens", "5", "-seed", "3",
 		"-resume", ckpt,
 	}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "resumed at generation 10") {
+	if !strings.Contains(out.String(), "resumed 1 island(s) at generation 10") {
 		t.Fatalf("resume banner missing:\n%s", out.String())
+	}
+}
+
+func TestRunMultiIslandCheckpointAndResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	var out strings.Builder
+	err := runCLI(t, []string{
+		"-dataset", "flare", "-rows", "80", "-gens", "10", "-seed", "3",
+		"-islands", "2", "-migrate-every", "5",
+		"-checkpoint", ckpt, "-checkpoint-every", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = runCLI(t, []string{
+		"-dataset", "flare", "-rows", "80", "-gens", "5", "-seed", "3",
+		"-islands", "2", "-migrate-every", "5",
+		"-resume", ckpt,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "resumed 2 island(s) at generation 10") {
+		t.Fatalf("resume banner missing:\n%s", out.String())
+	}
+}
+
+func TestRunCancelledContextReportsBestSoFar(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run starts: zero generations, still a report
+	var out strings.Builder
+	err := run(ctx, []string{"-dataset", "flare", "-rows", "80", "-gens", "50", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "interrupted; reporting best so far") {
+		t.Fatalf("cancel banner missing:\n%s", out.String())
+	}
+}
+
+func TestRunTimeoutFlag(t *testing.T) {
+	var out strings.Builder
+	err := runCLI(t, []string{
+		"-dataset", "flare", "-rows", "80", "-gens", "1000000", "-seed", "3",
+		"-timeout", "300ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "timeout reached; reporting best so far") {
+		t.Fatalf("timeout banner missing:\n%s", out.String())
 	}
 }
 
@@ -68,7 +143,7 @@ func TestRunExternalCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	err := run([]string{
+	err := runCLI(t, []string{
 		"-orig", origPath, "-attrs", "EXISTACC,SAVINGS,PRESEMPLOY",
 		"-grid", "german", "-gens", "8", "-seed", "5",
 	}, &out)
@@ -85,11 +160,14 @@ func TestRunValidation(t *testing.T) {
 		{},                                     // no input
 		{"-dataset", "nosuch"},                 // unknown dataset
 		{"-orig", "absent.csv", "-attrs", "A"}, // missing file
-		{"-dataset", "flare", "-rows", "50", "-agg", "median"},  // bad aggregator
-		{"-dataset", "flare", "-rows", "50", "-resume", "nope"}, // missing checkpoint
+		{"-dataset", "flare", "-rows", "50", "-agg", "median"},       // bad aggregator
+		{"-dataset", "flare", "-rows", "50", "-resume", "nope"},      // missing checkpoint
+		{"-dataset", "flare", "-rows", "50", "-topology", "star"},    // bad topology
+		{"-dataset", "flare", "-rows", "50", "-islands", "-2"},       // bad island count
+		{"-dataset", "flare", "-rows", "50", "-migrate-every", "-1"}, // bad epoch
 	}
 	for _, args := range cases {
-		if err := run(args, &strings.Builder{}); err == nil {
+		if err := runCLI(t, args, &strings.Builder{}); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

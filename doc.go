@@ -17,20 +17,59 @@
 //
 // # Quick start
 //
+// The primary entry point is the context-aware Runner API: Run (or
+// NewRunner + Runner.Run) with functional options. Cancellation and
+// deadlines are honoured between generations, and an interrupted run still
+// returns its best-so-far result with the stop reason recorded.
+//
 //	orig, _ := evoprot.GenerateDataset("adult", 0, 42)      // or LoadCSV
 //	attrs, _ := evoprot.ProtectedAttributes("adult")        // EDUCATION, MARITAL-STATUS, OCCUPATION
-//	result, _ := evoprot.Optimize(orig, attrs, evoprot.OptimizeOptions{
-//		Dataset:     "adult",                               // seeds the paper's masking grid
-//		Aggregator:  "max",                                 // Eq. 2: Score = max(IL, DR)
-//		Generations: 400,
-//		Seed:        42,
-//	})
-//	best := result.Best
-//	fmt.Printf("best protection: IL=%.2f DR=%.2f score=%.2f\n",
-//		best.Eval.IL, best.Eval.DR, best.Eval.Score)
+//	res, _ := evoprot.Run(ctx, orig, attrs,
+//		evoprot.WithGrid("adult"),                          // seed the paper's masking grid
+//		evoprot.WithAggregator("max"),                      // Eq. 2: Score = max(IL, DR)
+//		evoprot.WithGenerations(400),
+//		evoprot.WithSeed(42),
+//	)
+//	best := res.Best
+//	fmt.Printf("best protection: IL=%.2f DR=%.2f score=%.2f (stop: %s)\n",
+//		best.Eval.IL, best.Eval.DR, best.Eval.Score, res.StopReason)
 //
 // Lower scores are better; 0 would be a protection that loses nothing and
 // discloses nothing.
+//
+// # Island-model parallel evolution
+//
+// WithIslands(n) evolves n islands concurrently — one engine per
+// goroutine over the shared evaluator — exchanging elite individuals every
+// WithMigration(every, migrants) generations under a Ring or Broadcast
+// topology. Island 0 uses the top-level seed verbatim (a 1-island run is
+// bit-identical to a plain engine run); islands i > 0 derive independent
+// seeds, and migration happens at coordinator barriers, so a fixed seed
+// reproduces the full parallel run deterministically regardless of
+// scheduling. Progress streams as Events — callback (WithProgress) or
+// channel (WithEvents) — carrying the island id, and one Done event per
+// island carries its stop reason. Multi-island checkpoints
+// (WithCheckpoint, Runner.Resume) persist every island's engine state.
+//
+//	res, _ := evoprot.Run(ctx, orig, attrs,
+//		evoprot.WithGrid("flare"),
+//		evoprot.WithIslands(4),
+//		evoprot.WithMigration(25, 2),
+//		evoprot.WithTopology(evoprot.Ring),
+//		evoprot.WithProgress(func(ev evoprot.Event) {
+//			log.Printf("island %d gen %d best %.2f", ev.Island, ev.Stats.Gen, ev.Stats.Min)
+//		}),
+//	)
+//
+// See examples/quickstart and examples/islands for runnable tours.
+//
+// # Deprecated entry points
+//
+// The pre-context surface is kept as thin wrappers for compatibility:
+// Optimize(orig, attrs, OptimizeOptions{...}) delegates to Run with the
+// equivalent options (same trajectory for the same seed), and
+// Engine.SetOnGeneration survives — now safe under concurrent use — in
+// favour of the streamed progress options. New code should not use either.
 //
 // # Architecture
 //
@@ -42,7 +81,8 @@
 //   - internal/infoloss — CTBIL, DBIL, EBIL information-loss measures
 //   - internal/risk — ID, DBRL, PRL, RSRL disclosure-risk measures
 //   - internal/score — fitness evaluation and the mean/max aggregators
-//   - internal/core — the genetic algorithm itself
+//   - internal/core — the genetic algorithm itself (ctx-first Engine.Run)
+//   - internal/islands — the island-model coordinator
 //   - internal/experiment — the paper's experiments 1–3 as a harness
 //
 // # Incremental (delta) evaluation
@@ -56,11 +96,10 @@
 // agreement-pattern caches) and patch it per changed cell, and
 // score.Evaluator.EvaluateDelta routes each measure of the battery to its
 // fast path. CTBIL, DBIL, EBIL, ID, DBRL and PRL are incremental; RSRL is
-// the documented full-recompute fallback — a cell change shifts the
-// masked file's mid-ranks and with them every rank window, so it is
-// instead recomputed with a bitset-accelerated candidate intersection.
-// Measures configured with intruder-side sampling (MaxRecords) also fall
-// back to the full recompute.
+// the documented full-recompute fallback. Initial populations are
+// delta-prepared inside the evaluation worker pool, so the first
+// reproduction of every parent skips the lazy state build
+// (core.Config.LazyPrepare restores the lazy behavior).
 //
 // Delta evaluation is bit-for-bit identical to a full Evaluate — the
 // states keep exact integer summaries and share their final value

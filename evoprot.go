@@ -1,6 +1,7 @@
 package evoprot
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -176,7 +177,9 @@ func ParetoFront(pairs []Pair) []Pair { return pareto.Front(pairs) }
 // within [0, ref.IL] x [0, ref.DR]; larger is better.
 func Hypervolume(pairs []Pair, ref Pair) float64 { return pareto.Hypervolume(pairs, ref) }
 
-// OptimizeOptions parameterizes Optimize, the one-call entry point.
+// OptimizeOptions parameterizes Optimize, the pre-context entry point.
+//
+// Deprecated: use the functional options of Run / NewRunner instead.
 type OptimizeOptions struct {
 	// Dataset names a paper masking grid ("housing", "german", "flare",
 	// "adult") used to seed the population when Seeds is nil. Required in
@@ -201,53 +204,31 @@ type OptimizeOptions struct {
 // Optimize runs the full pipeline on an original dataset: build (or
 // accept) an initial population of protections over the named attributes,
 // evolve it, and return the result with the best protection first.
+//
+// Deprecated: Optimize cannot express cancellation, deadlines, streamed
+// progress or multi-island runs. It is kept as a thin wrapper over Run —
+// same trajectory for the same seed — for compatibility; new code should
+// call Run (or NewRunner) with context and functional options.
 func Optimize(orig *Dataset, attrNames []string, opts OptimizeOptions) (*Result, error) {
-	attrs, err := orig.Schema().Indices(attrNames...)
-	if err != nil {
-		return nil, err
-	}
-	aggName := opts.Aggregator
-	if aggName == "" {
-		aggName = "max"
-	}
-	agg, err := score.ExtendedAggregatorByName(aggName)
-	if err != nil {
-		return nil, err
-	}
-	eval, err := score.NewEvaluator(orig, attrs, score.Config{Aggregator: agg})
-	if err != nil {
-		return nil, err
-	}
-	var initial []*Individual
+	options := []Option{WithSeed(opts.Seed), WithWorkers(opts.Workers)}
 	if opts.Seeds != nil {
-		if len(opts.Seeds) < 2 {
-			return nil, fmt.Errorf("evoprot: need at least 2 seed protections, got %d", len(opts.Seeds))
-		}
-		initial = make([]*Individual, len(opts.Seeds))
-		for i, s := range opts.Seeds {
-			initial[i] = core.NewIndividual(s, fmt.Sprintf("seed[%d]", i))
-		}
-	} else {
-		if opts.Dataset == "" {
-			return nil, fmt.Errorf("evoprot: Optimize needs Seeds or a Dataset grid name")
-		}
-		initial, err = experiment.BuildPopulation(orig, attrs, opts.Dataset, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
+		options = append(options, WithSeeds(opts.Seeds...))
 	}
-	gens := opts.Generations
-	if gens == 0 {
-		gens = 400
+	if opts.Dataset != "" {
+		options = append(options, WithGrid(opts.Dataset))
 	}
-	engine, err := core.NewEngine(eval, initial, core.Config{
-		Generations:         gens,
-		Seed:                opts.Seed,
-		InitWorkers:         opts.Workers,
-		NoImprovementWindow: opts.NoImprovementWindow,
-	})
+	if opts.Aggregator != "" {
+		options = append(options, WithAggregator(opts.Aggregator))
+	}
+	if opts.Generations != 0 {
+		options = append(options, WithGenerations(opts.Generations))
+	}
+	if opts.NoImprovementWindow != 0 {
+		options = append(options, WithEarlyStop(opts.NoImprovementWindow))
+	}
+	res, err := Run(context.Background(), orig, attrNames, options...)
 	if err != nil {
 		return nil, err
 	}
-	return engine.Run(), nil
+	return res.Islands[0], nil
 }

@@ -1,6 +1,7 @@
 package evoprot
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -201,7 +202,10 @@ func TestNewEvaluatorAndEngineFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := engine.Run()
+	res, err := engine.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Generations != 10 {
 		t.Fatalf("generations = %d", res.Generations)
 	}

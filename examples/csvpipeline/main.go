@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -84,7 +85,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine.Run()
+	engine.Run(context.Background())
 	fmt.Printf("after 60 generations: best score %.2f\n", engine.Best().Eval.Score)
 
 	var checkpoint bytes.Buffer
@@ -99,7 +100,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := resumed.Run()
+	res, err := resumed.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("after 60 more generations: best score %.2f (IL=%.2f DR=%.2f)\n",
 		res.Best.Eval.Score, res.Best.Eval.IL, res.Best.Eval.DR)
 

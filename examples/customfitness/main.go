@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -99,7 +100,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := engine.Run()
+	res, err := engine.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	best := res.Best
 	fmt.Printf("custom fitness %q over %d individuals, %d generations\n",

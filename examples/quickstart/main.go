@@ -1,15 +1,17 @@
 // Quickstart: the 60-second tour of evoprot.
 //
 // Generate a categorical dataset, seed an initial population from the
-// paper's masking grid, evolve it under the max(IL, DR) fitness, and
-// inspect the best protection found.
+// paper's masking grid, evolve it under the max(IL, DR) fitness through
+// the context-aware Runner API, and inspect the best protection found.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"evoprot"
 )
@@ -27,22 +29,29 @@ func main() {
 	}
 	fmt.Printf("original: %d records, protecting %v\n\n", orig.Rows(), attrs)
 
-	// 2. Evolve. Optimize seeds the population with the paper's Adult
-	//    masking grid (86 protections), then runs the genetic algorithm.
-	res, err := evoprot.Optimize(orig, attrs, evoprot.OptimizeOptions{
-		Dataset:     "adult",
-		Aggregator:  "max", // Eq. 2: score = max(IL, DR); lower is better
-		Generations: 150,
-		Seed:        42,
-		Workers:     8,
-	})
+	// 2. Evolve. Run seeds the population with the paper's Adult masking
+	//    grid (86 protections), then runs the genetic algorithm. The
+	//    context bounds the run: cancel it, or give it a deadline, and the
+	//    best-so-far result comes back with the stop reason recorded.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := evoprot.Run(ctx, orig, attrs,
+		evoprot.WithGrid("adult"),
+		evoprot.WithAggregator("max"), // Eq. 2: score = max(IL, DR); lower is better
+		evoprot.WithGenerations(150),
+		evoprot.WithSeed(42),
+		evoprot.WithWorkers(8),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 3. Results.
-	first, last := res.History[0], res.History[len(res.History)-1]
-	fmt.Printf("after %d generations (%d fitness evaluations):\n", res.Generations, res.Evaluations)
+	// 3. Results. A single-island run has exactly one per-island result;
+	//    its History is the generation-by-generation trajectory.
+	trajectory := res.Islands[0]
+	first, last := trajectory.History[0], trajectory.History[len(trajectory.History)-1]
+	fmt.Printf("after %d generations (%d fitness evaluations, stop: %s):\n",
+		res.Generations, res.Evaluations, res.StopReason)
 	fmt.Printf("  best score  %6.2f -> %6.2f\n", first.Min, last.Min)
 	fmt.Printf("  mean score  %6.2f -> %6.2f\n", first.Mean, last.Mean)
 	fmt.Printf("  worst score %6.2f -> %6.2f\n\n", first.Max, last.Max)

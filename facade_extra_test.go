@@ -5,6 +5,7 @@ package evoprot
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -102,7 +103,9 @@ func TestResumeEngineFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine.Run()
+	if _, err := engine.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := engine.Snapshot(&buf); err != nil {
 		t.Fatal(err)
@@ -114,7 +117,10 @@ func TestResumeEngineFacade(t *testing.T) {
 	if resumed.Generation() != 10 {
 		t.Fatalf("resumed generation = %d", resumed.Generation())
 	}
-	res := resumed.Run()
+	res, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.History) != 20 {
 		t.Fatalf("total history = %d, want 20", len(res.History))
 	}

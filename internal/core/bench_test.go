@@ -110,6 +110,33 @@ func BenchmarkCrossOperator(b *testing.B) {
 	}
 }
 
+// BenchmarkInitialPopulationPrepare quantifies the delta-aware initial
+// population: with eager Prepare (default) the states are built inside the
+// InitWorkers pool at construction, so the first selection of every parent
+// goes straight to delta evaluation; with LazyPrepare each first-time
+// parent pays a full Prepare on the evolution hot path. Timed over the
+// first 20 mutation generations, construction excluded.
+func BenchmarkInitialPopulationPrepare(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		lazy bool
+	}{{"eager", false}, {"lazy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := benchEngineCfg(b, Config{
+					Generations: 1 << 30, Seed: 5, ForceOp: "mutation",
+					InitWorkers: 8, LazyPrepare: mode.lazy,
+				})
+				b.StartTimer()
+				for g := 0; g < 20; g++ {
+					e.Step()
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSelectIndex(b *testing.B) {
 	e := benchEngine(b, "mutation")
 	b.ResetTimer()

@@ -23,9 +23,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync"
 	"time"
 
 	"evoprot/internal/dataset"
@@ -141,9 +143,39 @@ func (p CrowdingPolicy) String() string {
 // so a literal 0.0 cannot be expressed directly.
 const AllCrossover = -1.0
 
+// DefaultGenerations is the evolution budget selected when
+// Config.Generations is zero — the paper's 400-generation setup. It is the
+// single source of truth for the default; the facade and experiment layers
+// pass zero through instead of re-stating the number.
+const DefaultGenerations = 400
+
+// StopReason records why a run ended.
+type StopReason string
+
+const (
+	// StopCompleted: the configured generation budget was exhausted.
+	StopCompleted StopReason = "completed"
+	// StopStagnated: the best score did not improve for
+	// NoImprovementWindow generations.
+	StopStagnated StopReason = "stagnated"
+	// StopCancelled: the run's context was cancelled.
+	StopCancelled StopReason = "cancelled"
+	// StopDeadline: the run's context deadline expired.
+	StopDeadline StopReason = "deadline"
+)
+
+// StopReasonForContext maps a context error to the stop reason it implies.
+func StopReasonForContext(err error) StopReason {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return StopDeadline
+	}
+	return StopCancelled
+}
+
 // Config parameterizes the engine. Zero values select the paper's setup.
 type Config struct {
-	// Generations is the number of generations Run executes. Must be > 0.
+	// Generations is the number of generations Run executes. Zero selects
+	// DefaultGenerations; negative values are rejected.
 	Generations int
 	// MutationRate is the probability a generation performs mutation
 	// rather than crossover; the paper fixes it at 0.5 (§2.2). Zero means
@@ -174,6 +206,12 @@ type Config struct {
 	// behavior. Results are bit-identical either way — delta evaluation
 	// only changes speed — so this is a benchmarking and debugging knob.
 	DisableDelta bool
+	// LazyPrepare skips the eager delta-preparation of the initial
+	// population: states are then built lazily the first time each
+	// individual reproduces, the pre-Runner behavior. Trades slower first
+	// selections for a cheaper construction — a benchmarking and
+	// memory-pressure knob; results are bit-identical either way.
+	LazyPrepare bool
 	// OnGeneration, when non-nil, is called synchronously with each
 	// generation's statistics — progress reporting for long runs.
 	OnGeneration func(GenStats)
@@ -181,7 +219,10 @@ type Config struct {
 
 func (c *Config) withDefaults() (Config, error) {
 	out := *c
-	if out.Generations <= 0 {
+	if out.Generations == 0 {
+		out.Generations = DefaultGenerations
+	}
+	if out.Generations < 0 {
 		return out, fmt.Errorf("core: Generations must be positive, got %d", out.Generations)
 	}
 	switch {
@@ -239,9 +280,13 @@ type Result struct {
 	Population []*Individual
 	// History holds one GenStats per executed generation.
 	History []GenStats
-	// Generations is the number of generations actually executed (early
-	// stopping may cut Run short).
+	// Generations is the number of generations actually executed since the
+	// engine was constructed or resumed (early stopping or cancellation may
+	// cut a run short).
 	Generations int
+	// StopReason records why the run ended: budget exhausted, stagnation,
+	// cancellation, or deadline.
+	StopReason StopReason
 	// Evaluations counts all fitness evaluations including the initial
 	// population.
 	Evaluations int
@@ -266,56 +311,117 @@ type Engine struct {
 	history   []GenStats
 	evals     int
 	gen       int
+	startGen  int // generation count at construction or resume
 	accepted  int
 	offspring int
+
+	mu    sync.Mutex // guards onGen
+	onGen func(GenStats)
 }
 
 // NewEngine builds an engine and evaluates the initial population. The
 // initial individuals' Data must share the original dataset's schema and
 // shape; their Eval is computed here (any existing value is ignored).
+// Unless delta evaluation is disabled (or LazyPrepare set), each
+// individual's incremental state is built alongside its evaluation in the
+// same InitWorkers pool, so the first reproduction of every parent skips
+// the lazy state build.
 func NewEngine(eval *score.Evaluator, initial []*Individual, cfg Config) (*Engine, error) {
+	engines, err := NewEngines(context.Background(), eval, initial, []Config{cfg})
+	if err != nil {
+		return nil, err
+	}
+	return engines[0], nil
+}
+
+// NewEngines builds several engines over one shared evaluator and initial
+// population — the island-model constructor. The population is evaluated
+// (and, where any config wants delta evaluation, delta-prepared) exactly
+// once; engine i receives its own individual wrappers under cfgs[i], with
+// the datasets shared (they are copy-on-write throughout the engine) and
+// the prepared states cloned per engine so concurrent islands never share
+// mutable evaluation state. The context bounds the initial evaluation —
+// the expensive part of construction — so cancellation works during
+// startup, not just between generations.
+func NewEngines(ctx context.Context, eval *score.Evaluator, initial []*Individual, cfgs []Config) ([]*Engine, error) {
 	if eval == nil {
 		return nil, fmt.Errorf("core: nil evaluator")
 	}
-	c, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("core: no engine configs")
+	}
+	resolved := make([]Config, len(cfgs))
+	prepare := false
+	for i, cfg := range cfgs {
+		c, err := cfg.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		resolved[i] = c
+		if !c.DisableDelta && !c.LazyPrepare {
+			prepare = true
+		}
 	}
 	if len(initial) < 2 {
 		return nil, fmt.Errorf("core: population of %d, need at least 2", len(initial))
 	}
-	pop := make([]*Individual, len(initial))
 	data := make([]*dataset.Dataset, len(initial))
 	for i, ind := range initial {
 		if ind == nil || ind.Data == nil {
 			return nil, fmt.Errorf("core: nil individual at position %d", i)
 		}
-		pop[i] = &Individual{Data: ind.Data, Origin: ind.Origin}
 		data[i] = ind.Data
 	}
-	evs, err := eval.EvaluateAll(data, c.InitWorkers)
+	workers := 0
+	for _, c := range resolved {
+		if c.InitWorkers > workers {
+			workers = c.InitWorkers
+		}
+	}
+	var evs []score.Evaluation
+	var states []*score.DeltaState
+	var err error
+	if prepare {
+		evs, states, err = eval.EvaluateAllPrepared(ctx, data, workers)
+	} else {
+		evs, err = eval.EvaluateAll(ctx, data, workers)
+	}
 	if err != nil {
 		return nil, err
 	}
-	for i := range pop {
-		pop[i].Eval = evs[i]
-	}
-	pcg := rand.NewPCG(c.Seed, 0x853c49e6748fea9b)
-	e := &Engine{
-		eval:  eval,
-		cfg:   c,
-		rng:   rand.New(pcg),
-		pcg:   pcg,
-		pop:   pop,
-		attrs: eval.Attrs(),
-	}
-	e.mutable, err = mutableAttrs(eval)
+	mutable, err := mutableAttrs(eval)
 	if err != nil {
 		return nil, err
 	}
-	e.evals = len(pop)
-	e.sortPop()
-	return e, nil
+	engines := make([]*Engine, len(resolved))
+	for k, c := range resolved {
+		pop := make([]*Individual, len(initial))
+		for i, ind := range initial {
+			pop[i] = &Individual{Data: ind.Data, Origin: ind.Origin, Eval: evs[i]}
+			if states != nil && !c.DisableDelta && !c.LazyPrepare {
+				if k == len(resolved)-1 {
+					pop[i].state = states[i] // last engine takes ownership
+				} else {
+					pop[i].state = states[i].Clone()
+				}
+			}
+		}
+		pcg := rand.NewPCG(c.Seed, 0x853c49e6748fea9b)
+		e := &Engine{
+			eval:    eval,
+			cfg:     c,
+			rng:     rand.New(pcg),
+			pcg:     pcg,
+			pop:     pop,
+			attrs:   eval.Attrs(),
+			mutable: mutable,
+			onGen:   c.OnGeneration,
+		}
+		e.evals = len(pop)
+		e.sortPop()
+		engines[k] = e
+	}
+	return engines, nil
 }
 
 // mutableAttrs returns the protected columns whose domain has more than
@@ -351,14 +457,38 @@ func (e *Engine) Best() *Individual { return e.pop[0] }
 // Generation returns the number of generations executed so far.
 func (e *Engine) Generation() int { return e.gen }
 
+// MaxGenerations returns the configured generation budget (after
+// defaulting), the most generations a Run will execute.
+func (e *Engine) MaxGenerations() int { return e.cfg.Generations }
+
+// ExecutedGenerations returns the generations executed since the engine
+// was constructed or resumed.
+func (e *Engine) ExecutedGenerations() int { return e.gen - e.startGen }
+
 // Evaluations returns the total number of fitness evaluations so far.
 func (e *Engine) Evaluations() int { return e.evals }
 
 // SetOnGeneration installs (or replaces) the per-generation callback.
 // Intended for callers that need the engine reference inside the hook —
 // e.g. periodic checkpointing — which Config cannot express because the
-// engine does not exist yet when the config is written.
-func (e *Engine) SetOnGeneration(fn func(GenStats)) { e.cfg.OnGeneration = fn }
+// engine does not exist yet when the config is written. Safe to call
+// concurrently with a running engine.
+//
+// Deprecated: prefer Config.OnGeneration, or the streamed progress options
+// of the islands and facade layers, which carry island ids and stop
+// reasons.
+func (e *Engine) SetOnGeneration(fn func(GenStats)) {
+	e.mu.Lock()
+	e.onGen = fn
+	e.mu.Unlock()
+}
+
+// onGeneration returns the installed per-generation callback, if any.
+func (e *Engine) onGeneration() func(GenStats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.onGen
+}
 
 // History returns the per-generation statistics recorded so far.
 func (e *Engine) History() []GenStats {
@@ -427,52 +557,108 @@ func (e *Engine) Step() GenStats {
 	gs.TotalTime = time.Since(start)
 	gs.Improved = e.pop[0].Eval.Score < prevBest
 	e.history = append(e.history, gs)
-	if e.cfg.OnGeneration != nil {
-		e.cfg.OnGeneration(gs)
+	if fn := e.onGeneration(); fn != nil {
+		fn(gs)
 	}
 	return gs
 }
 
-// Run executes up to cfg.Generations generations, stopping early when the
-// best score stagnates past NoImprovementWindow.
-func (e *Engine) Run() *Result {
-	res, _ := e.RunContext(context.Background())
-	return res
-}
-
-// RunContext is Run with cooperative cancellation: the context is checked
-// between generations, and on cancellation the partial result is returned
-// together with the context's error. Generations already executed are
-// never discarded.
-func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+// Run executes up to cfg.Generations generations under ctx, stopping early
+// when the best score stagnates past NoImprovementWindow. The context is
+// checked between generations; on cancellation or deadline expiry the
+// partial result — with its stop reason recorded — is returned together
+// with the context's error. Generations already executed are never
+// discarded.
+func (e *Engine) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sinceImprove := 0
-	executed := 0
-	var ctxErr error
+	reason := StopCompleted
+	var runErr error
 	for g := 0; g < e.cfg.Generations; g++ {
 		if err := ctx.Err(); err != nil {
-			ctxErr = err
+			reason, runErr = StopReasonForContext(err), err
 			break
 		}
 		gs := e.Step()
-		executed++
 		if gs.Improved {
 			sinceImprove = 0
 		} else {
 			sinceImprove++
 		}
 		if e.cfg.NoImprovementWindow > 0 && sinceImprove >= e.cfg.NoImprovementWindow {
+			reason = StopStagnated
 			break
 		}
 	}
+	return e.MakeResult(reason), runErr
+}
+
+// RunContext is Run under its pre-redesign name.
+//
+// Deprecated: use Run, which now takes the context directly.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) { return e.Run(ctx) }
+
+// MakeResult assembles the engine's current state into a Result with the
+// given stop reason — the builder Run uses, exported so coordinators that
+// drive the engine through Step (the island model) can report results in
+// the same shape.
+func (e *Engine) MakeResult(reason StopReason) *Result {
 	return &Result{
 		Population:        e.Population(),
 		History:           e.History(),
-		Generations:       executed,
+		Generations:       e.ExecutedGenerations(),
+		StopReason:        reason,
 		Evaluations:       e.evals,
 		AcceptedOffspring: e.accepted,
 		TotalOffspring:    e.offspring,
 		Best:              e.Best(),
-	}, ctxErr
+	}
+}
+
+// Emigrants returns copies of the k best individuals for injection into
+// another engine: the datasets are shared (copy-on-write throughout the
+// engine), the evaluations copied, and any incremental state cloned so the
+// receiving island never shares mutable evaluation state with this one.
+func (e *Engine) Emigrants(k int) []*Individual {
+	if k > len(e.pop) {
+		k = len(e.pop)
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]*Individual, k)
+	for i := 0; i < k; i++ {
+		src := e.pop[i]
+		out[i] = &Individual{Data: src.Data, Eval: src.Eval, Origin: src.Origin}
+		if src.state != nil {
+			out[i].state = src.state.Clone()
+		}
+	}
+	return out
+}
+
+// Immigrate offers migrant individuals to the population: each migrant
+// strictly better than the current worst replaces it (the standard
+// worst-replacement acceptance, preserving elitism — the best can only
+// improve). Returns how many migrants were accepted. The migrants' cached
+// evaluations are trusted; their wrappers are copied so the caller may
+// offer the same slice to several engines.
+func (e *Engine) Immigrate(migrants []*Individual) int {
+	accepted := 0
+	for _, m := range migrants {
+		if m == nil || m.Data == nil {
+			continue
+		}
+		worst := len(e.pop) - 1
+		if m.Eval.Score < e.pop[worst].Eval.Score {
+			e.pop[worst] = &Individual{Data: m.Data, Eval: m.Eval, Origin: m.Origin, state: m.state}
+			e.sortPop()
+			accepted++
+		}
+	}
+	return accepted
 }
 
 // stepMutation is the mutation branch of Algorithm 1: select one

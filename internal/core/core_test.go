@@ -2,14 +2,27 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"evoprot/internal/datagen"
 	"evoprot/internal/dataset"
 	"evoprot/internal/protection"
 	"evoprot/internal/score"
 )
+
+// mustRun executes a full run under a background context, failing the
+// test on any run error.
+func mustRun(t *testing.T, e *Engine) *Result {
+	t.Helper()
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 // testEngine builds a small but realistic engine: flare-shaped data, a
 // 14-individual population from all six masking families.
@@ -72,8 +85,8 @@ func TestNewEngineErrors(t *testing.T) {
 	if _, err := NewEngine(eval, []*Individual{pop[0], nil}, Config{Generations: 5}); err == nil {
 		t.Error("nil individual accepted")
 	}
-	if _, err := NewEngine(eval, pop, Config{Generations: 0}); err == nil {
-		t.Error("zero generations accepted")
+	if _, err := NewEngine(eval, pop, Config{Generations: -1}); err == nil {
+		t.Error("negative generations accepted")
 	}
 	if _, err := NewEngine(eval, pop, Config{Generations: 5, MutationRate: 1.5}); err == nil {
 		t.Error("mutation rate 1.5 accepted")
@@ -124,8 +137,8 @@ func TestInitWorkersMatchesSequential(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
-	a := testEngine(t, Config{Generations: 25, Seed: 42}).Run()
-	b := testEngine(t, Config{Generations: 25, Seed: 42}).Run()
+	a := mustRun(t, testEngine(t, Config{Generations: 25, Seed: 42}))
+	b := mustRun(t, testEngine(t, Config{Generations: 25, Seed: 42}))
 	if len(a.History) != len(b.History) {
 		t.Fatal("history lengths differ")
 	}
@@ -140,7 +153,7 @@ func TestDeterministicRuns(t *testing.T) {
 			}
 		}
 	}
-	c := testEngine(t, Config{Generations: 25, Seed: 43}).Run()
+	c := mustRun(t, testEngine(t, Config{Generations: 25, Seed: 43}))
 	same := true
 	for i := range a.History {
 		if i >= len(c.History) || a.History[i].Op != c.History[i].Op {
@@ -182,7 +195,7 @@ func TestMeanNeverWorsens(t *testing.T) {
 
 func TestRunHistoryBookkeeping(t *testing.T) {
 	e := testEngine(t, Config{Generations: 30, Seed: 7})
-	res := e.Run()
+	res := mustRun(t, e)
 	if res.Generations != 30 || len(res.History) != 30 {
 		t.Fatalf("generations = %d, history = %d", res.Generations, len(res.History))
 	}
@@ -216,7 +229,7 @@ func TestRunHistoryBookkeeping(t *testing.T) {
 func TestForceOpPinsOperator(t *testing.T) {
 	for _, op := range []string{"mutation", "crossover"} {
 		e := testEngine(t, Config{Generations: 10, Seed: 11, ForceOp: op})
-		res := e.Run()
+		res := mustRun(t, e)
 		for _, gs := range res.History {
 			if gs.Op != op {
 				t.Fatalf("ForceOp=%s produced op %s", op, gs.Op)
@@ -227,7 +240,7 @@ func TestForceOpPinsOperator(t *testing.T) {
 
 func TestNoImprovementWindowStopsEarly(t *testing.T) {
 	e := testEngine(t, Config{Generations: 500, Seed: 13, NoImprovementWindow: 5})
-	res := e.Run()
+	res := mustRun(t, e)
 	if res.Generations == 500 {
 		t.Skip("run never stagnated for 5 generations; extremely unlikely but not a failure")
 	}
@@ -330,7 +343,7 @@ func TestRawProportionalFavorsBadIndividuals(t *testing.T) {
 func TestSelectionPoliciesRun(t *testing.T) {
 	for _, sel := range []SelectionPolicy{SelectInverseProportional, SelectRawProportional, SelectRank, SelectUniform} {
 		e := testEngine(t, Config{Generations: 8, Seed: 31, Selection: sel})
-		res := e.Run()
+		res := mustRun(t, e)
 		if len(res.History) != 8 {
 			t.Errorf("%v: history %d", sel, len(res.History))
 		}
@@ -360,7 +373,7 @@ func TestSelectionByName(t *testing.T) {
 func TestCrowdingPoliciesRun(t *testing.T) {
 	for _, cr := range []CrowdingPolicy{CrowdParentIndex, CrowdNearestParent} {
 		e := testEngine(t, Config{Generations: 12, Seed: 37, Crowding: cr, ForceOp: "crossover"})
-		res := e.Run()
+		res := mustRun(t, e)
 		if len(res.History) != 12 {
 			t.Errorf("%v: history %d", cr, len(res.History))
 		}
@@ -407,7 +420,7 @@ func TestStatsSnapshot(t *testing.T) {
 
 func TestOffspringStayInDomain(t *testing.T) {
 	e := testEngine(t, Config{Generations: 60, Seed: 47})
-	e.Run()
+	mustRun(t, e)
 	for i, ind := range e.Population() {
 		if err := ind.Data.Validate(); err != nil {
 			t.Fatalf("individual %d invalid after run: %v", i, err)
@@ -455,7 +468,7 @@ func TestPopulationReturnsCopy(t *testing.T) {
 
 func TestHistoryReturnsCopy(t *testing.T) {
 	e := testEngine(t, Config{Generations: 3, Seed: 61})
-	e.Run()
+	mustRun(t, e)
 	h := e.History()
 	if len(h) != 3 {
 		t.Fatalf("history = %d", len(h))
@@ -479,13 +492,13 @@ func TestRunContextCancellation(t *testing.T) {
 	e := testEngine(t, Config{Generations: 10000, Seed: 79})
 	ctx, cancel := context.WithCancel(context.Background())
 	gens := 0
-	e.cfg.OnGeneration = func(GenStats) {
+	e.SetOnGeneration(func(GenStats) {
 		gens++
 		if gens == 7 {
 			cancel()
 		}
-	}
-	res, err := e.RunContext(ctx)
+	})
+	res, err := e.Run(ctx)
 	if err == nil {
 		t.Fatal("cancelled run returned nil error")
 	}
@@ -495,6 +508,171 @@ func TestRunContextCancellation(t *testing.T) {
 	if len(res.History) != 7 {
 		t.Fatalf("history = %d", len(res.History))
 	}
+	if res.StopReason != StopCancelled {
+		t.Fatalf("stop reason = %q, want %q", res.StopReason, StopCancelled)
+	}
+}
+
+func TestRunDeadlineStopReason(t *testing.T) {
+	e := testEngine(t, Config{Generations: 1 << 30, Seed: 81})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	res, err := e.Run(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if res.StopReason != StopDeadline {
+		t.Fatalf("stop reason = %q, want %q", res.StopReason, StopDeadline)
+	}
+}
+
+func TestRunStopReasons(t *testing.T) {
+	if res := mustRun(t, testEngine(t, Config{Generations: 5, Seed: 83})); res.StopReason != StopCompleted {
+		t.Fatalf("completed run stop reason = %q", res.StopReason)
+	}
+	res := mustRun(t, testEngine(t, Config{Generations: 5000, Seed: 83, NoImprovementWindow: 4}))
+	if res.Generations < 5000 && res.StopReason != StopStagnated {
+		t.Fatalf("stagnated run stop reason = %q", res.StopReason)
+	}
+}
+
+func TestGenerationsDefaultsToPaperBudget(t *testing.T) {
+	e := testEngine(t, Config{Seed: 85})
+	if e.MaxGenerations() != DefaultGenerations {
+		t.Fatalf("MaxGenerations = %d, want %d", e.MaxGenerations(), DefaultGenerations)
+	}
+}
+
+func TestInitialPopulationEagerlyPrepared(t *testing.T) {
+	e := testEngine(t, Config{Generations: 5, Seed: 87})
+	for i, ind := range e.pop {
+		if ind.state == nil {
+			t.Fatalf("individual %d has no delta state after construction", i)
+		}
+	}
+	lazy := testEngine(t, Config{Generations: 5, Seed: 87, LazyPrepare: true})
+	for _, ind := range lazy.pop {
+		if ind.state != nil {
+			t.Fatal("LazyPrepare engine carries eager delta states")
+		}
+	}
+}
+
+func TestEagerPrepareMatchesLazyTrajectory(t *testing.T) {
+	eager := mustRun(t, testEngine(t, Config{Generations: 40, Seed: 89}))
+	lazy := mustRun(t, testEngine(t, Config{Generations: 40, Seed: 89, LazyPrepare: true}))
+	if len(eager.History) != len(lazy.History) {
+		t.Fatalf("history lengths %d vs %d", len(eager.History), len(lazy.History))
+	}
+	for i := range eager.History {
+		a, b := eager.History[i], lazy.History[i]
+		a.EvalTime, a.TotalTime = 0, 0
+		b.EvalTime, b.TotalTime = 0, 0
+		if a != b {
+			t.Fatalf("generation %d diverged:\neager: %+v\nlazy:  %+v", i+1, a, b)
+		}
+	}
+}
+
+func TestNewEnginesSharedEvaluation(t *testing.T) {
+	eval, pop := testPopulation(t)
+	cfgs := []Config{
+		{Generations: 10, Seed: 1},
+		{Generations: 10, Seed: 2},
+		{Generations: 10, Seed: 3},
+	}
+	engines, err := NewEngines(context.Background(), eval, pop, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(engines) != 3 {
+		t.Fatalf("engines = %d", len(engines))
+	}
+	// Every engine starts from the same evaluated population...
+	for i := 1; i < len(engines); i++ {
+		a, b := engines[0].Population(), engines[i].Population()
+		for j := range a {
+			if a[j].Eval.Score != b[j].Eval.Score {
+				t.Fatalf("engine %d initial population differs at %d", i, j)
+			}
+		}
+	}
+	// ...and an engine built by NewEngines matches a solo NewEngine with
+	// the same seed, trajectory and all.
+	solo := mustRun(t, testEngine(t, Config{Generations: 10, Seed: 1}))
+	batch, err := engines[0].Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range solo.History {
+		a, b := solo.History[i], batch.History[i]
+		a.EvalTime, a.TotalTime = 0, 0
+		b.EvalTime, b.TotalTime = 0, 0
+		if a != b {
+			t.Fatalf("generation %d diverged between NewEngine and NewEngines", i+1)
+		}
+	}
+}
+
+func TestEmigrantsAndImmigrate(t *testing.T) {
+	eval, pop := testPopulation(t)
+	engines, err := NewEngines(context.Background(), eval, pop, []Config{{Generations: 30, Seed: 7}, {Generations: 30, Seed: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := engines[0], engines[1]
+	mustRun(t, a)
+	em := a.Emigrants(3)
+	if len(em) != 3 {
+		t.Fatalf("emigrants = %d", len(em))
+	}
+	for i, m := range em {
+		if m.Eval.Score != a.Population()[i].Eval.Score {
+			t.Fatalf("emigrant %d is not the %d-th best", i, i)
+		}
+		if m == a.Population()[i] {
+			t.Fatal("emigrant shares its wrapper with the source population")
+		}
+	}
+	worstBefore := b.Population()[len(b.pop)-1].Eval.Score
+	bestBefore := b.Best().Eval.Score
+	acc := b.Immigrate(em)
+	if acc < 0 || acc > len(em) {
+		t.Fatalf("accepted = %d", acc)
+	}
+	if b.Best().Eval.Score > bestBefore {
+		t.Fatal("immigration worsened the best individual")
+	}
+	if acc > 0 && b.Population()[len(b.pop)-1].Eval.Score > worstBefore {
+		t.Fatal("immigration worsened the worst individual")
+	}
+	// A hopeless migrant is rejected.
+	bad := &Individual{Data: em[0].Data, Origin: "bad"}
+	bad.Eval = em[0].Eval
+	bad.Eval.Score = 1e9
+	if got := b.Immigrate([]*Individual{bad}); got != 0 {
+		t.Fatalf("hopeless migrant accepted %d times", got)
+	}
+	// Emigrants(k) clamps to the population size.
+	if got := a.Emigrants(1 << 20); len(got) != len(a.Population()) {
+		t.Fatalf("oversized Emigrants = %d", len(got))
+	}
+}
+
+// TestSetOnGenerationConcurrent exercises the deprecated mutator while the
+// engine is stepping on another goroutine — must be clean under -race.
+func TestSetOnGenerationConcurrent(t *testing.T) {
+	e := testEngine(t, Config{Generations: 200, Seed: 91})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			e.SetOnGeneration(func(GenStats) {})
+		}
+	}()
+	mustRun(t, e)
+	<-done
 }
 
 func TestOnGenerationCallback(t *testing.T) {
@@ -508,7 +686,7 @@ func TestOnGenerationCallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.Run()
+	mustRun(t, e)
 	if len(seen) != 5 {
 		t.Fatalf("callback fired %d times, want 5", len(seen))
 	}
@@ -521,7 +699,7 @@ func TestOnGenerationCallback(t *testing.T) {
 
 func TestAcceptanceBookkeeping(t *testing.T) {
 	e := testEngine(t, Config{Generations: 50, Seed: 73})
-	res := e.Run()
+	res := mustRun(t, e)
 	if res.TotalOffspring != res.Evaluations-len(res.Population) {
 		t.Fatalf("TotalOffspring = %d, want %d", res.TotalOffspring, res.Evaluations-len(res.Population))
 	}
@@ -596,7 +774,7 @@ func TestAllCrossoverSentinel(t *testing.T) {
 	// MutationRate 0 keeps the paper's default of 0.5; the AllCrossover
 	// sentinel requests a true rate of 0.0.
 	e := testEngine(t, Config{Generations: 20, Seed: 101, MutationRate: AllCrossover})
-	for _, gs := range e.Run().History {
+	for _, gs := range mustRun(t, e).History {
 		if gs.Op != "crossover" {
 			t.Fatalf("AllCrossover produced op %q", gs.Op)
 		}

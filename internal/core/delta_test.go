@@ -13,8 +13,8 @@ import (
 // evaluation that is not bit-equal to the full one.
 func TestDeltaRunMatchesFullEvaluationRun(t *testing.T) {
 	for _, seed := range []uint64{7, 42, 1001} {
-		delta := testEngine(t, Config{Generations: 60, Seed: seed}).Run()
-		full := testEngine(t, Config{Generations: 60, Seed: seed, DisableDelta: true}).Run()
+		delta := mustRun(t, testEngine(t, Config{Generations: 60, Seed: seed}))
+		full := mustRun(t, testEngine(t, Config{Generations: 60, Seed: seed, DisableDelta: true}))
 		if len(delta.History) != len(full.History) {
 			t.Fatalf("seed %d: history lengths %d vs %d", seed, len(delta.History), len(full.History))
 		}
@@ -37,7 +37,7 @@ func TestDeltaRunMatchesFullEvaluationRun(t *testing.T) {
 // agree bit-for-bit, parts maps included.
 func TestDeltaEvaluationsMatchFreshEvaluate(t *testing.T) {
 	e := testEngine(t, Config{Generations: 80, Seed: 55})
-	e.Run()
+	mustRun(t, e)
 	for i, ind := range e.Population() {
 		want, err := e.eval.Evaluate(ind.Data)
 		if err != nil {
@@ -68,10 +68,10 @@ func TestDeltaEvaluationsMatchFreshEvaluate(t *testing.T) {
 func TestSnapshotResumeWithDeltaEvaluation(t *testing.T) {
 	const n, m = 20, 25
 	ref := testEngine(t, Config{Generations: n + m, Seed: 202})
-	refRes := ref.Run()
+	refRes := mustRun(t, ref)
 
 	first := testEngine(t, Config{Generations: n, Seed: 202})
-	first.Run()
+	mustRun(t, first)
 	var buf bytes.Buffer
 	if err := first.Snapshot(&buf); err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestSnapshotResumeWithDeltaEvaluation(t *testing.T) {
 			t.Fatal("resumed individual carries a serialized delta state; states must rebuild lazily")
 		}
 	}
-	resRes := resumed.Run()
+	resRes := mustRun(t, resumed)
 	if len(resRes.History) != n+m {
 		t.Fatalf("resumed history = %d, want %d", len(resRes.History), n+m)
 	}
@@ -108,7 +108,7 @@ func TestSnapshotResumeWithDeltaEvaluation(t *testing.T) {
 // parents that reproduced must have materialized theirs.
 func TestOffspringCarryDeltaState(t *testing.T) {
 	e := testEngine(t, Config{Generations: 60, Seed: 77})
-	res := e.Run()
+	res := mustRun(t, e)
 	if res.AcceptedOffspring == 0 {
 		t.Skip("no offspring accepted; nothing to check")
 	}
@@ -127,7 +127,7 @@ func TestOffspringCarryDeltaState(t *testing.T) {
 // engine entirely on the full-evaluation path.
 func TestDisableDeltaNeverBuildsStates(t *testing.T) {
 	e := testEngine(t, Config{Generations: 30, Seed: 88, DisableDelta: true})
-	e.Run()
+	mustRun(t, e)
 	for i, ind := range e.Population() {
 		if ind.state != nil {
 			t.Fatalf("individual %d carries a delta state despite DisableDelta", i)

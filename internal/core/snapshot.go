@@ -166,8 +166,10 @@ func Resume(eval *score.Evaluator, r io.Reader, cfg Config) (*Engine, error) {
 		history:   snap.History,
 		evals:     snap.Evals,
 		gen:       snap.Gen,
+		startGen:  snap.Gen,
 		accepted:  snap.Accepted,
 		offspring: snap.Offspring,
+		onGen:     c.OnGeneration,
 	}
 	e.sortPop()
 	return e, nil

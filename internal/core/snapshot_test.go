@@ -13,11 +13,11 @@ func TestSnapshotResumeContinuesIdentically(t *testing.T) {
 
 	// Reference: one uninterrupted run.
 	ref := testEngine(t, Config{Generations: n + m, Seed: 91})
-	refRes := ref.Run()
+	refRes := mustRun(t, ref)
 
 	// Checkpointed: run n, snapshot, resume into a fresh engine, run m.
 	first := testEngine(t, Config{Generations: n, Seed: 91})
-	first.Run()
+	mustRun(t, first)
 	var buf bytes.Buffer
 	if err := first.Snapshot(&buf); err != nil {
 		t.Fatal(err)
@@ -30,7 +30,7 @@ func TestSnapshotResumeContinuesIdentically(t *testing.T) {
 	if resumed.Generation() != n {
 		t.Fatalf("resumed at generation %d, want %d", resumed.Generation(), n)
 	}
-	resRes := resumed.Run()
+	resRes := mustRun(t, resumed)
 
 	if len(resRes.History) != n+m {
 		t.Fatalf("resumed history = %d, want %d", len(resRes.History), n+m)
@@ -56,7 +56,7 @@ func TestSnapshotResumeContinuesIdentically(t *testing.T) {
 
 func TestSnapshotPreservesEvaluations(t *testing.T) {
 	e := testEngine(t, Config{Generations: 10, Seed: 93})
-	e.Run()
+	mustRun(t, e)
 	var buf bytes.Buffer
 	if err := e.Snapshot(&buf); err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestSnapshotPreservesEvaluations(t *testing.T) {
 
 func TestResumeRejectsCorruptSnapshots(t *testing.T) {
 	e := testEngine(t, Config{Generations: 5, Seed: 95})
-	e.Run()
+	mustRun(t, e)
 	var buf bytes.Buffer
 	if err := e.Snapshot(&buf); err != nil {
 		t.Fatal(err)
@@ -103,14 +103,14 @@ func TestResumeRejectsCorruptSnapshots(t *testing.T) {
 	if _, err := Resume(nil, strings.NewReader(good), Config{Generations: 1, Seed: 95}); err == nil {
 		t.Error("nil evaluator accepted")
 	}
-	if _, err := Resume(eval, strings.NewReader(good), Config{Generations: 0, Seed: 95}); err == nil {
+	if _, err := Resume(eval, strings.NewReader(good), Config{Generations: -1, Seed: 95}); err == nil {
 		t.Error("bad config accepted")
 	}
 }
 
 func TestResumeRejectsMismatchedEvaluator(t *testing.T) {
 	e := testEngine(t, Config{Generations: 5, Seed: 97})
-	e.Run()
+	mustRun(t, e)
 	var buf bytes.Buffer
 	if err := e.Snapshot(&buf); err != nil {
 		t.Fatal(err)

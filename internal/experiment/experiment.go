@@ -8,6 +8,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sort"
@@ -51,10 +52,10 @@ type Spec struct {
 
 func (s Spec) withDefaults() Spec {
 	if s.Aggregator == "" {
-		s.Aggregator = "max"
+		s.Aggregator = score.DefaultAggregatorName
 	}
 	if s.Generations == 0 {
-		s.Generations = 400
+		s.Generations = core.DefaultGenerations
 	}
 	return s
 }
@@ -112,6 +113,9 @@ type Report struct {
 	// Evaluations counts fitness evaluations including the initial
 	// population (and the pre-run evaluation when RemoveBestFrac > 0).
 	Evaluations int
+	// StopReason records why the evolution ended (budget or stagnation;
+	// cancelled experiments return an error instead of a report).
+	StopReason core.StopReason
 	// Duration is the end-to-end wall time of the run.
 	Duration time.Duration
 }
@@ -138,7 +142,13 @@ func BuildPopulation(orig *dataset.Dataset, attrs []int, datasetName string, see
 }
 
 // Run executes the experiment described by spec.
-func Run(spec Spec) (*Report, error) {
+func Run(spec Spec) (*Report, error) { return RunContext(context.Background(), spec) }
+
+// RunContext executes the experiment described by spec under ctx. The
+// context is checked between generations; a cancelled or expired context
+// aborts the experiment and returns the context's error (experiments are
+// all-or-nothing: a partial report would mis-state the paper's figures).
+func RunContext(ctx context.Context, spec Spec) (*Report, error) {
 	spec = spec.withDefaults()
 	start := time.Now()
 
@@ -173,7 +183,7 @@ func Run(spec Spec) (*Report, error) {
 
 	extraEvals := 0
 	if spec.RemoveBestFrac > 0 {
-		pop, err = removeBest(eval, pop, spec.RemoveBestFrac, spec.InitWorkers)
+		pop, err = removeBest(ctx, eval, pop, spec.RemoveBestFrac, spec.InitWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +219,11 @@ func Run(spec Spec) (*Report, error) {
 	}
 	rep.InitMin, rep.InitMean, rep.InitMax = rep.Gen0.Min, rep.Gen0.Mean, rep.Gen0.Max
 
-	res := engine.Run()
+	res, err := engine.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep.StopReason = res.StopReason
 	rep.Series = res.History
 	rep.Final = make([]score.Pair, len(res.Population))
 	for i, ind := range res.Population {
@@ -258,7 +272,7 @@ func Run(spec Spec) (*Report, error) {
 
 // removeBest evaluates the population and drops the best frac of it —
 // experiment 3's handicap.
-func removeBest(eval *score.Evaluator, pop []*core.Individual, frac float64, workers int) ([]*core.Individual, error) {
+func removeBest(ctx context.Context, eval *score.Evaluator, pop []*core.Individual, frac float64, workers int) ([]*core.Individual, error) {
 	if frac < 0 || frac >= 1 {
 		return nil, fmt.Errorf("experiment: RemoveBestFrac %v outside [0,1)", frac)
 	}
@@ -266,7 +280,7 @@ func removeBest(eval *score.Evaluator, pop []*core.Individual, frac float64, wor
 	for i, ind := range pop {
 		data[i] = ind.Data
 	}
-	evs, err := eval.EvaluateAll(data, workers)
+	evs, err := eval.EvaluateAll(ctx, data, workers)
 	if err != nil {
 		return nil, err
 	}

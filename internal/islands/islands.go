@@ -1,0 +1,455 @@
+// Package islands runs the island model of parallel evolution: N core
+// engines evolve copies of one initial population concurrently, each on
+// its own goroutine over the shared (read-only) evaluator, and exchange
+// elite individuals every MigrateEvery generations under a pluggable
+// migration topology. Migration happens at a coordinator barrier — every
+// island is quiescent while individuals move — so a run's outcome depends
+// only on the configuration and the top-level seed, never on goroutine
+// scheduling: a fixed seed reproduces the full parallel run bit for bit.
+//
+// Island 0 draws its random stream from the top-level seed itself, so a
+// single-island run reproduces a plain core.Engine run exactly; islands
+// i > 0 use seeds derived through a splitmix64 mix, giving every island an
+// independent deterministic trajectory.
+package islands
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"evoprot/internal/core"
+	"evoprot/internal/score"
+)
+
+// Topology selects which islands exchange individuals at a migration
+// barrier.
+type Topology int
+
+const (
+	// Ring sends each island's elites to its clockwise neighbour
+	// (island i receives from island i-1) — the classic stepping-stone
+	// model with slow diffusion of good genes.
+	Ring Topology = iota
+	// Broadcast offers every island's elites to every other island —
+	// fastest mixing, closest to a panmictic population.
+	Broadcast
+)
+
+// String returns the topology name.
+func (t Topology) String() string {
+	switch t {
+	case Ring:
+		return "ring"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// TopologyByName resolves a topology name.
+func TopologyByName(name string) (Topology, error) {
+	switch name {
+	case "", "ring":
+		return Ring, nil
+	case "broadcast", "all":
+		return Broadcast, nil
+	default:
+		return 0, fmt.Errorf("islands: unknown topology %q (want ring|broadcast)", name)
+	}
+}
+
+// Defaults for the migration schedule.
+const (
+	// DefaultMigrateEvery is the epoch length: generations an island
+	// evolves between migration barriers.
+	DefaultMigrateEvery = 25
+	// DefaultMigrants is how many elite individuals each island emits per
+	// migration.
+	DefaultMigrants = 2
+)
+
+// Config parameterizes an island-model run. Zero values select defaults.
+type Config struct {
+	// Islands is the number of concurrently evolving islands. Zero means 1.
+	Islands int
+	// MigrateEvery is the epoch length in generations; islands synchronize
+	// and exchange individuals at each multiple. Zero means
+	// DefaultMigrateEvery.
+	MigrateEvery int
+	// Migrants is how many elite individuals each island emits per
+	// migration. Zero means DefaultMigrants; negative is rejected.
+	Migrants int
+	// Topology selects the exchange pattern.
+	Topology Topology
+	// Engine is the per-island configuration template. Seed is the
+	// top-level run seed: island 0 uses it verbatim, later islands derive
+	// theirs with IslandSeed. Engine.Generations is each island's budget
+	// for one Run call; Engine.OnGeneration is ignored (progress flows
+	// through OnEvent/Events, which carry the island id).
+	Engine core.Config
+	// OnEvent, when non-nil, receives every island's per-generation
+	// statistics plus a final Done event per island. Calls are serialized
+	// across islands (never concurrent) but interleave island order
+	// non-deterministically; per-island order is ascending.
+	OnEvent func(Event)
+	// Events, when non-nil, receives the same feed as OnEvent on a
+	// channel. Run blocks on the send, so the caller must drain; the
+	// channel is closed when Run returns, making range loops terminate.
+	// A channel serves one Run call.
+	Events chan<- Event
+	// OnEpoch, when non-nil, is called on the coordinator goroutine at
+	// every migration barrier and once before Run returns. All islands are
+	// quiescent during the call, so Runner.Snapshot is safe inside it —
+	// the checkpointing hook.
+	OnEpoch func(*Runner)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Islands == 0 {
+		c.Islands = 1
+	}
+	if c.Islands < 1 {
+		return c, fmt.Errorf("islands: Islands must be positive, got %d", c.Islands)
+	}
+	if c.MigrateEvery == 0 {
+		c.MigrateEvery = DefaultMigrateEvery
+	}
+	if c.MigrateEvery < 1 {
+		return c, fmt.Errorf("islands: MigrateEvery must be positive, got %d", c.MigrateEvery)
+	}
+	if c.Migrants == 0 {
+		c.Migrants = DefaultMigrants
+	}
+	if c.Migrants < 0 {
+		return c, fmt.Errorf("islands: Migrants must be non-negative, got %d", c.Migrants)
+	}
+	switch c.Topology {
+	case Ring, Broadcast:
+	default:
+		return c, fmt.Errorf("islands: unknown topology %v", c.Topology)
+	}
+	c.Engine.OnGeneration = nil
+	return c, nil
+}
+
+// Event is one entry of the streamed progress feed: a generation's
+// statistics tagged with the island that produced it, or — when Done is
+// set — an island's final summary with its stop reason.
+type Event struct {
+	// Island is the 0-based island id.
+	Island int
+	// Stats is the generation's record (for Done events, a summary
+	// snapshot of the island's final population).
+	Stats core.GenStats
+	// Done marks the island's last event.
+	Done bool
+	// Stop is the island's stop reason; set only on Done events.
+	Stop core.StopReason
+}
+
+// Result is the outcome of an island-model run.
+type Result struct {
+	// Best is the best individual across all islands.
+	Best *core.Individual
+	// BestIsland is the island that produced Best (lowest id on ties).
+	BestIsland int
+	// Islands holds each island's own result, indexed by island id.
+	Islands []*core.Result
+	// Generations is the largest per-island generation count executed.
+	Generations int
+	// Evaluations counts the fitness evaluations actually performed across
+	// the run: the shared initial evaluation once, plus every island's
+	// offspring evaluations.
+	Evaluations int
+	// Migrations counts migrants accepted by receiving islands.
+	Migrations int
+	// StopReason summarizes the run: cancelled/deadline when the context
+	// ended it, stagnated when every island stopped on its
+	// NoImprovementWindow, completed otherwise.
+	StopReason core.StopReason
+}
+
+// Runner coordinates one island-model optimization. Build with New (or
+// Resume), call Run; a Runner is not safe for concurrent use, and Snapshot
+// may only be called while the islands are quiescent (between runs or
+// inside OnEpoch).
+type Runner struct {
+	cfg     Config
+	engines []*core.Engine
+	popSize int
+
+	emitMu sync.Mutex // serializes OnEvent calls and Events sends
+
+	// Per-run coordinator state, reset at the top of Run. The slices are
+	// written from island goroutines at disjoint indices and read by the
+	// coordinator only after the epoch barrier.
+	executed     []int
+	sinceImprove []int
+	done         []bool
+	stops        []core.StopReason
+	migrations   int
+}
+
+// IslandSeed derives island i's engine seed from the top-level run seed.
+// Island 0 keeps the seed itself, so a single-island run reproduces the
+// plain core.Engine trajectory bit for bit; later islands mix the seed and
+// their id through the splitmix64 finalizer.
+func IslandSeed(seed uint64, i int) uint64 {
+	if i == 0 {
+		return seed
+	}
+	z := seed + uint64(i)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// New builds a runner: the initial population is evaluated (and
+// delta-prepared) once and fanned out to cfg.Islands engines with derived
+// seeds. The context bounds that initial evaluation, so cancellation
+// works during startup as well as between generations.
+func New(ctx context.Context, eval *score.Evaluator, initial []*core.Individual, cfg Config) (*Runner, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]core.Config, c.Islands)
+	for i := range cfgs {
+		ec := c.Engine
+		ec.Seed = IslandSeed(c.Engine.Seed, i)
+		cfgs[i] = ec
+	}
+	engines, err := core.NewEngines(ctx, eval, initial, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: c, engines: engines, popSize: len(initial)}, nil
+}
+
+// Islands returns the number of islands.
+func (r *Runner) Islands() int { return len(r.engines) }
+
+// Generation returns the largest per-island generation count — the
+// checkpoint cadence marker.
+func (r *Runner) Generation() int {
+	max := 0
+	for _, e := range r.engines {
+		if g := e.Generation(); g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// Best returns the best individual across islands right now.
+func (r *Runner) Best() *core.Individual {
+	best := r.engines[0].Best()
+	for _, e := range r.engines[1:] {
+		if b := e.Best(); b.Eval.Score < best.Eval.Score {
+			best = b
+		}
+	}
+	return best
+}
+
+// Run executes the island model under ctx: epochs of MigrateEvery
+// generations on one goroutine per island, a migration barrier between
+// epochs, until every island exhausts its budget or stagnates, or the
+// context ends the run. On cancellation the partial result is returned
+// together with the context's error; work already done is never discarded.
+func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(r.engines)
+	r.executed = make([]int, n)
+	r.sinceImprove = make([]int, n)
+	r.done = make([]bool, n)
+	r.stops = make([]core.StopReason, n)
+	r.migrations = 0
+
+	var runErr error
+	for runErr == nil {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		active := 0
+		for i := range r.done {
+			if !r.done[i] {
+				active++
+			}
+		}
+		if active == 0 {
+			break
+		}
+		var wg sync.WaitGroup
+		for i := range r.engines {
+			if r.done[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r.runEpoch(ctx, i)
+			}(i)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		r.migrate()
+		if r.cfg.OnEpoch != nil {
+			r.cfg.OnEpoch(r)
+		}
+	}
+
+	reason := core.StopCompleted
+	if runErr != nil {
+		reason = core.StopReasonForContext(runErr)
+		for i := range r.engines {
+			if !r.done[i] {
+				r.done[i] = true
+				r.stops[i] = reason
+				r.emit(Event{Island: i, Stats: r.engines[i].Stats(), Done: true, Stop: reason})
+			}
+		}
+	} else {
+		allStagnated := true
+		for _, s := range r.stops {
+			if s != core.StopStagnated {
+				allStagnated = false
+				break
+			}
+		}
+		if allStagnated {
+			reason = core.StopStagnated
+		}
+	}
+	if r.cfg.OnEpoch != nil && runErr != nil {
+		r.cfg.OnEpoch(r)
+	}
+
+	res := &Result{Islands: make([]*core.Result, n), StopReason: reason, Migrations: r.migrations}
+	for i, e := range r.engines {
+		ir := e.MakeResult(r.stops[i])
+		res.Islands[i] = ir
+		res.Evaluations += ir.Evaluations
+		if ir.Generations > res.Generations {
+			res.Generations = ir.Generations
+		}
+		if res.Best == nil || ir.Best.Eval.Score < res.Best.Eval.Score {
+			res.Best, res.BestIsland = ir.Best, i
+		}
+	}
+	// Each island's Evaluations counter includes the initial population,
+	// which was evaluated once and shared; count it once.
+	res.Evaluations -= (n - 1) * r.popSize
+	if r.cfg.Events != nil {
+		close(r.cfg.Events)
+		r.cfg.Events = nil
+	}
+	return res, runErr
+}
+
+// runEpoch advances island i by up to MigrateEvery generations, honouring
+// the remaining budget, the context, and the island's stagnation window.
+// It runs on the island's goroutine and touches only index i of the
+// coordinator slices.
+func (r *Runner) runEpoch(ctx context.Context, i int) {
+	e := r.engines[i]
+	window := r.cfg.Engine.NoImprovementWindow
+	steps := r.cfg.MigrateEvery
+	if remaining := e.MaxGenerations() - r.executed[i]; steps > remaining {
+		steps = remaining
+	}
+	for s := 0; s < steps; s++ {
+		if ctx.Err() != nil {
+			return
+		}
+		gs := e.Step()
+		r.executed[i]++
+		if gs.Improved {
+			r.sinceImprove[i] = 0
+		} else {
+			r.sinceImprove[i]++
+		}
+		r.emit(Event{Island: i, Stats: gs})
+		if window > 0 && r.sinceImprove[i] >= window {
+			r.finish(i, core.StopStagnated)
+			return
+		}
+	}
+	if r.executed[i] >= e.MaxGenerations() {
+		r.finish(i, core.StopCompleted)
+	}
+}
+
+// finish marks island i done and emits its Done event.
+func (r *Runner) finish(i int, reason core.StopReason) {
+	r.done[i] = true
+	r.stops[i] = reason
+	r.emit(Event{Island: i, Stats: r.engines[i].Stats(), Done: true, Stop: reason})
+}
+
+// emit delivers one event to the callback and channel feeds, serialized
+// across islands.
+func (r *Runner) emit(ev Event) {
+	if r.cfg.OnEvent == nil && r.cfg.Events == nil {
+		return
+	}
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	if r.cfg.OnEvent != nil {
+		r.cfg.OnEvent(ev)
+	}
+	if r.cfg.Events != nil {
+		r.cfg.Events <- ev
+	}
+}
+
+// migrate performs one barrier exchange: every island's elites are
+// collected first (so an individual cannot hop two islands in one
+// exchange), then offered to the receivers the topology names. Runs on the
+// coordinator goroutine while every island is quiescent; iteration order
+// is fixed, keeping the run deterministic. A migration that improves a
+// receiving island's best resets its stagnation window.
+func (r *Runner) migrate() {
+	n := len(r.engines)
+	if n < 2 || r.cfg.Migrants == 0 {
+		return
+	}
+	emig := make([][]*core.Individual, n)
+	for i, e := range r.engines {
+		emig[i] = e.Emigrants(r.cfg.Migrants)
+	}
+	// Done islands still receive: they no longer evolve, but accepting
+	// elites keeps the barrier state identical whether an island's budget
+	// ends at this barrier or later — the property that makes a snapshot
+	// taken here resume onto the uninterrupted run's trajectory.
+	for dst := range r.engines {
+		var incoming []*core.Individual
+		switch r.cfg.Topology {
+		case Broadcast:
+			for src := range r.engines {
+				if src != dst {
+					incoming = append(incoming, emig[src]...)
+				}
+			}
+		default: // Ring
+			incoming = emig[(dst-1+n)%n]
+		}
+		before := r.engines[dst].Best().Eval.Score
+		acc := r.engines[dst].Immigrate(incoming)
+		r.migrations += acc
+		if acc > 0 && r.engines[dst].Best().Eval.Score < before {
+			r.sinceImprove[dst] = 0
+		}
+	}
+}

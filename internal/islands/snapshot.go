@@ -1,0 +1,82 @@
+package islands
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"evoprot/internal/core"
+	"evoprot/internal/score"
+)
+
+// Multi-island checkpoints wrap one core engine snapshot per island. The
+// coordinator itself keeps no state worth persisting: budgets are
+// per-Run-call (resuming with -gens N runs N more generations, matching
+// the single-engine contract) and the migration schedule restarts from the
+// next barrier. Because OnEpoch — the checkpointing hook — only fires at
+// barriers, a resumed run's epochs stay aligned with the schedule.
+
+// snapshotVersion guards against incompatible checkpoint layouts.
+const snapshotVersion = 1
+
+type snapshotJSON struct {
+	Version int               `json:"version"`
+	Islands int               `json:"islands"`
+	Engines []json.RawMessage `json:"engines"`
+}
+
+// Snapshot serializes every island's engine state. Only safe while the
+// islands are quiescent: between runs, or inside Config.OnEpoch.
+func (r *Runner) Snapshot(w io.Writer) error {
+	snap := snapshotJSON{Version: snapshotVersion, Islands: len(r.engines)}
+	for i, e := range r.engines {
+		var buf bytes.Buffer
+		if err := e.Snapshot(&buf); err != nil {
+			return fmt.Errorf("islands: snapshotting island %d: %w", i, err)
+		}
+		snap.Engines = append(snap.Engines, json.RawMessage(buf.Bytes()))
+	}
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("islands: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Resume rebuilds a runner from a Snapshot. The evaluator must wrap the
+// same original dataset the snapshot was taken against; the island count
+// comes from the snapshot (cfg.Islands is ignored), and every island
+// continues its identical stochastic trajectory. cfg.Engine.Generations is
+// the per-island budget for the next Run call.
+func Resume(eval *score.Evaluator, rd io.Reader, cfg Config) (*Runner, error) {
+	var snap snapshotJSON
+	if err := json.NewDecoder(rd).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("islands: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("islands: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	}
+	if snap.Islands < 1 || snap.Islands != len(snap.Engines) {
+		return nil, fmt.Errorf("islands: snapshot declares %d islands but carries %d engines", snap.Islands, len(snap.Engines))
+	}
+	cfg.Islands = snap.Islands
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	engines := make([]*core.Engine, snap.Islands)
+	popSize := 0
+	for i, raw := range snap.Engines {
+		ec := c.Engine
+		ec.Seed = IslandSeed(c.Engine.Seed, i) // cosmetic: the RNG stream is restored from the snapshot
+		e, err := core.Resume(eval, bytes.NewReader(raw), ec)
+		if err != nil {
+			return nil, fmt.Errorf("islands: resuming island %d: %w", i, err)
+		}
+		engines[i] = e
+		if n := len(e.Population()); n > popSize {
+			popSize = n
+		}
+	}
+	return &Runner{cfg: c, engines: engines, popSize: popSize}, nil
+}

@@ -7,6 +7,7 @@
 package score
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -51,6 +52,12 @@ func (Max) Combine(il, dr float64) float64 {
 	}
 	return dr
 }
+
+// DefaultAggregatorName names the aggregation selected when a caller does
+// not choose one: "max" (Eq. 2), the aggregation the paper concludes works
+// better for categorical data. Facade and core layers resolve their empty
+// aggregator values against this single constant.
+const DefaultAggregatorName = "max"
 
 // AggregatorByName resolves "mean" or "max".
 func AggregatorByName(name string) (Aggregator, error) {
@@ -221,18 +228,59 @@ func (e *Evaluator) Evaluate(masked *dataset.Dataset) (Evaluation, error) {
 }
 
 // EvaluateAll evaluates many masked datasets with the given worker-pool
-// width (<=1 means sequential), preserving order.
-func (e *Evaluator) EvaluateAll(masked []*dataset.Dataset, workers int) ([]Evaluation, error) {
+// width (<=1 means sequential), preserving order. The context is checked
+// between datasets, so a whole-population evaluation — the startup cost of
+// an engine — honours cancellation.
+func (e *Evaluator) EvaluateAll(ctx context.Context, masked []*dataset.Dataset, workers int) ([]Evaluation, error) {
+	evs, _, err := e.evaluateAll(ctx, masked, workers, false)
+	return evs, err
+}
+
+// EvaluateAllPrepared is EvaluateAll plus incremental preparation: the
+// worker that evaluates a dataset also builds its delta state (see
+// Prepare), so a population enters the engine ready for delta evaluation
+// and the first reproduction of every parent skips the lazy state build.
+// The returned states are aligned with the evaluations.
+func (e *Evaluator) EvaluateAllPrepared(ctx context.Context, masked []*dataset.Dataset, workers int) ([]Evaluation, []*DeltaState, error) {
+	return e.evaluateAll(ctx, masked, workers, true)
+}
+
+// evaluateAll runs the shared evaluation pool behind EvaluateAll and
+// EvaluateAllPrepared.
+func (e *Evaluator) evaluateAll(ctx context.Context, masked []*dataset.Dataset, workers int, prepare bool) ([]Evaluation, []*DeltaState, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]Evaluation, len(masked))
-	if workers <= 1 {
-		for i, m := range masked {
-			ev, err := e.Evaluate(m)
-			if err != nil {
-				return nil, fmt.Errorf("score: evaluating dataset %d: %w", i, err)
-			}
-			out[i] = ev
+	var states []*DeltaState
+	if prepare {
+		states = make([]*DeltaState, len(masked))
+	}
+	one := func(idx int) error {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		return out, nil
+		ev, err := e.Evaluate(masked[idx])
+		if err != nil {
+			return fmt.Errorf("score: evaluating dataset %d: %w", idx, err)
+		}
+		out[idx] = ev
+		if prepare {
+			st, err := e.Prepare(masked[idx])
+			if err != nil {
+				return fmt.Errorf("score: preparing dataset %d: %w", idx, err)
+			}
+			states[idx] = st
+		}
+		return nil
+	}
+	if workers <= 1 {
+		for i := range masked {
+			if err := one(i); err != nil {
+				return nil, nil, err
+			}
+		}
+		return out, states, nil
 	}
 	// Pre-fill the job queue so a worker that stops on error can never
 	// deadlock the producer.
@@ -248,20 +296,18 @@ func (e *Evaluator) EvaluateAll(masked []*dataset.Dataset, workers int) ([]Evalu
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				ev, err := e.Evaluate(masked[idx])
-				if err != nil {
-					errs <- fmt.Errorf("score: evaluating dataset %d: %w", idx, err)
+				if err := one(idx); err != nil {
+					errs <- err
 					return
 				}
-				out[idx] = ev
 			}
 		}()
 	}
 	wg.Wait()
 	select {
 	case err := <-errs:
-		return nil, err
+		return nil, nil, err
 	default:
 	}
-	return out, nil
+	return out, states, nil
 }

@@ -1,6 +1,7 @@
 package score
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -165,11 +166,11 @@ func TestEvaluateAllPreservesOrderAndMatches(t *testing.T) {
 		maskWith(t, d, attrs, "top:q=0.2", 3),
 	}
 	e, _ := NewEvaluator(d, attrs, Config{})
-	seq, err := e.EvaluateAll(maskings, 1)
+	seq, err := e.EvaluateAll(context.Background(), maskings, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := e.EvaluateAll(maskings, 4)
+	par, err := e.EvaluateAll(context.Background(), maskings, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,10 +188,10 @@ func TestEvaluateAllPropagatesErrors(t *testing.T) {
 	d, attrs := testSetup(t)
 	bad := dataset.New(d.Schema(), 3)
 	e, _ := NewEvaluator(d, attrs, Config{})
-	if _, err := e.EvaluateAll([]*dataset.Dataset{d, bad}, 1); err == nil {
+	if _, err := e.EvaluateAll(context.Background(), []*dataset.Dataset{d, bad}, 1); err == nil {
 		t.Error("sequential: bad dataset accepted")
 	}
-	if _, err := e.EvaluateAll([]*dataset.Dataset{d, bad, d, d}, 3); err == nil {
+	if _, err := e.EvaluateAll(context.Background(), []*dataset.Dataset{d, bad, d, d}, 3); err == nil {
 		t.Error("parallel: bad dataset accepted")
 	}
 }

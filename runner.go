@@ -1,0 +1,413 @@
+package evoprot
+
+// The context-aware Runner API: the package's primary entry point since
+// the island-model redesign. A Runner owns a prepared evaluator and
+// initial population and executes cancellable, observable optimization
+// runs — single-engine or island-model — configured through functional
+// options instead of zero-value-overloaded structs. The pre-context
+// Optimize entry point survives as a thin deprecated wrapper.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"evoprot/internal/core"
+	"evoprot/internal/experiment"
+	"evoprot/internal/islands"
+	"evoprot/internal/protection"
+	"evoprot/internal/score"
+)
+
+// Re-exported island-model types.
+type (
+	// Event is one entry of a run's streamed progress feed: a generation's
+	// statistics tagged with the island that produced it, or an island's
+	// final Done summary with its stop reason.
+	Event = islands.Event
+	// Topology selects which islands exchange individuals when migrating.
+	Topology = islands.Topology
+	// RunResult is the outcome of a Runner.Run: the best individual across
+	// islands plus every island's own Result.
+	RunResult = islands.Result
+	// StopReason records why a run ended.
+	StopReason = core.StopReason
+)
+
+// Migration topologies.
+const (
+	// Ring sends each island's elites to its clockwise neighbour.
+	Ring = islands.Ring
+	// Broadcast offers every island's elites to every other island.
+	Broadcast = islands.Broadcast
+)
+
+// Stop reasons.
+const (
+	StopCompleted = core.StopCompleted
+	StopStagnated = core.StopStagnated
+	StopCancelled = core.StopCancelled
+	StopDeadline  = core.StopDeadline
+)
+
+// runnerOptions collects everything the functional options configure.
+type runnerOptions struct {
+	grid            string
+	seeds           []*Dataset
+	aggregatorName  string
+	aggregator      Aggregator
+	generations     int
+	seed            uint64
+	workers         int
+	window          int
+	selection       string
+	islands         int
+	migrateEvery    int
+	migrants        int
+	topology        Topology
+	onEvent         func(Event)
+	events          chan<- Event
+	disableDelta    bool
+	lazyPrepare     bool
+	checkpointPath  string
+	checkpointEvery int
+}
+
+// Option configures a Runner. Zero/omitted options select the paper's
+// defaults (400 generations, max aggregation, a single island).
+type Option func(*runnerOptions)
+
+// WithGrid seeds the initial population from a paper masking grid:
+// "housing", "german", "flare" or "adult". One of WithGrid / WithSeeds is
+// required.
+func WithGrid(name string) Option { return func(o *runnerOptions) { o.grid = name } }
+
+// WithSeeds supplies a ready-made initial population of masked datasets
+// (at least 2); overrides WithGrid.
+func WithSeeds(seeds ...*Dataset) Option { return func(o *runnerOptions) { o.seeds = seeds } }
+
+// WithAggregator selects the fitness aggregation by name: "mean" (Eq. 1),
+// "max" (Eq. 2, default), "euclidean", or "weighted:<w>".
+func WithAggregator(name string) Option { return func(o *runnerOptions) { o.aggregatorName = name } }
+
+// WithCustomAggregator installs an Aggregator value directly — custom
+// fitness shapes beyond the named ones. Overrides WithAggregator.
+func WithCustomAggregator(agg Aggregator) Option {
+	return func(o *runnerOptions) { o.aggregator = agg }
+}
+
+// WithGenerations sets each island's evolution budget per Run call (0
+// selects the paper's 400).
+func WithGenerations(n int) Option { return func(o *runnerOptions) { o.generations = n } }
+
+// WithSeed fixes the top-level run seed; a fixed seed reproduces the full
+// run — islands, migrations and all — bit for bit.
+func WithSeed(seed uint64) Option { return func(o *runnerOptions) { o.seed = seed } }
+
+// WithWorkers parallelizes initial-population evaluation (0 = sequential).
+func WithWorkers(n int) Option { return func(o *runnerOptions) { o.workers = n } }
+
+// WithEarlyStop stops an island after window stagnant generations
+// (0 = disabled).
+func WithEarlyStop(window int) Option { return func(o *runnerOptions) { o.window = window } }
+
+// WithSelection names the reproduction-selection policy
+// ("inverse-proportional" default, "raw-proportional", "rank", "uniform").
+func WithSelection(name string) Option { return func(o *runnerOptions) { o.selection = name } }
+
+// WithIslands evolves n islands concurrently, exchanging elites under the
+// configured migration schedule (0 or 1 = a single island).
+func WithIslands(n int) Option { return func(o *runnerOptions) { o.islands = n } }
+
+// WithMigration sets the migration schedule: islands synchronize every
+// `every` generations and each emits `migrants` elites (zeros select the
+// defaults of 25 and 2).
+func WithMigration(every, migrants int) Option {
+	return func(o *runnerOptions) { o.migrateEvery, o.migrants = every, migrants }
+}
+
+// WithTopology selects the migration topology (Ring default, Broadcast).
+func WithTopology(t Topology) Option { return func(o *runnerOptions) { o.topology = t } }
+
+// WithProgress streams every generation's statistics (and one Done event
+// per island) to fn. Calls are serialized, never concurrent.
+func WithProgress(fn func(Event)) Option { return func(o *runnerOptions) { o.onEvent = fn } }
+
+// WithEvents streams the same feed to a channel. Run blocks on each send,
+// so the caller must drain; the channel is closed when the run finishes. A
+// channel serves a single Run call.
+func WithEvents(ch chan<- Event) Option { return func(o *runnerOptions) { o.events = ch } }
+
+// WithoutDelta disables incremental (delta) offspring evaluation —
+// identical results, much slower; a benchmarking knob.
+func WithoutDelta() Option { return func(o *runnerOptions) { o.disableDelta = true } }
+
+// WithLazyPrepare skips the eager delta-preparation of the initial
+// population, rebuilding states lazily on first reproduction instead — a
+// memory-pressure knob; identical results.
+func WithLazyPrepare() Option { return func(o *runnerOptions) { o.lazyPrepare = true } }
+
+// WithCheckpoint writes atomic engine snapshots to path at every migration
+// barrier once at least `every` generations have passed since the last
+// write (and once when the run ends, whatever ended it). Resume a
+// checkpoint with Runner.Resume.
+func WithCheckpoint(path string, every int) Option {
+	return func(o *runnerOptions) { o.checkpointPath, o.checkpointEvery = path, every }
+}
+
+// Runner owns a prepared optimization: the evaluator over the original
+// dataset and the evaluated initial population. Build one with NewRunner,
+// then call Run — repeatedly if desired; each call continues the same
+// engines for another budget of generations. A Runner is not safe for
+// concurrent use.
+type Runner struct {
+	orig     *Dataset
+	attrs    []int
+	eval     *Evaluator
+	opts     runnerOptions
+	ir       *islands.Runner
+	lastCkpt int
+}
+
+// NewRunner prepares a run over the original dataset's named protected
+// attributes. The initial population comes from WithSeeds or a WithGrid
+// masking grid; all other options default to the paper's setup. Options
+// are validated here, but the population itself is built lazily on the
+// first Run — a Runner that Resumes a checkpoint never pays for it.
+func NewRunner(orig *Dataset, attrNames []string, options ...Option) (*Runner, error) {
+	var o runnerOptions
+	for _, opt := range options {
+		opt(&o)
+	}
+	attrs, err := orig.Schema().Indices(attrNames...)
+	if err != nil {
+		return nil, err
+	}
+	agg := o.aggregator
+	if agg == nil && o.aggregatorName != "" {
+		agg, err = AggregatorByName(o.aggregatorName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eval, err := score.NewEvaluator(orig, attrs, score.Config{Aggregator: agg})
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case o.seeds != nil:
+		if len(o.seeds) < 2 {
+			return nil, fmt.Errorf("evoprot: need at least 2 seed protections, got %d", len(o.seeds))
+		}
+	case o.grid != "":
+		if _, err := protection.PaperComposition(o.grid); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("evoprot: need seed protections (WithSeeds) or a masking grid (WithGrid)")
+	}
+	if _, err := core.SelectionByName(o.selection); err != nil {
+		return nil, err
+	}
+	return &Runner{orig: orig, attrs: attrs, eval: eval, opts: o}, nil
+}
+
+// buildInitial materializes the initial population the options describe.
+func (r *Runner) buildInitial() ([]*Individual, error) {
+	if r.opts.seeds != nil {
+		initial := make([]*Individual, len(r.opts.seeds))
+		for i, s := range r.opts.seeds {
+			initial[i] = core.NewIndividual(s, fmt.Sprintf("seed[%d]", i))
+		}
+		return initial, nil
+	}
+	return experiment.BuildPopulation(r.orig, r.attrs, r.opts.grid, r.opts.seed)
+}
+
+// islandsConfig assembles the islands.Config the options describe.
+func (r *Runner) islandsConfig() (islands.Config, error) {
+	sel, err := core.SelectionByName(r.opts.selection)
+	if err != nil {
+		return islands.Config{}, err
+	}
+	cfg := islands.Config{
+		Islands:      r.opts.islands,
+		MigrateEvery: r.opts.migrateEvery,
+		Migrants:     r.opts.migrants,
+		Topology:     r.opts.topology,
+		Engine: core.Config{
+			Generations:         r.opts.generations,
+			Seed:                r.opts.seed,
+			InitWorkers:         r.opts.workers,
+			NoImprovementWindow: r.opts.window,
+			Selection:           sel,
+			DisableDelta:        r.opts.disableDelta,
+			LazyPrepare:         r.opts.lazyPrepare,
+		},
+		OnEvent: r.opts.onEvent,
+		Events:  r.opts.events,
+	}
+	if r.opts.checkpointPath != "" {
+		every := r.opts.checkpointEvery
+		if every < 1 {
+			every = 1
+		}
+		cfg.OnEpoch = func(ir *islands.Runner) {
+			if g := ir.Generation(); g-r.lastCkpt >= every {
+				r.lastCkpt = g
+				// Mid-run checkpoint failures must not kill the run; the
+				// final write when Run returns surfaces persistent errors.
+				_ = writeRunnerCheckpoint(ir, r.opts.checkpointPath)
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// Run executes the optimization under ctx. Cancellation and deadlines are
+// honoured between generations: the partial result — stop reason recorded,
+// history intact, best-so-far populated — is returned together with the
+// context's error, so interrupted work is never lost. Calling Run again
+// continues the same engines for another budget of generations.
+func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
+	if r.ir == nil {
+		cfg, err := r.islandsConfig()
+		if err != nil {
+			return nil, err
+		}
+		initial, err := r.buildInitial()
+		if err != nil {
+			return nil, err
+		}
+		ir, err := islands.New(ctx, r.eval, initial, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.ir = ir
+	}
+	res, err := r.ir.Run(ctx)
+	// The events channel is closed by the run; drop it so a later Resume
+	// (which rebuilds the islands runner from this Runner's options) can
+	// never send on it again.
+	r.opts.events = nil
+	if res != nil && r.opts.checkpointPath != "" {
+		// Persist the final state — best-so-far on interruption included —
+		// without letting a write failure vanish behind a cancellation.
+		if werr := r.WriteCheckpoint(r.opts.checkpointPath); werr != nil {
+			werr = fmt.Errorf("%w: %v", ErrCheckpoint, werr)
+			if err == nil {
+				err = werr
+			} else {
+				err = errors.Join(err, werr)
+			}
+		}
+	}
+	return res, err
+}
+
+// ErrCheckpoint marks a failed final checkpoint write. Run joins it with
+// any context error, so an interrupted run whose state could not be
+// persisted reports both; test with errors.Is.
+var ErrCheckpoint = errors.New("evoprot: final checkpoint write failed")
+
+// Resume loads a checkpoint written by this Runner's checkpoint option (or
+// Snapshot) into the Runner: the next Run continues every island's
+// identical stochastic trajectory for another budget of generations. The
+// Runner must have been built over the same original dataset and
+// attributes the checkpoint was taken against; the island count comes from
+// the checkpoint.
+func (r *Runner) Resume(rd io.Reader) error {
+	cfg, err := r.islandsConfig()
+	if err != nil {
+		return err
+	}
+	ir, err := islands.Resume(r.eval, rd, cfg)
+	if err != nil {
+		return err
+	}
+	r.ir = ir
+	return nil
+}
+
+// Snapshot serializes the current engine states. Only valid after a Run or
+// Resume, while no Run is in flight.
+func (r *Runner) Snapshot(w io.Writer) error {
+	if r.ir == nil {
+		return fmt.Errorf("evoprot: nothing to snapshot before the first Run or Resume")
+	}
+	return r.ir.Snapshot(w)
+}
+
+// Generation returns the largest per-island generation count executed so
+// far (0 before the first Run or Resume).
+func (r *Runner) Generation() int {
+	if r.ir == nil {
+		return 0
+	}
+	return r.ir.Generation()
+}
+
+// Islands returns the number of islands the Runner drives (after a Resume,
+// the checkpoint's count).
+func (r *Runner) Islands() int {
+	if r.ir == nil {
+		if r.opts.islands < 1 {
+			return 1
+		}
+		return r.opts.islands
+	}
+	return r.ir.Islands()
+}
+
+// TopologyByName resolves a migration-topology name: "ring" or
+// "broadcast".
+func TopologyByName(name string) (Topology, error) { return islands.TopologyByName(name) }
+
+// Run is the one-call ctx-first entry point: build a Runner and execute it.
+//
+//	res, err := evoprot.Run(ctx, orig, attrs,
+//		evoprot.WithGrid("adult"),
+//		evoprot.WithGenerations(400),
+//		evoprot.WithSeed(42),
+//		evoprot.WithIslands(4),
+//	)
+func Run(ctx context.Context, orig *Dataset, attrNames []string, options ...Option) (*RunResult, error) {
+	r, err := NewRunner(orig, attrNames, options...)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(ctx)
+}
+
+// WriteCheckpoint writes a snapshot of the current engine states to path
+// atomically: a temp file next to the target, renamed into place only
+// after a clean close (failed writes leave no partial files behind). Only
+// valid after a Run or Resume, while no Run is in flight.
+func (r *Runner) WriteCheckpoint(path string) error {
+	if r.ir == nil {
+		return fmt.Errorf("evoprot: nothing to checkpoint before the first Run or Resume")
+	}
+	return writeRunnerCheckpoint(r.ir, path)
+}
+
+// writeRunnerCheckpoint is WriteCheckpoint's worker, also used by the
+// mid-run OnEpoch hook where the islands runner is known directly.
+func writeRunnerCheckpoint(ir *islands.Runner, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := ir.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,331 @@
+package evoprot
+
+// Tests for the context-aware Runner API: option plumbing, the
+// old-versus-new trajectory equivalence property, island determinism,
+// cancellation semantics and checkpointing through the facade.
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"evoprot/internal/experiment"
+)
+
+// TestRunMatchesLegacyEngineTrajectory is the redesign's acceptance
+// property: a single-island run through the new ctx-first API must be
+// bit-identical to the old Engine.Run() trajectory for the same seed,
+// across seeds.
+func TestRunMatchesLegacyEngineTrajectory(t *testing.T) {
+	for _, seed := range []uint64{5, 11, 77} {
+		orig, _ := GenerateDataset("flare", 80, seed)
+		attrs, _ := ProtectedAttributes("flare")
+
+		// Old path: hand-built engine, blocking Run.
+		eval, err := NewEvaluator(orig, attrs, EvaluatorConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, _ := orig.Schema().Indices(attrs...)
+		pop, err := experiment.BuildPopulation(orig, idx, "flare", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine, err := NewEngine(eval, pop, EngineConfig{Generations: 30, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := engine.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// New path: ctx-first options API, one island.
+		res, err := Run(context.Background(), orig, attrs,
+			WithGrid("flare"),
+			WithGenerations(30),
+			WithSeed(seed),
+			WithIslands(1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Islands[0]
+		if len(ref.History) != len(got.History) {
+			t.Fatalf("seed %d: history lengths %d vs %d", seed, len(ref.History), len(got.History))
+		}
+		for i := range ref.History {
+			a, b := ref.History[i], got.History[i]
+			a.EvalTime, a.TotalTime = 0, 0
+			b.EvalTime, b.TotalTime = 0, 0
+			if a != b {
+				t.Fatalf("seed %d generation %d diverged:\nold: %+v\nnew: %+v", seed, i+1, a, b)
+			}
+		}
+		if !ref.Best.Data.Equal(res.Best.Data) {
+			t.Fatalf("seed %d: best individuals diverged", seed)
+		}
+		// And the deprecated wrapper rides the same path.
+		legacy, err := Optimize(orig, attrs, OptimizeOptions{Dataset: "flare", Generations: 30, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legacy.Best.Eval.Score != ref.Best.Eval.Score || !legacy.Best.Data.Equal(ref.Best.Data) {
+			t.Fatalf("seed %d: deprecated Optimize diverged from the engine trajectory", seed)
+		}
+	}
+}
+
+func TestRunMultiIslandDeterministicThroughFacade(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 80, 3)
+	attrs, _ := ProtectedAttributes("flare")
+	once := func() *RunResult {
+		res, err := Run(context.Background(), orig, attrs,
+			WithGrid("flare"),
+			WithGenerations(20),
+			WithSeed(9),
+			WithIslands(3),
+			WithMigration(5, 2),
+			WithTopology(Broadcast),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := once(), once()
+	if a.Best.Eval.Score != b.Best.Eval.Score || a.BestIsland != b.BestIsland || a.Migrations != b.Migrations {
+		t.Fatalf("multi-island facade runs diverged: %+v vs %+v",
+			[3]any{a.Best.Eval.Score, a.BestIsland, a.Migrations},
+			[3]any{b.Best.Eval.Score, b.BestIsland, b.Migrations})
+	}
+	if !a.Best.Data.Equal(b.Best.Data) {
+		t.Fatal("best protection data diverged between identical runs")
+	}
+	if len(a.Islands) != 3 {
+		t.Fatalf("islands = %d", len(a.Islands))
+	}
+}
+
+func TestRunnerCancellationPartialResult(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 80, 7)
+	attrs, _ := ProtectedAttributes("flare")
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	events := 0
+	res, err := Run(ctx, orig, attrs,
+		WithGrid("flare"),
+		WithGenerations(1<<20),
+		WithSeed(7),
+		WithProgress(func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			events++
+			if events == 10 {
+				cancel()
+			}
+		}),
+	)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if res == nil || res.Best == nil {
+		t.Fatal("cancelled run lost its partial result")
+	}
+	if res.StopReason != StopCancelled {
+		t.Fatalf("stop reason = %q", res.StopReason)
+	}
+	got := res.Islands[0]
+	if len(got.History) != got.Generations || got.Generations == 0 {
+		t.Fatalf("partial history %d vs generations %d", len(got.History), got.Generations)
+	}
+}
+
+func TestRunnerEventChannel(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 80, 13)
+	attrs, _ := ProtectedAttributes("flare")
+	ch := make(chan Event, 128)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	gens, dones := 0, 0
+	go func() {
+		defer wg.Done()
+		for ev := range ch {
+			if ev.Done {
+				dones++
+				continue
+			}
+			gens++
+		}
+	}()
+	_, err := Run(context.Background(), orig, attrs,
+		WithGrid("flare"), WithGenerations(12), WithSeed(13), WithIslands(2), WithEvents(ch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if gens != 24 || dones != 2 {
+		t.Fatalf("streamed %d generation events and %d done events, want 24 and 2", gens, dones)
+	}
+}
+
+func TestRunnerCheckpointAndResume(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 80, 21)
+	attrs, _ := ProtectedAttributes("flare")
+	opts := func(gens int) []Option {
+		return []Option{WithGrid("flare"), WithGenerations(gens), WithSeed(21), WithIslands(2), WithMigration(5, 2)}
+	}
+	r1, err := NewRunner(orig, attrs, opts(10)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Generation() != 0 || r1.Islands() != 2 {
+		t.Fatalf("fresh runner: gen %d, islands %d", r1.Generation(), r1.Islands())
+	}
+	if err := r1.Snapshot(&bytes.Buffer{}); err == nil {
+		t.Fatal("snapshot before first run accepted")
+	}
+	if _, err := r1.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r1.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(orig, attrs, opts(10)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Resume(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Generation() != 10 {
+		t.Fatalf("resumed at generation %d", r2.Generation())
+	}
+	res, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ir := range res.Islands {
+		if len(ir.History) != 20 {
+			t.Fatalf("island %d history = %d, want 20", i, len(ir.History))
+		}
+	}
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 50, 17)
+	attrs, _ := ProtectedAttributes("flare")
+	if _, err := NewRunner(orig, attrs); err == nil {
+		t.Error("missing grid and seeds accepted")
+	}
+	if _, err := NewRunner(orig, attrs, WithSeeds(orig)); err == nil {
+		t.Error("single seed accepted")
+	}
+	if _, err := NewRunner(orig, []string{"GHOST"}, WithGrid("flare")); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := NewRunner(orig, attrs, WithGrid("flare"), WithAggregator("median")); err == nil {
+		t.Error("unknown aggregator accepted")
+	}
+	if _, err := NewRunner(orig, attrs, WithGrid("flare"), WithSelection("tournament")); err == nil {
+		t.Error("unknown selection accepted")
+	}
+	if _, err := Run(context.Background(), orig, attrs, WithGrid("flare"), WithGenerations(5), WithIslands(-1)); err == nil {
+		t.Error("negative island count accepted")
+	}
+}
+
+// TestRunnerResumeAfterEventsRun: a Resume following a completed Run with
+// WithEvents must not re-install the already-closed channel (regression:
+// panic "send on closed channel").
+func TestRunnerResumeAfterEventsRun(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 60, 29)
+	attrs, _ := ProtectedAttributes("flare")
+	ch := make(chan Event, 64)
+	go func() {
+		for range ch {
+		}
+	}()
+	r, err := NewRunner(orig, attrs, WithGrid("flare"), WithGenerations(5), WithSeed(29), WithEvents(ch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Resume(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Generation() != 10 {
+		t.Fatalf("generation after resume+run = %d, want 10", r.Generation())
+	}
+}
+
+// TestRunnerCancelledDuringStartup: a context cancelled before Run must
+// abort the initial-population evaluation, not just the generations.
+func TestRunnerCancelledDuringStartup(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 60, 31)
+	attrs, _ := ProtectedAttributes("flare")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, orig, attrs, WithGrid("flare"), WithGenerations(50), WithSeed(31))
+	if err == nil {
+		t.Fatal("cancelled startup returned nil error")
+	}
+	if res != nil {
+		t.Fatalf("cancelled startup returned a result: %+v", res)
+	}
+}
+
+func TestRunnerCustomAggregator(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 60, 19)
+	attrs, _ := ProtectedAttributes("flare")
+	res, err := Run(context.Background(), orig, attrs,
+		WithGrid("flare"), WithGenerations(8), WithSeed(19), WithCustomAggregator(Mean{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best.Eval
+	want := (best.IL + best.DR) / 2
+	if diff := best.Score - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("score %v != mean combination %v", best.Score, want)
+	}
+}
+
+// TestDefaultsAreSingleSourced: with no generation/aggregator options the
+// run uses core.DefaultGenerations and the max aggregation — the values no
+// longer duplicated in the facade.
+func TestDefaultsAreSingleSourced(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 50, 23)
+	attrs, _ := ProtectedAttributes("flare")
+	r, err := NewRunner(orig, attrs, WithGrid("flare"), WithSeed(23), WithEarlyStop(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best.Eval
+	var max float64
+	if best.IL > best.DR {
+		max = best.IL
+	} else {
+		max = best.DR
+	}
+	if best.Score != max {
+		t.Fatalf("default aggregator is not max: score %v, IL %v, DR %v", best.Score, best.IL, best.DR)
+	}
+	if res.Islands[0].Generations > 400 {
+		t.Fatalf("default budget exceeded 400: %d", res.Islands[0].Generations)
+	}
+}
