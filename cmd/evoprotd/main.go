@@ -1,0 +1,100 @@
+// Command evoprotd serves evolutionary protection optimization as an
+// HTTP job service: POST a JSON job spec, watch per-generation progress
+// stream over NDJSON or SSE, fetch the protected dataset when the run is
+// done. Jobs checkpoint to the data directory as they evolve, so
+// stopping the daemon — gracefully or by crash — loses at most one
+// checkpoint interval: the next start resumes interrupted jobs where
+// they left off.
+//
+//	evoprotd -addr :8080 -data /var/lib/evoprotd
+//	evoprotd -addr 127.0.0.1:0 -data ./run -workers 4 -checkpoint-every 50
+//
+// See cmd/evoprotd/README.md for the job spec and endpoint reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"evoprot/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "evoprotd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("evoprotd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+		dataDir    = fs.String("data", "evoprotd-data", "persistence root: specs, datasets, event logs, checkpoints")
+		workers    = fs.Int("workers", min(4, runtime.GOMAXPROCS(0)), "jobs evolving concurrently")
+		queueDepth = fs.Int("queue", serve.DefaultQueueDepth, "accepted jobs that may wait for a worker")
+		ckptEvery  = fs.Int("checkpoint-every", serve.DefaultCheckpointEvery, "generations between periodic checkpoints (the most a crash can lose)")
+		allowPaths = fs.Bool("allow-dataset-paths", false, "let job specs name server-side CSV paths")
+		drain      = fs.Duration("drain", 30*time.Second, "shutdown grace for interrupting jobs and draining requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv, err := serve.New(serve.Config{
+		DataDir:          *dataDir,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CheckpointEvery:  *ckptEvery,
+		AllowDatasetPath: *allowPaths,
+		Logf:             logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "evoprotd listening on %s (data: %s)\n", ln.Addr(), *dataDir)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful exit: interrupt the workers first — Stop also unblocks any
+	// event streamers of in-flight jobs, so the request drain below does
+	// not hang on them. Jobs are left resumable on disk: the daemon's
+	// contract is that a restart continues them, so shutdown must not
+	// cancel them.
+	fmt.Fprintln(stdout, "shutting down; in-flight jobs stay resumable")
+	stopCtx, cancelStop := context.WithTimeout(context.Background(), *drain)
+	defer cancelStop()
+	stopErr := srv.Stop(stopCtx)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	defer cancelDrain()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("evoprotd: http shutdown: %v", err)
+	}
+	return stopErr
+}

@@ -1,0 +1,149 @@
+package main
+
+// End-to-end test of the daemon: boot on an ephemeral port, drive a job
+// through the HTTP API, shut down gracefully.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"evoprot"
+	"evoprot/internal/serve"
+)
+
+// lockedBuffer lets the test read stdout while the daemon goroutine
+// writes it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([0-9.:\[\]]+)`)
+
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stdout := &lockedBuffer{}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-data", t.TempDir(),
+			"-workers", "1",
+			"-checkpoint-every", "5",
+		}, stdout)
+	}()
+
+	// Find the ephemeral address in the banner.
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("daemon exited early: %v\n%s", err, stdout.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen banner:\n%s", stdout.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %s", resp.Status)
+	}
+
+	spec := evoprot.JobSpec{Dataset: "flare", Rows: 60, Generations: 15, Islands: 2, MigrateEvery: 5, Seed: 3}
+	body, _ := json.Marshal(spec)
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %s", resp.Status)
+	}
+	var status serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + status.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if status.State == serve.StateDone {
+			break
+		}
+		if status.State == serve.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("job state %s (error %q)", status.State, status.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", base, status.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result serve.JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if result.Best.Score <= 0 || result.DatasetCSV == "" {
+		t.Fatalf("thin result: %+v", result.Best)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(stdout.String(), "shutting down") {
+		t.Fatalf("no shutdown banner:\n%s", stdout.String())
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

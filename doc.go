@@ -63,6 +63,30 @@
 //
 // See examples/quickstart and examples/islands for runnable tours.
 //
+// # Running as a service
+//
+// cmd/evoprotd serves optimizations as HTTP jobs for parameter sweeps and
+// batch protection workloads: POST a JobSpec — the option surface above
+// expressed as JSON, with the original dataset named (built-ins), inlined
+// as CSV, or referenced by server-side path — and the daemon queues it
+// onto a bounded worker pool. Per-generation Events stream from
+// GET /v1/jobs/{id}/events as NDJSON or SSE, replayable from any offset
+// (each event's Seq is its stable position in the feed); the terminal
+// result — trajectory, summary and the protected dataset — comes from
+// GET /v1/jobs/{id}/result, and DELETE cancels a job while keeping its
+// partial result. Jobs checkpoint into the server's data directory as
+// they evolve, so a restarted daemon resumes interrupted jobs from their
+// last snapshot with only their remaining generation budget: a graceful
+// shutdown loses nothing, a hard crash at most one checkpoint interval.
+//
+// The pieces compose from this package: JobSpec.Materialize /
+// JobSpec.Options bridge specs to Runner options, WithFirstEventSeq keeps
+// event offsets contiguous across restarts, PeekCheckpoint sizes a
+// resumed job's remaining budget, and Runner.Best exposes a resumed
+// checkpoint's best without running. See internal/serve for the service
+// implementation, cmd/evoprotd/README.md for the wire reference, and
+// examples/client for a complete API client.
+//
 // # Deprecated entry points
 //
 // The pre-context surface is kept as thin wrappers for compatibility:

@@ -75,6 +75,10 @@ type (
 // value selects the paper's default of 0.5.
 const AllCrossover = core.AllCrossover
 
+// DefaultGenerations is the evolution budget selected when no explicit
+// generation count is configured — the paper's 400.
+const DefaultGenerations = core.DefaultGenerations
+
 // DatasetNames returns the built-in synthetic dataset names:
 // housing, german, flare, adult.
 func DatasetNames() []string { return datagen.Names() }

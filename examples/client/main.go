@@ -1,0 +1,127 @@
+// The client example drives a running evoprotd end to end: submit a job,
+// follow its live per-generation event stream, and fetch the final
+// result — the protected dataset and the trajectory that produced it.
+//
+// Start a server, then run the client against it:
+//
+//	go run ./cmd/evoprotd -addr 127.0.0.1:8080 -data /tmp/evoprotd &
+//	go run ./examples/client -server http://127.0.0.1:8080 -dataset flare -gens 120 -islands 2
+//
+// The event stream is plain NDJSON and replayable: interrupt the client
+// and rerun it with -offset <n> to pick the feed back up where it
+// stopped, or rerun it against a finished job to replay the whole run.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"evoprot"
+	"evoprot/internal/serve"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "http://127.0.0.1:8080", "evoprotd base URL")
+		dataset = flag.String("dataset", "flare", "built-in dataset to protect")
+		rows    = flag.Int("rows", 200, "dataset rows (0 = paper scale)")
+		gens    = flag.Int("gens", 120, "generation budget")
+		islands = flag.Int("islands", 2, "islands")
+		seed    = flag.Uint64("seed", 42, "run seed")
+		every   = flag.Int("print-every", 10, "print one progress line per N generations")
+		bestCSV = flag.String("best", "", "write the protected dataset to this CSV")
+	)
+	flag.Parse()
+	if *every < 1 {
+		*every = 1
+	}
+
+	spec := evoprot.JobSpec{
+		Dataset:     *dataset,
+		Rows:        *rows,
+		Generations: *gens,
+		Islands:     *islands,
+		Seed:        *seed,
+	}
+	body, _ := json.Marshal(spec)
+
+	// Submit.
+	resp, err := http.Post(*server+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var status serve.JobStatus
+	decodeOrDie(resp, http.StatusCreated, &status)
+	fmt.Printf("job %s %s (dataset %s, %d generations, %d islands)\n",
+		status.ID, status.State, spec.Dataset, spec.Generations, spec.Islands)
+
+	// Follow the event stream from offset 0. The server keeps the
+	// connection open until the job is terminal and the feed is drained.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?offset=0", *server, status.ID))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("events: HTTP %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev evoprot.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatalf("bad event line: %v", err)
+		}
+		switch {
+		case ev.Err != "":
+			fmt.Printf("  [seq %d] server warning: %s\n", ev.Seq, ev.Err)
+		case ev.Done:
+			fmt.Printf("  [seq %d] island %d done: best %.2f (stop: %s)\n",
+				ev.Seq, ev.Island, ev.Stats.Min, ev.Stop)
+		case ev.Stats.Gen%*every == 0:
+			fmt.Printf("  [seq %d] island %d gen %4d: best %.2f mean %.2f\n",
+				ev.Seq, ev.Island, ev.Stats.Gen, ev.Stats.Min, ev.Stats.Mean)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Fetch the result: trajectory, summary, and the protected dataset.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", *server, status.ID))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var result serve.JobResult
+	decodeOrDie(resp, http.StatusOK, &result)
+	fmt.Printf("result: %s after %d generations, %d evaluations (stop: %s)\n",
+		result.State, result.Generations, result.Evaluations, result.StopReason)
+	fmt.Printf("best: score=%.2f IL=%.2f DR=%.2f origin=%s island=%d\n",
+		result.Best.Score, result.Best.IL, result.Best.DR, result.Best.Origin, result.BestIsland)
+	if *bestCSV != "" {
+		if err := os.WriteFile(*bestCSV, []byte(result.DatasetCSV), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("protected dataset written to %s\n", *bestCSV)
+	}
+}
+
+func decodeOrDie(resp *http.Response, want int, v any) {
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		log.Fatalf("HTTP %s: %s", resp.Status, apiErr.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

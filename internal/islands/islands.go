@@ -104,6 +104,12 @@ type Config struct {
 	// quiescent during the call, so Runner.Snapshot is safe inside it —
 	// the checkpointing hook.
 	OnEpoch func(*Runner)
+	// FirstSeq is the sequence number assigned to the feed's first event —
+	// the numbering origin. A service that resumes a checkpointed run and
+	// has already delivered n events passes n, so the resumed feed
+	// continues its predecessor's offset space and replay offsets stay
+	// stable across restarts.
+	FirstSeq uint64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -138,15 +144,25 @@ func (c Config) withDefaults() (Config, error) {
 // statistics tagged with the island that produced it, or — when Done is
 // set — an island's final summary with its stop reason.
 type Event struct {
-	// Island is the 0-based island id.
+	// Seq is the event's position in the run's feed, assigned in emission
+	// order starting at Config.FirstSeq. Replayable event logs use it as
+	// the stable per-run offset.
+	Seq uint64
+	// Island is the 0-based island id; -1 on runner-level events injected
+	// through Emit.
 	Island int
 	// Stats is the generation's record (for Done events, a summary
-	// snapshot of the island's final population).
+	// snapshot of the island's final population; zero on runner-level
+	// events).
 	Stats core.GenStats
 	// Done marks the island's last event.
 	Done bool
 	// Stop is the island's stop reason; set only on Done events.
 	Stop core.StopReason
+	// Err carries a non-fatal runner-level error surfaced through the
+	// feed — e.g. a failed mid-run checkpoint write. The run itself
+	// continues; fatal errors still arrive through Run's return value.
+	Err string `json:",omitempty"`
 }
 
 // Result is the outcome of an island-model run.
@@ -180,7 +196,8 @@ type Runner struct {
 	engines []*core.Engine
 	popSize int
 
-	emitMu sync.Mutex // serializes OnEvent calls and Events sends
+	emitMu sync.Mutex // serializes OnEvent calls, Events sends and seq
+	seq    uint64     // next event sequence number, starts at cfg.FirstSeq
 
 	// Per-run coordinator state, reset at the top of Run. The slices are
 	// written from island goroutines at disjoint indices and read by the
@@ -228,7 +245,7 @@ func New(ctx context.Context, eval *score.Evaluator, initial []*core.Individual,
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: c, engines: engines, popSize: len(initial)}, nil
+	return &Runner{cfg: c, engines: engines, popSize: len(initial), seq: c.FirstSeq}, nil
 }
 
 // Islands returns the number of islands.
@@ -398,14 +415,25 @@ func (r *Runner) finish(i int, reason core.StopReason) {
 	r.emit(Event{Island: i, Stats: r.engines[i].Stats(), Done: true, Stop: reason})
 }
 
+// Emit injects a runner-level event into the feed, serialized with the
+// islands' own emissions and numbered in sequence. Intended for OnEpoch
+// hooks that need to surface side-channel conditions — a failed
+// checkpoint write, say — to the run's observers; set Island to -1 on
+// injected events so consumers can tell them from island traffic.
+func (r *Runner) Emit(ev Event) { r.emit(ev) }
+
 // emit delivers one event to the callback and channel feeds, serialized
-// across islands.
+// across islands. With no feed attached it is free: sequence numbers
+// only exist to order a feed someone observes, and the config is fixed
+// at construction, so a listener cannot appear mid-run.
 func (r *Runner) emit(ev Event) {
 	if r.cfg.OnEvent == nil && r.cfg.Events == nil {
 		return
 	}
 	r.emitMu.Lock()
 	defer r.emitMu.Unlock()
+	ev.Seq = r.seq
+	r.seq++
 	if r.cfg.OnEvent != nil {
 		r.cfg.OnEvent(ev)
 	}

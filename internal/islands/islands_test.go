@@ -497,3 +497,115 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("unknown topology name accepted")
 	}
 }
+
+// TestEventSequenceNumbers: the feed numbers events contiguously in
+// emission order from Config.FirstSeq, across islands and Done events —
+// the offset space replayable event logs rely on.
+func TestEventSequenceNumbers(t *testing.T) {
+	for _, first := range []uint64{0, 1234} {
+		eval, pop := testPopulation(t)
+		var events []Event
+		r, err := New(context.Background(), eval, pop, Config{
+			Islands:      3,
+			MigrateEvery: 4,
+			Engine:       core.Config{Generations: 10, Seed: 5},
+			OnEvent:      func(ev Event) { events = append(events, ev) },
+			FirstSeq:     first,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		want := 3*10 + 3 // per-generation events plus one Done per island
+		if len(events) != want {
+			t.Fatalf("FirstSeq %d: got %d events, want %d", first, len(events), want)
+		}
+		for i, ev := range events {
+			if ev.Seq != first+uint64(i) {
+				t.Fatalf("event %d has Seq %d, want %d", i, ev.Seq, first+uint64(i))
+			}
+		}
+	}
+}
+
+// TestEmitInjectsRunnerLevelEvents: OnEpoch hooks can push their own
+// events through the feed, serialized and numbered with island traffic.
+func TestEmitInjectsRunnerLevelEvents(t *testing.T) {
+	eval, pop := testPopulation(t)
+	var (
+		mu     sync.Mutex
+		events []Event
+	)
+	r, err := New(context.Background(), eval, pop, Config{
+		Islands:      2,
+		MigrateEvery: 5,
+		Engine:       core.Config{Generations: 10, Seed: 9},
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+		OnEpoch: func(ir *Runner) { ir.Emit(Event{Island: -1, Err: "synthetic"}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	injected := 0
+	for i, ev := range events {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has Seq %d; injected events must share the numbering", i, ev.Seq)
+		}
+		if ev.Island == -1 {
+			injected++
+			if ev.Err != "synthetic" {
+				t.Fatalf("injected event lost its payload: %+v", ev)
+			}
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no injected runner-level events observed")
+	}
+}
+
+// TestPeekReadsCheckpointMetadata: Peek reports island count and the
+// generation marker without an evaluator, matching what a Resume would
+// report.
+func TestPeekReadsCheckpointMetadata(t *testing.T) {
+	eval, pop := testPopulation(t)
+	r, err := New(context.Background(), eval, pop, Config{
+		Islands:      3,
+		MigrateEvery: 5,
+		Engine:       core.Config{Generations: 17, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := Peek(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Islands != 3 {
+		t.Fatalf("Peek islands = %d, want 3", meta.Islands)
+	}
+	if meta.Generation != r.Generation() {
+		t.Fatalf("Peek generation = %d, runner reports %d", meta.Generation, r.Generation())
+	}
+	if meta.MinGeneration != meta.Generation {
+		t.Fatalf("barrier checkpoint has MinGeneration %d != Generation %d", meta.MinGeneration, meta.Generation)
+	}
+	if _, err := Peek(bytes.NewReader([]byte("{\"version\":99}\n"))); err == nil {
+		t.Fatal("Peek accepted a snapshot from the future")
+	}
+}

@@ -78,5 +78,55 @@ func Resume(eval *score.Evaluator, rd io.Reader, cfg Config) (*Runner, error) {
 			popSize = n
 		}
 	}
-	return &Runner{cfg: c, engines: engines, popSize: popSize}, nil
+	return &Runner{cfg: c, engines: engines, popSize: popSize, seq: c.FirstSeq}, nil
+}
+
+// Meta describes a checkpoint without resuming it: the island count and
+// the largest per-island generation count executed when the snapshot was
+// taken. Services use it to size a resumed job's remaining budget before
+// paying for an evaluator-backed resume.
+type Meta struct {
+	// Islands is the number of islands the checkpoint carries.
+	Islands int
+	// Generation is the largest per-island generation executed — the same
+	// number Runner.Generation reports right after a Resume.
+	Generation int
+	// MinGeneration is the smallest per-island generation. Barrier
+	// checkpoints have every island aligned (MinGeneration ==
+	// Generation); cancellation-point checkpoints taken mid-epoch can
+	// differ. Budget arithmetic for a resume should count from
+	// MinGeneration so no island ends up short of its configured budget.
+	MinGeneration int
+}
+
+// Peek reads a checkpoint's metadata without rebuilding engines; the
+// engine payloads are decoded only far enough to find their generation
+// counters.
+func Peek(rd io.Reader) (Meta, error) {
+	var snap snapshotJSON
+	if err := json.NewDecoder(rd).Decode(&snap); err != nil {
+		return Meta{}, fmt.Errorf("islands: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return Meta{}, fmt.Errorf("islands: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	}
+	if snap.Islands < 1 || snap.Islands != len(snap.Engines) {
+		return Meta{}, fmt.Errorf("islands: snapshot declares %d islands but carries %d engines", snap.Islands, len(snap.Engines))
+	}
+	m := Meta{Islands: snap.Islands}
+	for i, raw := range snap.Engines {
+		var hdr struct {
+			Gen int `json:"gen"`
+		}
+		if err := json.Unmarshal(raw, &hdr); err != nil {
+			return Meta{}, fmt.Errorf("islands: peeking island %d: %w", i, err)
+		}
+		if hdr.Gen > m.Generation {
+			m.Generation = hdr.Gen
+		}
+		if i == 0 || hdr.Gen < m.MinGeneration {
+			m.MinGeneration = hdr.Gen
+		}
+	}
+	return m, nil
 }

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"evoprot"
+)
+
+// eventLog is one job's append-only NDJSON event feed: every
+// evoprot.Event the run emits, one JSON object per line, durable on disk
+// so the feed survives server restarts and replays from any offset. The
+// line index equals the event's Seq — the runner is started with
+// WithFirstEventSeq(count) on resume, which keeps the two in step across
+// restarts.
+type eventLog struct {
+	path string
+
+	mu       sync.Mutex
+	f        *os.File // append handle; nil after finish
+	count    uint64   // lines in the file
+	terminal bool     // no further appends will ever happen
+	failed   error    // first append failure; latches the log read-only
+	updated  chan struct{}
+}
+
+// openEventLog opens (or creates) the log at path and counts the events
+// already persisted. A hard crash mid-append can leave a torn trailing
+// line; it is truncated away first, so the feed stays valid NDJSON and
+// the next event starts on a fresh line.
+func openEventLog(path string) (*eventLog, error) {
+	if err := truncateTornTail(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	count, err := countLines(path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &eventLog{path: path, f: f, count: count, updated: make(chan struct{})}, nil
+}
+
+// truncateTornTail drops a partial trailing line (no terminating
+// newline) left by a crash mid-append. The lost event re-emerges when
+// the resumed run re-executes its generation.
+func truncateTornTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	// Scan backwards in chunks for the last newline.
+	const chunk = 4096
+	buf := make([]byte, chunk)
+	end := size
+	for end > 0 {
+		start := end - chunk
+		if start < 0 {
+			start = 0
+		}
+		n := int(end - start)
+		if _, err := f.ReadAt(buf[:n], start); err != nil {
+			return err
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				keep := start + int64(i) + 1
+				if keep == size {
+					return nil // the file ends cleanly
+				}
+				return f.Truncate(keep)
+			}
+		}
+		end = start
+	}
+	return f.Truncate(0) // a single torn line and nothing else
+}
+
+func countLines(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var n uint64
+	br := bufio.NewReader(f)
+	for {
+		_, err := br.ReadString('\n')
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		n++
+	}
+}
+
+// append persists one event as a single full-line write and wakes every
+// waiting streamer. The first write failure latches the log: a dropped
+// event would shift every later line off its Seq — the invariant replay
+// offsets are built on — so no further appends are accepted. A restart
+// truncates any torn tail and the resumed run re-emits from the
+// surviving count, healing the feed.
+func (l *eventLog) append(ev evoprot.Event) error {
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.f == nil {
+		return fmt.Errorf("serve: event log %s is finished", l.path)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		l.failed = err
+		return err
+	}
+	l.count++
+	l.signal()
+	return nil
+}
+
+// finish marks the feed terminal: streamers drain to count and stop
+// waiting for more. Idempotent.
+func (l *eventLog) finish() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.terminal {
+		return
+	}
+	l.terminal = true
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	l.signal()
+}
+
+// signal must run under mu: it closes the current update channel so every
+// select waiting on it fires, and replaces it for the next round.
+func (l *eventLog) signal() {
+	close(l.updated)
+	l.updated = make(chan struct{})
+}
+
+// state snapshots the feed for a streamer: events persisted, whether more
+// may come, and the channel that fires on the next change.
+func (l *eventLog) state() (count uint64, terminal bool, updated <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count, l.terminal, l.updated
+}
+
+// stream delivers the feed to deliver, one raw NDJSON line (without the
+// trailing newline) per event, starting at 0-based event offset. It
+// returns once the feed is terminal and fully delivered, when deliver
+// returns an error (a gone client), or when done fires. Partially-written
+// trailing lines — a reader can observe an append mid-write — are held
+// back until their newline arrives.
+func (l *eventLog) stream(done <-chan struct{}, offset uint64, deliver func(line []byte) error) error {
+	f, err := os.Open(l.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var (
+		pending   []byte
+		delivered uint64
+	)
+	for {
+		chunk, err := br.ReadBytes('\n')
+		switch err {
+		case nil:
+			line := append(pending, chunk[:len(chunk)-1]...)
+			pending = nil
+			if delivered >= offset {
+				if err := deliver(line); err != nil {
+					return err
+				}
+			}
+			delivered++
+		case io.EOF:
+			pending = append(pending, chunk...)
+			count, terminal, updated := l.state()
+			if terminal && delivered >= count {
+				return nil
+			}
+			if delivered >= count {
+				select {
+				case <-updated:
+				case <-done:
+					return nil
+				}
+			}
+			// More data (or a final newline) is available; keep reading the
+			// same handle — the file only ever grows.
+		default:
+			return err
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"evoprot"
+)
+
+// maxSpecBytes bounds a job submission body (the inline dataset rides in
+// it).
+const maxSpecBytes = 64 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs            submit a JobSpec, 201 + status
+//	GET    /v1/jobs            all jobs' status, newest first
+//	GET    /v1/jobs/{id}        one job's status + best-so-far
+//	DELETE /v1/jobs/{id}        cancel; partial result is kept
+//	GET    /v1/jobs/{id}/events event feed from ?offset=N, NDJSON or SSE
+//	GET    /v1/jobs/{id}/result terminal result (+ dataset, ?format=csv)
+//	GET    /healthz             liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"queued": s.queue.depth(),
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec evoprot.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	if spec.DatasetPath != "" && !s.cfg.AllowDatasetPath {
+		writeError(w, http.StatusForbidden, "server-side dataset paths are disabled; upload dataset_csv or name a built-in dataset")
+		return
+	}
+	if spec.Rows > s.cfg.MaxRows {
+		writeError(w, http.StatusBadRequest, "rows %d exceeds this server's limit of %d", spec.Rows, s.cfg.MaxRows)
+		return
+	}
+	orig, err := spec.Materialize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Reject structurally bad specs at the door: unknown attributes,
+	// option combinations NewRunner refuses. Data-dependent masking
+	// failures (a grid method that cannot protect this particular file)
+	// only surface when the worker builds the initial population — those
+	// jobs land in StateFailed with the error recorded.
+	opts, err := spec.Options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := evoprot.NewRunner(orig, spec.Attributes, opts...); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status, err := s.submit(spec, orig)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			writeError(w, http.StatusServiceUnavailable, "job queue is full, retry later")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+status.ID)
+	writeJSON(w, http.StatusCreated, status)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.listJobs()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshotStatus())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.cancelJob(j))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	var offset uint64
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad offset %q", v)
+			return
+		}
+		offset = n
+	}
+	sse := r.URL.Query().Get("format") == "sse" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	// An SSE client reconnecting after a drop sends the last id it saw;
+	// resume one past it.
+	if v := r.Header.Get("Last-Event-ID"); sse && v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			offset = n + 1
+		}
+	}
+	flusher, _ := w.(http.Flusher)
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	// Stream until the client leaves or the server begins stopping —
+	// interrupted jobs never finish their feed, and a blocked streamer
+	// would otherwise stall graceful shutdown for its full drain window.
+	ctx, cancelStream := context.WithCancel(r.Context())
+	defer cancelStream()
+	go func() {
+		select {
+		case <-s.stopping:
+			cancelStream()
+		case <-ctx.Done():
+		}
+	}()
+	seq := offset
+	err := j.log.stream(ctx.Done(), offset, func(line []byte) error {
+		var err error
+		if sse {
+			_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", seq, line)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", line)
+		}
+		seq++
+		if err == nil && flusher != nil {
+			flusher.Flush()
+		}
+		return err
+	})
+	if err != nil {
+		return // client gone or log unreadable; the stream just ends
+	}
+	if sse {
+		// Tell well-behaved clients the feed is complete, not dropped.
+		fmt.Fprintf(w, "event: end\ndata: {}\n\n")
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	status := j.snapshotStatus()
+	if !status.State.terminal() {
+		writeError(w, http.StatusConflict, "job %s is %s; the result exists once it is done, cancelled or failed", j.id, status.State)
+		return
+	}
+	var result JobResult
+	if err := s.st.loadJSON(s.st.resultPath(j.id), &result); err != nil {
+		if os.IsNotExist(err) {
+			writeError(w, http.StatusNotFound, "job %s (%s) produced no result", j.id, status.State)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "loading result: %v", err)
+		return
+	}
+	csv, err := os.ReadFile(s.st.bestCSVPath(j.id))
+	if err != nil && !os.IsNotExist(err) {
+		writeError(w, http.StatusInternalServerError, "loading protected dataset: %v", err)
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s-best.csv", j.id))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(csv)
+		return
+	}
+	result.DatasetCSV = string(csv)
+	writeJSON(w, http.StatusOK, result)
+}

@@ -1,0 +1,80 @@
+package serve
+
+import "sync"
+
+// queue is the bounded FIFO of job ids feeding the worker pool. Pushes
+// from the submit handler respect the bound (a full queue turns into an
+// HTTP 503); recovery pushes bypass it so a restarted server never
+// strands persisted jobs behind its own admission control.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []string
+	bound  int
+	closed bool
+}
+
+func newQueue(bound int) *queue {
+	q := &queue{bound: bound}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends id in arrival order; it reports false when the queue is
+// full or closed.
+func (q *queue) push(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items) >= q.bound {
+		return false
+	}
+	q.items = append(q.items, id)
+	q.cond.Signal()
+	return true
+}
+
+// forcePush appends id regardless of the bound — the recovery path.
+// Still refused after close.
+func (q *queue) forcePush(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, id)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until an item arrives or the queue closes; ok reports
+// whether an item was delivered. Close wins over queued items: workers
+// exit promptly on shutdown and whatever remains is re-enqueued from the
+// store on the next boot.
+func (q *queue) pop() (id string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return "", false
+	}
+	id = q.items[0]
+	q.items = q.items[1:]
+	return id, true
+}
+
+// close wakes every blocked pop and refuses further pushes.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// depth returns the number of queued ids.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

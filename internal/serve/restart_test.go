@@ -1,0 +1,221 @@
+package serve
+
+// The crash-safety property the service is built around: a job
+// interrupted mid-run survives a server restart, resumes from its last
+// checkpoint with only its remaining budget, and — because snapshot
+// resume continues the identical stochastic trajectory — converges to
+// the same result an uninterrupted run produces.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"evoprot"
+)
+
+func TestKillAndRestartResumesFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		DataDir:         dir,
+		Workers:         1,
+		CheckpointEvery: 5,
+		Logf:            t.Logf,
+	}
+	// A single island keeps the resumed trajectory bit-identical to the
+	// uninterrupted one regardless of where the interruption lands
+	// relative to migration barriers.
+	spec := evoprot.JobSpec{
+		Dataset:      "flare",
+		Rows:         120,
+		Generations:  800,
+		Islands:      1,
+		MigrateEvery: 10,
+		Seed:         17,
+	}
+
+	// Server 1: accept the job, let it evolve, then go down mid-run.
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	status := postJob(t, ts1.URL, spec)
+	interrupted := waitFor(t, ts1.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
+		return s.Generation >= 40
+	})
+	if interrupted.State.terminal() {
+		t.Fatalf("job finished (%s) before the test could interrupt it; slow the spec down", interrupted.State)
+	}
+	ts1.Close()
+	stopCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := s1.Stop(stopCtx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	// The disk state must describe a resumable, non-terminal job whose
+	// checkpoint is no more than one checkpoint interval behind.
+	st := &store{root: dir}
+	var diskStatus JobStatus
+	if err := st.loadJSON(st.statusPath(status.ID), &diskStatus); err != nil {
+		t.Fatal(err)
+	}
+	if diskStatus.State.terminal() {
+		t.Fatalf("interrupted job persisted as terminal %s", diskStatus.State)
+	}
+	f, err := os.Open(st.checkpointPath(status.ID))
+	if err != nil {
+		t.Fatalf("no checkpoint after interruption: %v", err)
+	}
+	meta, err := evoprot.PeekCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Generation < diskStatus.Generation-cfg.CheckpointEvery {
+		t.Fatalf("checkpoint at generation %d lags interrupted generation %d by more than the interval %d",
+			meta.Generation, diskStatus.Generation, cfg.CheckpointEvery)
+	}
+	t.Logf("interrupted at generation %d, checkpoint at %d", diskStatus.Generation, meta.Generation)
+
+	// Server 2 over the same data dir: recovery re-enqueues and resumes.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		stopCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s2.Stop(stopCtx); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	done := waitFor(t, ts2.URL, status.ID, 120*time.Second, func(s JobStatus) bool {
+		return s.State.terminal()
+	})
+	if done.State != StateDone {
+		t.Fatalf("resumed job finished as %s (error %q)", done.State, done.Error)
+	}
+	if done.Generation != 800 {
+		t.Fatalf("resumed job executed %d generations, want 800", done.Generation)
+	}
+	if done.Resumes != 1 {
+		t.Fatalf("resumes = %d, want 1", done.Resumes)
+	}
+
+	// The event feed spans both server lifetimes with contiguous offsets:
+	// every generation once, plus the interruption's Done event and the
+	// final one.
+	events := fetchEvents(t, ts2.URL, status.ID, 0)
+	if len(events) != 800+2 {
+		t.Fatalf("feed has %d events, want %d", len(events), 800+2)
+	}
+	maxGen, doneEvents := 0, 0
+	for i, ev := range events {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d: restart broke the offset space", i, ev.Seq)
+		}
+		if ev.Stats.Gen > maxGen {
+			maxGen = ev.Stats.Gen
+		}
+		if ev.Done {
+			doneEvents++
+		}
+	}
+	if maxGen != 800 || doneEvents != 2 {
+		t.Fatalf("feed reaches generation %d with %d Done events, want 800 and 2", maxGen, doneEvents)
+	}
+
+	// Same-quality convergence: an uninterrupted run of the identical
+	// spec on the restarted server must land on the identical result —
+	// checkpoint resume continues the exact stochastic trajectory.
+	ref := postJob(t, ts2.URL, spec)
+	refDone := waitFor(t, ts2.URL, ref.ID, 120*time.Second, func(s JobStatus) bool {
+		return s.State.terminal()
+	})
+	if refDone.State != StateDone {
+		t.Fatalf("reference job finished as %s", refDone.State)
+	}
+	resumedResult := fetchResult(t, ts2.URL, status.ID)
+	refResult := fetchResult(t, ts2.URL, ref.ID)
+	if resumedResult.Best.Score != refResult.Best.Score {
+		t.Fatalf("resumed run converged to %.6f, uninterrupted run to %.6f",
+			resumedResult.Best.Score, refResult.Best.Score)
+	}
+	if resumedResult.DatasetCSV != refResult.DatasetCSV {
+		t.Fatal("resumed run's protected dataset differs from the uninterrupted run's")
+	}
+}
+
+func fetchResult(t *testing.T, base, id string) JobResult {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: HTTP %s", resp.Status)
+	}
+	var result JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	return result
+}
+
+// TestRestartRecoversQueuedJobs: a job accepted but never started also
+// survives a restart — recovery re-enqueues it from scratch.
+func TestRestartRecoversQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, Workers: 1, Logf: t.Logf}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start: the job can only queue.
+	ts1 := httptest.NewServer(s1.Handler())
+	spec := smallSpec()
+	status := postJob(t, ts1.URL, spec)
+	if status.State != StateQueued {
+		t.Fatalf("job state %s with no workers", status.State)
+	}
+	ts1.Close()
+	stopCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := s1.Stop(stopCtx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		stopCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s2.Stop(stopCtx); err != nil {
+			t.Error(err)
+		}
+	}()
+	done := waitFor(t, ts2.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
+		return s.State.terminal()
+	})
+	if done.State != StateDone || done.Resumes != 0 {
+		t.Fatalf("recovered queued job: state %s, resumes %d", done.State, done.Resumes)
+	}
+}

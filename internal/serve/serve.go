@@ -1,0 +1,675 @@
+// Package serve is the optimization job service behind cmd/evoprotd: an
+// HTTP layer over the evoprot Runner that accepts JSON job specs, runs
+// them on a bounded worker pool fed by a FIFO queue, streams every run's
+// per-generation events (replayable from any offset, as NDJSON or SSE),
+// and persists enough — spec, dataset, status, event log, checkpoints —
+// that a restarted server resumes in-flight jobs from their last
+// migration snapshot instead of losing them.
+//
+// Restart semantics: stopping the server does not cancel jobs, it
+// interrupts them. The runner's final checkpoint write on interruption
+// persists the exact cancellation-point state, the job stays non-terminal
+// on disk, and the next boot re-enqueues it with its remaining generation
+// budget; a hard crash instead resumes from the last periodic checkpoint,
+// bounding the loss to one checkpoint interval. Client cancellation
+// (DELETE) is the terminal variant: the partial result is finalized and
+// kept.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"evoprot"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultWorkers         = 2
+	DefaultQueueDepth      = 64
+	DefaultCheckpointEvery = 25
+	DefaultMaxRows         = 1 << 20
+)
+
+// Config parameterizes a Server. Zero values select the defaults above.
+type Config struct {
+	// DataDir is the server's persistence root. Required.
+	DataDir string
+	// Workers bounds how many jobs evolve concurrently.
+	Workers int
+	// QueueDepth bounds how many accepted jobs may wait for a worker;
+	// submissions beyond it are refused with 503.
+	QueueDepth int
+	// CheckpointEvery is the minimum generation distance between periodic
+	// checkpoint writes — the most work a hard crash can lose.
+	CheckpointEvery int
+	// AllowDatasetPath permits specs naming server-side CSV paths. Off by
+	// default: a network-reachable server should not read arbitrary local
+	// files on request.
+	AllowDatasetPath bool
+	// MaxRows bounds a spec's built-in dataset scaling — admission
+	// materializes the dataset synchronously, so an unbounded row count
+	// would let one request allocate arbitrary memory.
+	MaxRows int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.DataDir == "" {
+		return c, fmt.Errorf("serve: Config.DataDir is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = DefaultMaxRows
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// Cancellation causes, distinguished through context.Cause: a shutdown
+// leaves the job resumable on disk, a client cancel finalizes it.
+var (
+	errShutdown  = errors.New("serve: server shutting down")
+	errCancelled = errors.New("serve: job cancelled by client")
+)
+
+// job is the in-memory face of one persisted job.
+type job struct {
+	id  string
+	log *eventLog
+
+	mu           sync.Mutex
+	status       JobStatus
+	cancel       context.CancelCauseFunc // non-nil while a worker runs it
+	clientCancel bool                    // DELETE arrived; wins over shutdown races
+	sincePers    int                     // events since the last status persist
+	logErr       error                   // first event-log append failure
+}
+
+// clientCancelled reports whether a DELETE was received for the job.
+func (j *job) clientCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.clientCancel
+}
+
+// snapshotStatus returns a copy of the current status with the live event
+// count folded in.
+func (j *job) snapshotStatus() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	count, _, _ := j.log.state()
+	st.Events = count
+	return st
+}
+
+// Server owns the job table, the queue and the worker pool. Build with
+// New (which also recovers persisted jobs), install Handler somewhere,
+// call Start, and Stop on the way out.
+type Server struct {
+	cfg   Config
+	st    *store
+	queue *queue
+
+	ctx      context.Context
+	shutdown context.CancelCauseFunc
+	wg       sync.WaitGroup
+
+	// stopping is closed when Stop begins so event streamers of
+	// in-flight jobs unblock promptly (their logs never finish on the
+	// shutdown path — the jobs stay resumable).
+	stopping chan struct{}
+	stopOnce sync.Once
+
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+// New builds a server over cfg.DataDir and recovers every persisted job:
+// terminal jobs become queryable history, non-terminal ones are
+// re-enqueued (oldest first) to resume from their last checkpoint.
+func New(cfg Config) (*Server, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	st, err := newStore(c.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:      c,
+		st:       st,
+		queue:    newQueue(c.QueueDepth),
+		ctx:      ctx,
+		shutdown: cancel,
+		stopping: make(chan struct{}),
+		jobs:     make(map[string]*job),
+	}
+	if err := s.recover(); err != nil {
+		cancel(errShutdown)
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover loads persisted jobs and re-enqueues unfinished work.
+func (s *Server) recover() error {
+	ids, err := s.st.listJobIDs()
+	if err != nil {
+		return err
+	}
+	var pending []*job
+	for _, id := range ids {
+		var status JobStatus
+		if err := s.st.loadJSON(s.st.statusPath(id), &status); err != nil {
+			s.cfg.Logf("serve: skipping job %s: unreadable status: %v", id, err)
+			continue
+		}
+		log, err := openEventLog(s.st.eventsPath(id))
+		if err != nil {
+			s.cfg.Logf("serve: skipping job %s: event log: %v", id, err)
+			continue
+		}
+		j := &job{id: id, log: log, status: status}
+		if status.State.terminal() {
+			log.finish()
+		} else {
+			// Interrupted mid-run or never started: back to the queue. The
+			// persisted state becomes queued so clients see the truth while
+			// it waits for a worker.
+			if status.State == StateRunning {
+				j.status.Resumes++
+			}
+			j.status.State = StateQueued
+			if err := s.st.saveJSON(s.st.statusPath(id), j.status); err != nil {
+				s.cfg.Logf("serve: job %s: persisting recovered status: %v", id, err)
+			}
+			pending = append(pending, j)
+		}
+		s.jobs[id] = j
+	}
+	sort.Slice(pending, func(a, b int) bool {
+		return pending[a].status.Created.Before(pending[b].status.Created)
+	})
+	for _, j := range pending {
+		s.queue.forcePush(j.id)
+		s.cfg.Logf("serve: recovered job %s at generation %d", j.id, j.status.Generation)
+	}
+	return nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Stop interrupts running jobs (leaving them resumable on disk),
+// unblocks event streamers, stops the workers, and waits for them up to
+// ctx's deadline.
+func (s *Server) Stop(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stopping) })
+	s.queue.close()
+	s.shutdown(errShutdown)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: workers still draining: %w", ctx.Err())
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		id, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		j := s.job(id)
+		if j == nil || !s.claim(j) {
+			continue // cancelled while queued, or gone
+		}
+		s.runJob(j)
+	}
+}
+
+// job returns the in-memory job for id, nil when unknown.
+func (s *Server) job(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// listJobs returns status snapshots of every job, newest first.
+func (s *Server) listJobs() []JobStatus {
+	s.mu.Lock()
+	all := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(all))
+	for i, j := range all {
+		out[i] = j.snapshotStatus()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Created.After(out[b].Created) })
+	return out
+}
+
+// claim moves a queued job to running; false means it was cancelled (or
+// otherwise left the queued state) while waiting.
+func (s *Server) claim(j *job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State != StateQueued {
+		return false
+	}
+	j.status.State = StateRunning
+	j.status.Started = time.Now().UTC()
+	s.persistStatusLocked(j)
+	return true
+}
+
+// persistStatusLocked writes j.status to disk; callers hold j.mu.
+func (s *Server) persistStatusLocked(j *job) {
+	count, _, _ := j.log.state()
+	j.status.Events = count
+	if err := s.st.saveJSON(s.st.statusPath(j.id), j.status); err != nil {
+		s.cfg.Logf("serve: job %s: persisting status: %v", j.id, err)
+	}
+}
+
+// runJob executes one claimed job end to end and routes the outcome:
+// shutdown interruption keeps it resumable, everything else finalizes.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancelCause(s.ctx)
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer func() {
+		cancel(nil)
+		j.mu.Lock()
+		j.cancel = nil
+		j.mu.Unlock()
+	}()
+
+	res, runErr := s.executeJob(ctx, j)
+	cause := context.Cause(ctx)
+	switch {
+	case runErr == nil:
+		// A clean completion wins even when a shutdown or cancel raced the
+		// last generation — the work is done, so finalize it.
+		s.finalize(j, res, StateDone, "")
+	case errors.Is(cause, errShutdown) && !j.clientCancelled():
+		// Interrupted, not over: the runner's final checkpoint write has
+		// already persisted the exact stopping point. Record progress and
+		// leave the state non-terminal so the next boot resumes it.
+		j.mu.Lock()
+		j.status.State = StateRunning
+		s.persistStatusLocked(j)
+		j.mu.Unlock()
+		s.cfg.Logf("serve: job %s interrupted at generation %d, resumable", j.id, j.status.Generation)
+	case errors.Is(cause, errCancelled) || j.clientCancelled():
+		// The second clause catches a DELETE racing a shutdown: the parent
+		// context's errShutdown cause wins the context race, but the client
+		// was told 202, so the cancellation must still be honoured. Keep
+		// non-context failures visible (e.g. a failed final checkpoint
+		// write joined onto the cancellation).
+		errMsg := ""
+		if errors.Is(runErr, evoprot.ErrCheckpoint) {
+			errMsg = runErr.Error()
+		}
+		s.finalize(j, res, StateCancelled, errMsg)
+	default:
+		s.finalize(j, res, StateFailed, runErr.Error())
+	}
+}
+
+// executeJob rebuilds the runner a job spec describes — resuming from the
+// persisted checkpoint when one exists — and runs it under ctx.
+func (s *Server) executeJob(ctx context.Context, j *job) (*evoprot.RunResult, error) {
+	j.mu.Lock()
+	spec := j.status.Spec
+	j.mu.Unlock()
+
+	orig, err := evoprot.LoadCSV(s.st.datasetPath(j.id))
+	if err != nil {
+		return nil, fmt.Errorf("loading original dataset: %w", err)
+	}
+	opts, err := spec.Options()
+	if err != nil {
+		return nil, err
+	}
+
+	ckptPath := s.st.checkpointPath(j.id)
+	resumeFrom := 0
+	if _, err := os.Stat(ckptPath); err == nil {
+		f, err := os.Open(ckptPath)
+		if err != nil {
+			return nil, fmt.Errorf("opening checkpoint: %w", err)
+		}
+		meta, err := evoprot.PeekCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading checkpoint: %w", err)
+		}
+		// Budget from the laggard island: a cancellation-point checkpoint
+		// can catch islands mid-epoch at unequal generations, and the
+		// per-Run budget applies to every island alike. Counting from the
+		// minimum guarantees no island ends short of the spec's budget
+		// (islands ahead may run a few generations past it). Under early
+		// stopping the laggard is usually a stagnated island that should
+		// NOT be topped up — its stagnation window does not persist — so
+		// there the leader's generation bounds the budget instead.
+		if spec.EarlyStop > 0 {
+			resumeFrom = meta.Generation
+		} else {
+			resumeFrom = meta.MinGeneration
+		}
+	}
+
+	count, _, _ := j.log.state()
+	opts = append(opts,
+		evoprot.WithCheckpoint(ckptPath, s.cfg.CheckpointEvery),
+		evoprot.WithFirstEventSeq(count),
+		evoprot.WithProgress(func(ev evoprot.Event) { s.onEvent(j, ev) }),
+	)
+	remaining := spec.Budget() - resumeFrom
+	if resumeFrom > 0 && remaining > 0 {
+		// WithGenerations is the per-Run budget; a resumed runner gets only
+		// what the interrupted run left. Appended last, it overrides the
+		// spec's own generations option.
+		opts = append(opts, evoprot.WithGenerations(remaining))
+	}
+
+	runner, err := evoprot.NewRunner(orig, spec.Attributes, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if resumeFrom > 0 {
+		f, err := os.Open(ckptPath)
+		if err != nil {
+			return nil, fmt.Errorf("opening checkpoint: %w", err)
+		}
+		err = runner.Resume(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("resuming checkpoint: %w", err)
+		}
+		s.cfg.Logf("serve: job %s resuming at generation %d (%d remaining)", j.id, resumeFrom, remaining)
+		if remaining <= 0 {
+			// The crash happened after the final checkpoint but before
+			// finalization: the work is complete, only the paperwork is
+			// missing. Synthesize the result from the resumed state.
+			return s.resultFromRunner(runner), nil
+		}
+	}
+	return runner.Run(ctx)
+}
+
+// resultFromRunner builds a RunResult for a job whose budget was already
+// exhausted when resumed (a crash landed between the final checkpoint and
+// finalization). Only what the quiescent runner exposes is available:
+// best individual, island count and the generation marker. Evaluation
+// counts and per-island histories of the pre-crash legs are gone with
+// the process; the durable event log remains the trajectory of record.
+func (s *Server) resultFromRunner(r *evoprot.Runner) *evoprot.RunResult {
+	return &evoprot.RunResult{
+		Best:        r.Best(),
+		Generations: r.Generation(),
+		StopReason:  evoprot.StopCompleted,
+	}
+}
+
+// onEvent is the runner's progress callback: append to the durable feed,
+// fold the event into the live status, and persist the status every so
+// often so a hard crash recovers a recent generation marker.
+func (s *Server) onEvent(j *job, ev evoprot.Event) {
+	if err := j.log.append(ev); err != nil {
+		j.mu.Lock()
+		if j.logErr == nil {
+			j.logErr = err
+			j.status.Error = fmt.Sprintf("event log: %v", err)
+		}
+		j.mu.Unlock()
+		s.cfg.Logf("serve: job %s: event log append: %v", j.id, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ev.Err != "" && j.status.Error == "" {
+		j.status.Error = ev.Err // e.g. a failed mid-run checkpoint write
+	}
+	if ev.Island >= 0 {
+		if ev.Stats.Gen > j.status.Generation {
+			j.status.Generation = ev.Stats.Gen
+		}
+		if !ev.Done && (j.status.Best == nil || ev.Stats.Min < j.status.Best.Score) {
+			j.status.Best = &BestSummary{
+				Score:  ev.Stats.Min,
+				IL:     ev.Stats.BestIL,
+				DR:     ev.Stats.BestDR,
+				Island: ev.Island,
+			}
+		}
+	}
+	j.sincePers++
+	if j.sincePers >= 64 {
+		j.sincePers = 0
+		s.persistStatusLocked(j)
+	}
+}
+
+// finalize records a terminal outcome: result.json and best.csv when a
+// result exists, then the status flip and the feed close.
+func (s *Server) finalize(j *job, res *evoprot.RunResult, state jobState, errMsg string) {
+	var stop string
+	if res != nil && res.Best != nil {
+		stop = string(res.StopReason)
+		snap := j.snapshotStatus()
+		// res.Generations counts only the leg since the last resume; the
+		// status tracks absolute generation numbers across restarts.
+		generations := res.Generations
+		if snap.Generation > generations {
+			generations = snap.Generation
+		}
+		// res.Islands is empty on the finalize-from-checkpoint path; the
+		// spec still knows the run's shape.
+		islands := len(res.Islands)
+		if islands == 0 {
+			if islands = snap.Spec.Islands; islands < 1 {
+				islands = 1
+			}
+		}
+		result := JobResult{
+			ID:          j.id,
+			State:       state,
+			StopReason:  stop,
+			Generations: generations,
+			Evaluations: res.Evaluations,
+			Migrations:  res.Migrations,
+			Islands:     islands,
+			BestIsland:  res.BestIsland,
+			Best: BestSummary{
+				Score:  res.Best.Eval.Score,
+				IL:     res.Best.Eval.IL,
+				DR:     res.Best.Eval.DR,
+				Island: res.BestIsland,
+				Origin: res.Best.Origin,
+			},
+		}
+		if len(res.Islands) > 0 {
+			result.History = res.Islands[res.BestIsland].History
+		}
+		if err := s.st.saveJSON(s.st.resultPath(j.id), result); err != nil {
+			s.cfg.Logf("serve: job %s: persisting result: %v", j.id, err)
+		}
+		if err := evoprot.SaveCSV(res.Best.Data, s.st.bestCSVPath(j.id)); err != nil {
+			s.cfg.Logf("serve: job %s: persisting best dataset: %v", j.id, err)
+		}
+	}
+	j.mu.Lock()
+	j.status.State = state
+	j.status.Finished = time.Now().UTC()
+	j.status.StopReason = stop
+	if errMsg != "" {
+		j.status.Error = errMsg
+	} else if state != StateFailed && j.logErr == nil {
+		// The run outlived any transient mid-run warning (say, one failed
+		// periodic checkpoint superseded by later writes); a terminal
+		// success must not read like a failure.
+		j.status.Error = ""
+	}
+	if res != nil && res.Best != nil {
+		j.status.Best = &BestSummary{
+			Score:  res.Best.Eval.Score,
+			IL:     res.Best.Eval.IL,
+			DR:     res.Best.Eval.DR,
+			Island: res.BestIsland,
+			Origin: res.Best.Origin,
+		}
+		if res.Generations > j.status.Generation {
+			j.status.Generation = res.Generations
+		}
+	}
+	s.persistStatusLocked(j)
+	j.mu.Unlock()
+	j.log.finish()
+	s.cfg.Logf("serve: job %s %s (stop: %s)", j.id, state, stop)
+}
+
+// submit persists and enqueues a validated spec whose dataset has already
+// been materialized; it returns the new job's status snapshot.
+func (s *Server) submit(spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus, error) {
+	id, err := newJobID()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	dir := s.st.jobDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return JobStatus{}, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	// The dataset is persisted once at admission and runs/resumes always
+	// reload that file, so an inline upload need not travel in the spec.
+	// The persisted spec points at the file instead — absolute, so it
+	// stays a valid one-source spec for the execution-time Options()
+	// bridge and names the true dataset even if a client round-trips it.
+	if spec.DatasetCSV != "" || spec.DatasetPath != "" {
+		abs, err := filepath.Abs(s.st.datasetPath(id))
+		if err != nil {
+			cleanup()
+			return JobStatus{}, err
+		}
+		spec.DatasetCSV = ""
+		spec.DatasetPath = abs
+	}
+	if err := evoprot.SaveCSV(orig, s.st.datasetPath(id)); err != nil {
+		cleanup()
+		return JobStatus{}, err
+	}
+	log, err := openEventLog(s.st.eventsPath(id))
+	if err != nil {
+		cleanup()
+		return JobStatus{}, err
+	}
+	j := &job{
+		id:  id,
+		log: log,
+		status: JobStatus{
+			ID:      id,
+			State:   StateQueued,
+			Spec:    spec,
+			Created: time.Now().UTC(),
+		},
+	}
+	if err := s.st.saveJSON(s.st.statusPath(id), j.status); err != nil {
+		log.finish()
+		cleanup()
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.mu.Unlock()
+	if !s.queue.push(id) {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		log.finish()
+		cleanup()
+		return JobStatus{}, errQueueFull
+	}
+	s.cfg.Logf("serve: job %s accepted (queue depth %d)", id, s.queue.depth())
+	return j.snapshotStatus(), nil
+}
+
+var errQueueFull = errors.New("serve: job queue is full")
+
+// cancelJob handles DELETE: queued jobs finalize immediately, running
+// jobs get their context cancelled (the worker finalizes with the partial
+// result), terminal jobs are left alone.
+func (s *Server) cancelJob(j *job) JobStatus {
+	j.mu.Lock()
+	switch j.status.State {
+	case StateQueued:
+		j.status.State = StateCancelled
+		j.status.Finished = time.Now().UTC()
+		s.persistStatusLocked(j)
+		j.mu.Unlock()
+		j.log.finish()
+		return j.snapshotStatus()
+	case StateRunning:
+		// The flag, not just the context cause, records the intent: a
+		// DELETE racing a server shutdown must still finalize the job as
+		// cancelled (the client was told 202) rather than leave it
+		// resumable.
+		j.clientCancel = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel(errCancelled)
+		}
+		return j.snapshotStatus()
+	default:
+		j.mu.Unlock()
+		return j.snapshotStatus()
+	}
+}
+
+// newJobID returns a 16-hex-digit random job id.
+func newJobID() (string, error) {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", err
+	}
+	return "j" + hex.EncodeToString(buf[:]), nil
+}

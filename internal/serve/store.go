@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"evoprot"
+)
+
+// The on-disk layout, one directory per job under <DataDir>/jobs/<id>/:
+//
+//	dataset.csv     the materialized original dataset
+//	status.json     the last persisted JobStatus (embeds the normalized spec)
+//	events.ndjson   the append-only event feed
+//	job.ckpt        the runner checkpoint (atomic tmp+rename writes)
+//	result.json     the JobResult, written when the job reaches a terminal state
+//	best.csv        the best protected dataset found
+//
+// status.json is written with the same tmp+rename discipline as
+// checkpoints, so a crash can leave a stale status but never a torn one;
+// recovery treats anything non-terminal as resumable work.
+
+// jobState is a job's lifecycle state.
+type jobState string
+
+const (
+	// StateQueued: accepted and waiting for a worker (also the persisted
+	// state of interrupted jobs re-enqueued at boot).
+	StateQueued jobState = "queued"
+	// StateRunning: a worker is evolving it.
+	StateRunning jobState = "running"
+	// StateDone: finished its budget (or stagnated every island).
+	StateDone jobState = "done"
+	// StateCancelled: stopped by DELETE; a partial result is kept.
+	StateCancelled jobState = "cancelled"
+	// StateFailed: the run errored; see JobStatus.Error.
+	StateFailed jobState = "failed"
+)
+
+// terminal reports whether no further work will happen on the job.
+func (s jobState) terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// BestSummary is the best-so-far (or final) individual in wire form.
+type BestSummary struct {
+	// Score is the aggregated fitness (lower is better).
+	Score float64 `json:"score"`
+	// IL and DR are the information-loss and disclosure-risk components.
+	IL float64 `json:"il"`
+	DR float64 `json:"dr"`
+	// Island is the island that produced it.
+	Island int `json:"island"`
+	// Origin is the producing operator or seed label; filled when the
+	// final population is available (results), empty in live status.
+	Origin string `json:"origin,omitempty"`
+}
+
+// JobStatus is the wire form of GET /v1/jobs/{id} and the persisted
+// status.json.
+type JobStatus struct {
+	ID    string          `json:"id"`
+	State jobState        `json:"state"`
+	Spec  evoprot.JobSpec `json:"spec"`
+	// Created/Started/Finished timestamp the lifecycle; Started and
+	// Finished are zero until reached.
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Generation is the largest per-island generation executed so far.
+	Generation int `json:"generation"`
+	// Events is the number of feed events persisted — the exclusive upper
+	// bound of the replayable offset space.
+	Events uint64 `json:"events"`
+	// Best is the best-so-far summary, nil before the first generation.
+	Best *BestSummary `json:"best,omitempty"`
+	// StopReason is set once the run ends: completed, stagnated,
+	// cancelled or deadline.
+	StopReason string `json:"stop_reason,omitempty"`
+	// Error carries the failure (or last non-fatal checkpoint error).
+	Error string `json:"error,omitempty"`
+	// Resumes counts checkpoint resumptions after server restarts.
+	Resumes int `json:"resumes"`
+}
+
+// JobResult is the wire form of GET /v1/jobs/{id}/result and the
+// persisted result.json: the trajectory plus the best protection's
+// summary. The protected dataset itself lives in best.csv and is
+// inlined by the handler on request.
+type JobResult struct {
+	ID          string      `json:"id"`
+	State       jobState    `json:"state"`
+	StopReason  string      `json:"stop_reason"`
+	Generations int         `json:"generations"`
+	Evaluations int         `json:"evaluations"`
+	Migrations  int         `json:"migrations"`
+	Islands     int         `json:"islands"`
+	BestIsland  int         `json:"best_island"`
+	Best        BestSummary `json:"best"`
+	// History is the best island's per-generation trajectory.
+	History []evoprot.GenStats `json:"history"`
+	// DatasetCSV is the best protected dataset, inlined only on the wire.
+	DatasetCSV string `json:"dataset_csv,omitempty"`
+}
+
+// store resolves the on-disk layout and persists JSON documents
+// atomically.
+type store struct{ root string }
+
+func newStore(root string) (*store, error) {
+	st := &store{root: root}
+	if err := os.MkdirAll(st.jobsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating data dir: %w", err)
+	}
+	return st, nil
+}
+
+// datasetFileName is the persisted original dataset; normalized specs of
+// CSV-sourced jobs carry it as their DatasetPath.
+const datasetFileName = "dataset.csv"
+
+func (st *store) jobsDir() string         { return filepath.Join(st.root, "jobs") }
+func (st *store) jobDir(id string) string { return filepath.Join(st.jobsDir(), id) }
+func (st *store) datasetPath(id string) string {
+	return filepath.Join(st.jobDir(id), datasetFileName)
+}
+func (st *store) statusPath(id string) string { return filepath.Join(st.jobDir(id), "status.json") }
+func (st *store) eventsPath(id string) string { return filepath.Join(st.jobDir(id), "events.ndjson") }
+func (st *store) checkpointPath(id string) string {
+	return filepath.Join(st.jobDir(id), "job.ckpt")
+}
+func (st *store) resultPath(id string) string  { return filepath.Join(st.jobDir(id), "result.json") }
+func (st *store) bestCSVPath(id string) string { return filepath.Join(st.jobDir(id), "best.csv") }
+
+// saveJSON writes v to path atomically: tmp file, clean close, rename.
+func (st *store) saveJSON(path string, v any) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (st *store) loadJSON(path string, v any) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}
+
+// listJobIDs returns every persisted job id, in no particular order.
+func (st *store) listJobIDs() ([]string, error) {
+	entries, err := os.ReadDir(st.jobsDir())
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	return ids, nil
+}

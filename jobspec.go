@@ -1,0 +1,210 @@
+package evoprot
+
+// JobSpec is the JSON-expressible description of one optimization job:
+// the functional-option surface of Run/NewRunner as data, and the wire
+// format of the evoprotd job service (internal/serve, cmd/evoprotd).
+// Campaign tooling builds specs, ships them over HTTP, and the service
+// turns them back into options with the Options bridge.
+
+import (
+	"fmt"
+	"strings"
+
+	"evoprot/internal/core"
+)
+
+// JobSpec describes one optimization job. Exactly one dataset source must
+// be set: a built-in generator name (Dataset), an inline CSV upload
+// (DatasetCSV), or a server-side path (DatasetPath). Zero values of the
+// remaining fields select the paper's defaults, mirroring the option
+// functions they bridge to.
+type JobSpec struct {
+	// Dataset names a built-in synthetic dataset: housing, german, flare
+	// or adult.
+	Dataset string `json:"dataset,omitempty"`
+	// Rows scales a built-in dataset (0 = the paper's record count).
+	Rows int `json:"rows,omitempty"`
+	// DatasetCSV is an inline CSV upload of the original microdata.
+	DatasetCSV string `json:"dataset_csv,omitempty"`
+	// DatasetPath is a server-side CSV path; services may refuse it.
+	DatasetPath string `json:"dataset_path,omitempty"`
+	// Attributes names the protected attributes. Optional for built-in
+	// datasets (defaulting to the paper's protected set), required for
+	// CSV sources. Materialize fills the resolved names in.
+	Attributes []string `json:"attributes,omitempty"`
+	// Grid names the masking grid seeding the initial population;
+	// Materialize defaults it to Dataset for built-ins and "flare"
+	// otherwise.
+	Grid string `json:"grid,omitempty"`
+	// Aggregator is "mean" (Eq. 1), "max" (Eq. 2, default), "euclidean"
+	// or "weighted:<w>".
+	Aggregator string `json:"aggregator,omitempty"`
+	// Generations is each island's total evolution budget
+	// (0 = DefaultGenerations).
+	Generations int `json:"generations,omitempty"`
+	// Seed fixes the run seed; the whole parallel run reproduces from it.
+	Seed uint64 `json:"seed"`
+	// Workers parallelizes initial-population evaluation (0 = sequential).
+	Workers int `json:"workers,omitempty"`
+	// EarlyStop stops an island after N stagnant generations (0 = off).
+	EarlyStop int `json:"early_stop,omitempty"`
+	// Selection names the reproduction-selection policy
+	// ("inverse-proportional" default, "raw-proportional", "rank",
+	// "uniform").
+	Selection string `json:"selection,omitempty"`
+	// Islands evolves N islands concurrently (0 or 1 = single island).
+	Islands int `json:"islands,omitempty"`
+	// MigrateEvery is the migration epoch length in generations (0 = 25).
+	MigrateEvery int `json:"migrate_every,omitempty"`
+	// Migrants is how many elites each island emits per migration (0 = 2).
+	Migrants int `json:"migrants,omitempty"`
+	// Topology is the migration topology: "ring" (default) or "broadcast".
+	Topology string `json:"topology,omitempty"`
+	// DisableDelta turns off incremental offspring evaluation — identical
+	// results, much slower; a benchmarking knob.
+	DisableDelta bool `json:"disable_delta,omitempty"`
+	// LazyPrepare skips eager delta-preparation of the initial population —
+	// a memory-pressure knob; identical results.
+	LazyPrepare bool `json:"lazy_prepare,omitempty"`
+}
+
+// Validate checks the spec's internal consistency: exactly one dataset
+// source, attributes present for CSV sources, and every symbolic name
+// resolvable. It does not touch the filesystem or generate data.
+func (s *JobSpec) Validate() error {
+	sources := 0
+	for _, set := range []bool{s.Dataset != "", s.DatasetCSV != "", s.DatasetPath != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("evoprot: job spec needs exactly one of dataset, dataset_csv or dataset_path, got %d", sources)
+	}
+	if s.Dataset == "" && len(s.Attributes) == 0 {
+		return fmt.Errorf("evoprot: job spec needs attributes for CSV dataset sources")
+	}
+	if s.Aggregator != "" {
+		if _, err := AggregatorByName(s.Aggregator); err != nil {
+			return err
+		}
+	}
+	if _, err := core.SelectionByName(s.Selection); err != nil {
+		return err
+	}
+	if _, err := TopologyByName(s.Topology); err != nil {
+		return err
+	}
+	if s.Grid != "" {
+		if _, err := PaperComposition(s.Grid); err != nil {
+			return err
+		}
+	}
+	if s.Generations < 0 || s.Islands < 0 || s.Rows < 0 || s.Workers < 0 ||
+		s.EarlyStop < 0 || s.MigrateEvery < 0 || s.Migrants < 0 {
+		return fmt.Errorf("evoprot: job spec counts must be non-negative")
+	}
+	return nil
+}
+
+// Materialize validates the spec, loads or generates the original dataset
+// it names, and normalizes the spec in place: Attributes gains the
+// resolved protected-attribute names and Grid its effective masking grid,
+// so a persisted spec can later rebuild the identical run without
+// re-deriving defaults.
+func (s *JobSpec) Materialize() (*Dataset, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		orig *Dataset
+		err  error
+	)
+	switch {
+	case s.Dataset != "":
+		orig, err = GenerateDataset(s.Dataset, s.Rows, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if len(s.Attributes) == 0 {
+			if s.Attributes, err = ProtectedAttributes(s.Dataset); err != nil {
+				return nil, err
+			}
+		}
+		if s.Grid == "" {
+			s.Grid = s.Dataset
+		}
+	case s.DatasetCSV != "":
+		orig, err = ReadCSV(strings.NewReader(s.DatasetCSV))
+		if err != nil {
+			return nil, err
+		}
+	default:
+		orig, err = LoadCSV(s.DatasetPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.Grid == "" {
+		s.Grid = "flare" // the 3-attribute grid with the smallest domains
+	}
+	if _, err := orig.Schema().Indices(s.Attributes...); err != nil {
+		return nil, err
+	}
+	return orig, nil
+}
+
+// Budget returns the spec's total per-island generation budget with the
+// default applied — the number a service subtracts a resumed checkpoint's
+// generation from.
+func (s *JobSpec) Budget() int {
+	if s.Generations > 0 {
+		return s.Generations
+	}
+	return DefaultGenerations
+}
+
+// Options bridges the spec to the functional options of Run/NewRunner.
+// Call Materialize first when the spec relies on defaults it fills in
+// (attributes, grid); Options itself never touches the filesystem.
+func (s *JobSpec) Options() ([]Option, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := TopologyByName(s.Topology)
+	if err != nil {
+		return nil, err
+	}
+	opts := []Option{WithSeed(s.Seed), WithTopology(topo)}
+	if s.Grid != "" {
+		opts = append(opts, WithGrid(s.Grid))
+	}
+	if s.Aggregator != "" {
+		opts = append(opts, WithAggregator(s.Aggregator))
+	}
+	if s.Generations > 0 {
+		opts = append(opts, WithGenerations(s.Generations))
+	}
+	if s.Workers > 0 {
+		opts = append(opts, WithWorkers(s.Workers))
+	}
+	if s.EarlyStop > 0 {
+		opts = append(opts, WithEarlyStop(s.EarlyStop))
+	}
+	if s.Selection != "" {
+		opts = append(opts, WithSelection(s.Selection))
+	}
+	if s.Islands > 0 {
+		opts = append(opts, WithIslands(s.Islands))
+	}
+	if s.MigrateEvery > 0 || s.Migrants > 0 {
+		opts = append(opts, WithMigration(s.MigrateEvery, s.Migrants))
+	}
+	if s.DisableDelta {
+		opts = append(opts, WithoutDelta())
+	}
+	if s.LazyPrepare {
+		opts = append(opts, WithLazyPrepare())
+	}
+	return opts, nil
+}

@@ -1,0 +1,133 @@
+package evoprot
+
+// Tests for the JobSpec→options bridge: validation, dataset
+// materialization and the equivalence of a spec-driven run with the same
+// run assembled from explicit options.
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestJobSpecValidation(t *testing.T) {
+	bad := map[string]JobSpec{
+		"no source":        {},
+		"two sources":      {Dataset: "flare", DatasetCSV: "A\nx\n"},
+		"csv needs attrs":  {DatasetCSV: "A\nx\n"},
+		"bad aggregator":   {Dataset: "flare", Aggregator: "median"},
+		"bad selection":    {Dataset: "flare", Selection: "tournament"},
+		"bad topology":     {Dataset: "flare", Topology: "star"},
+		"bad grid":         {Dataset: "flare", Grid: "census"},
+		"negative gens":    {Dataset: "flare", Generations: -1},
+		"negative islands": {Dataset: "flare", Islands: -2},
+	}
+	for name, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	good := JobSpec{Dataset: "flare", Generations: 50, Islands: 2, Topology: "broadcast"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestJobSpecMaterializeNormalizes(t *testing.T) {
+	spec := JobSpec{Dataset: "german", Rows: 60, Seed: 5}
+	orig, err := spec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Rows() != 60 {
+		t.Fatalf("rows = %d, want 60", orig.Rows())
+	}
+	wantAttrs, _ := ProtectedAttributes("german")
+	if len(spec.Attributes) != len(wantAttrs) {
+		t.Fatalf("attributes not normalized: %v", spec.Attributes)
+	}
+	if spec.Grid != "german" {
+		t.Fatalf("grid not normalized: %q", spec.Grid)
+	}
+
+	// Inline CSV source: round-trip a generated dataset through its CSV
+	// form and protect named attributes.
+	gen, _ := GenerateDataset("flare", 50, 9)
+	var sb strings.Builder
+	if err := gen.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ := ProtectedAttributes("flare")
+	csvSpec := JobSpec{DatasetCSV: sb.String(), Attributes: attrs, Seed: 9}
+	csvOrig, err := csvSpec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csvOrig.Rows() != 50 {
+		t.Fatalf("csv rows = %d, want 50", csvOrig.Rows())
+	}
+	if csvSpec.Grid != "flare" {
+		t.Fatalf("csv grid default = %q, want flare", csvSpec.Grid)
+	}
+
+	// Unknown attribute names must fail at materialization, not at run
+	// time on a worker.
+	badSpec := JobSpec{DatasetCSV: sb.String(), Attributes: []string{"nope"}, Seed: 9}
+	if _, err := badSpec.Materialize(); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+// TestJobSpecOptionsEquivalence: a spec-driven run reproduces the run its
+// options describe, bit for bit.
+func TestJobSpecOptionsEquivalence(t *testing.T) {
+	spec := JobSpec{
+		Dataset:      "flare",
+		Rows:         80,
+		Generations:  20,
+		Seed:         31,
+		Islands:      2,
+		MigrateEvery: 5,
+		Topology:     "broadcast",
+		Aggregator:   "mean",
+	}
+	orig, err := spec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := spec.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), orig, spec.Attributes, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refOrig, _ := GenerateDataset("flare", 80, 31)
+	attrs, _ := ProtectedAttributes("flare")
+	want, err := Run(context.Background(), refOrig, attrs,
+		WithGrid("flare"),
+		WithGenerations(20),
+		WithSeed(31),
+		WithIslands(2),
+		WithMigration(5, 0),
+		WithTopology(Broadcast),
+		WithAggregator("mean"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.Eval.Score != want.Best.Eval.Score {
+		t.Fatalf("spec run best %.6f, option run best %.6f", got.Best.Eval.Score, want.Best.Eval.Score)
+	}
+	if !got.Best.Data.Equal(want.Best.Data) {
+		t.Fatal("spec-driven run diverged from the explicit-option run")
+	}
+	if spec.Budget() != 20 {
+		t.Fatalf("Budget() = %d, want 20", spec.Budget())
+	}
+	if (&JobSpec{Dataset: "flare"}).Budget() != DefaultGenerations {
+		t.Fatalf("default Budget() = %d, want %d", (&JobSpec{Dataset: "flare"}).Budget(), DefaultGenerations)
+	}
+}

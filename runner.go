@@ -73,6 +73,7 @@ type runnerOptions struct {
 	lazyPrepare     bool
 	checkpointPath  string
 	checkpointEvery int
+	firstSeq        uint64
 }
 
 // Option configures a Runner. Zero/omitted options select the paper's
@@ -157,6 +158,13 @@ func WithCheckpoint(path string, every int) Option {
 	return func(o *runnerOptions) { o.checkpointPath, o.checkpointEvery = path, every }
 }
 
+// WithFirstEventSeq sets the sequence number of the run's first event —
+// the numbering origin of the Event feed. A service that resumes a
+// checkpointed run and has already delivered n events passes n, so the
+// resumed feed continues its predecessor's offset space and replay
+// offsets stay stable across restarts.
+func WithFirstEventSeq(seq uint64) Option { return func(o *runnerOptions) { o.firstSeq = seq } }
+
 // Runner owns a prepared optimization: the evaluator over the original
 // dataset and the evaluated initial population. Build one with NewRunner,
 // then call Run — repeatedly if desired; each call continues the same
@@ -169,6 +177,7 @@ type Runner struct {
 	opts     runnerOptions
 	ir       *islands.Runner
 	lastCkpt int
+	ckptErr  error // last unsuperseded mid-run checkpoint write failure
 }
 
 // NewRunner prepares a run over the original dataset's named protected
@@ -246,8 +255,9 @@ func (r *Runner) islandsConfig() (islands.Config, error) {
 			DisableDelta:        r.opts.disableDelta,
 			LazyPrepare:         r.opts.lazyPrepare,
 		},
-		OnEvent: r.opts.onEvent,
-		Events:  r.opts.events,
+		OnEvent:  r.opts.onEvent,
+		Events:   r.opts.events,
+		FirstSeq: r.opts.firstSeq,
 	}
 	if r.opts.checkpointPath != "" {
 		every := r.opts.checkpointEvery
@@ -257,9 +267,16 @@ func (r *Runner) islandsConfig() (islands.Config, error) {
 		cfg.OnEpoch = func(ir *islands.Runner) {
 			if g := ir.Generation(); g-r.lastCkpt >= every {
 				r.lastCkpt = g
-				// Mid-run checkpoint failures must not kill the run; the
-				// final write when Run returns surfaces persistent errors.
-				_ = writeRunnerCheckpoint(ir, r.opts.checkpointPath)
+				// A mid-run checkpoint failure must not kill the run: it is
+				// surfaced live on the event feed, remembered for the final
+				// error join, and superseded by any later successful write
+				// (which makes the on-disk state fresh again).
+				if err := writeRunnerCheckpoint(ir, r.opts.checkpointPath); err != nil {
+					r.ckptErr = err
+					ir.Emit(islands.Event{Island: -1, Err: err.Error()})
+				} else {
+					r.ckptErr = nil
+				}
 			}
 		}
 	}
@@ -302,6 +319,19 @@ func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
 			} else {
 				err = errors.Join(err, werr)
 			}
+		} else {
+			// The final write refreshed the checkpoint file; earlier mid-run
+			// failures no longer describe its state.
+			r.ckptErr = nil
+		}
+	}
+	if r.ckptErr != nil {
+		werr := fmt.Errorf("%w: mid-run: %v", ErrCheckpoint, r.ckptErr)
+		r.ckptErr = nil
+		if err == nil {
+			err = werr
+		} else {
+			err = errors.Join(err, werr)
 		}
 	}
 	return res, err
@@ -328,6 +358,10 @@ func (r *Runner) Resume(rd io.Reader) error {
 		return err
 	}
 	r.ir = ir
+	// Re-anchor the checkpoint cadence to the resumed state: the next
+	// periodic write is due `every` generations from here, not from
+	// whatever generation this Runner had reached before.
+	r.lastCkpt = ir.Generation()
 	return nil
 }
 
@@ -338,6 +372,17 @@ func (r *Runner) Snapshot(w io.Writer) error {
 		return fmt.Errorf("evoprot: nothing to snapshot before the first Run or Resume")
 	}
 	return r.ir.Snapshot(w)
+}
+
+// Best returns the best individual across islands right now: the live
+// best-so-far between runs, or a resumed checkpoint's best before any
+// Run. Nil before the first Run or Resume. Only valid while no Run is in
+// flight.
+func (r *Runner) Best() *Individual {
+	if r.ir == nil {
+		return nil
+	}
+	return r.ir.Best()
 }
 
 // Generation returns the largest per-island generation count executed so
@@ -364,6 +409,14 @@ func (r *Runner) Islands() int {
 // TopologyByName resolves a migration-topology name: "ring" or
 // "broadcast".
 func TopologyByName(name string) (Topology, error) { return islands.TopologyByName(name) }
+
+// CheckpointMeta describes a checkpoint file without resuming it.
+type CheckpointMeta = islands.Meta
+
+// PeekCheckpoint reads a checkpoint's island count and generation marker
+// without rebuilding engines or touching an evaluator. Services use it to
+// size the remaining budget of an interrupted job before resuming it.
+func PeekCheckpoint(rd io.Reader) (CheckpointMeta, error) { return islands.Peek(rd) }
 
 // Run is the one-call ctx-first entry point: build a Runner and execute it.
 //

@@ -7,8 +7,12 @@ package evoprot
 import (
 	"bytes"
 	"context"
+	"errors"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"evoprot/internal/experiment"
 )
@@ -327,5 +331,165 @@ func TestDefaultsAreSingleSourced(t *testing.T) {
 	}
 	if res.Islands[0].Generations > 400 {
 		t.Fatalf("default budget exceeded 400: %d", res.Islands[0].Generations)
+	}
+}
+
+// TestRunnerSlowEventConsumerCheckpoint: a slow Events consumer slows a
+// run down (sends are blocking by contract) but must never deadlock
+// checkpoint writes — barriers and emissions are ordered, never
+// entangled. The checkpoint written under backpressure must also be a
+// valid resume point.
+func TestRunnerSlowEventConsumerCheckpoint(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 80, 33)
+	attrs, _ := ProtectedAttributes("flare")
+	ckpt := filepath.Join(t.TempDir(), "slow.ckpt")
+	ch := make(chan Event) // unbuffered: every send waits on the consumer
+	received := make(chan int)
+	go func() {
+		n := 0
+		for ev := range ch {
+			time.Sleep(500 * time.Microsecond) // a deliberately slow consumer
+			_ = ev
+			n++
+		}
+		received <- n
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, orig, attrs,
+		WithGrid("flare"),
+		WithGenerations(20),
+		WithSeed(33),
+		WithIslands(2),
+		WithMigration(5, 2),
+		WithEvents(ch),
+		WithCheckpoint(ckpt, 1),
+	)
+	if err != nil {
+		t.Fatalf("run under consumer backpressure: %v", err)
+	}
+	if res.StopReason != StopCompleted {
+		t.Fatalf("stop reason %s", res.StopReason)
+	}
+	if n := <-received; n != 2*20+2 {
+		t.Fatalf("consumer saw %d events, want %d", n, 2*20+2)
+	}
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint missing after slow-consumer run: %v", err)
+	}
+	defer f.Close()
+	meta, err := PeekCheckpoint(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Islands != 2 || meta.Generation != 20 {
+		t.Fatalf("checkpoint meta %+v, want 2 islands at generation 20", meta)
+	}
+	r, err := NewRunner(orig, attrs, WithGrid("flare"), WithGenerations(10), WithSeed(33), WithIslands(2), WithMigration(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Resume(f); err != nil {
+		t.Fatalf("checkpoint written under backpressure does not resume: %v", err)
+	}
+}
+
+// TestRunnerCheckpointFailureSurfaced: mid-run checkpoint write failures
+// must not vanish (regression: they were discarded with `_ =`). They
+// surface twice — live on the event feed as Island -1 events, and in the
+// final error join as ErrCheckpoint.
+func TestRunnerCheckpointFailureSurfaced(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 80, 41)
+	attrs, _ := ProtectedAttributes("flare")
+	// A path whose directory does not exist: every write fails.
+	ckpt := filepath.Join(t.TempDir(), "missing-dir", "x.ckpt")
+	var (
+		mu       sync.Mutex
+		ckptEvts int
+		seqs     []uint64
+	)
+	res, err := Run(context.Background(), orig, attrs,
+		WithGrid("flare"),
+		WithGenerations(10),
+		WithSeed(41),
+		WithIslands(2),
+		WithMigration(5, 2),
+		WithCheckpoint(ckpt, 1),
+		WithProgress(func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			seqs = append(seqs, ev.Seq)
+			if ev.Err != "" {
+				if ev.Island != -1 {
+					t.Errorf("checkpoint-failure event carries island %d, want -1", ev.Island)
+				}
+				ckptEvts++
+			}
+		}),
+	)
+	if res == nil {
+		t.Fatal("run result discarded on checkpoint failure")
+	}
+	if err == nil {
+		t.Fatal("checkpoint write failures silently discarded")
+	}
+	if !errors.Is(err, ErrCheckpoint) {
+		t.Fatalf("error %v does not wrap ErrCheckpoint", err)
+	}
+	if ckptEvts == 0 {
+		t.Fatal("no checkpoint-failure events on the feed")
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("event %d has seq %d; injected failure events must share the numbering", i, s)
+		}
+	}
+	if res.StopReason != StopCompleted {
+		t.Fatalf("run did not complete despite failing checkpoints: %s", res.StopReason)
+	}
+}
+
+// TestResumeResetsCheckpointCadence: Resume must re-anchor the periodic
+// checkpoint counter to the resumed generation (regression: a Runner
+// that had already progressed further kept its old high-water mark, so
+// the resumed leg ran without mid-run checkpoints until it caught up).
+func TestResumeResetsCheckpointCadence(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 80, 55)
+	attrs, _ := ProtectedAttributes("flare")
+	opts := func(gens int) []Option {
+		return []Option{WithGrid("flare"), WithGenerations(gens), WithSeed(55),
+			WithCheckpoint(filepath.Join(t.TempDir(), "c.ckpt"), 5), WithMigration(5, 0)}
+	}
+	r0, err := NewRunner(orig, attrs, opts(10)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r0.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var early bytes.Buffer
+	if err := r0.Snapshot(&early); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := NewRunner(orig, attrs, opts(40)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r1.lastCkpt != 40 {
+		t.Fatalf("after a 40-generation run lastCkpt = %d", r1.lastCkpt)
+	}
+	if err := r1.Resume(bytes.NewReader(early.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if r1.lastCkpt != 10 {
+		t.Fatalf("after resuming a generation-10 snapshot lastCkpt = %d, want 10", r1.lastCkpt)
 	}
 }
