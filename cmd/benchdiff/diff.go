@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// options parameterizes a diff run.
+type options struct {
+	// Threshold is the failing regression size in percent.
+	Threshold float64
+	// Metrics is the comma-separated list of benchmark units to compare.
+	Metrics string
+	// MinNs suppresses ns/op comparisons whose baseline is below this
+	// value: single-iteration timings of fast benchmarks are noise.
+	MinNs float64
+}
+
+// benchSet maps "package/BenchmarkName" to that benchmark's metrics by
+// unit (ns/op, B/op, allocs/op and any custom b.ReportMetric units).
+type benchSet map[string]map[string]float64
+
+// testEvent is the subset of the `go test -json` event stream benchdiff
+// reads.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// procSuffix matches the -GOMAXPROCS suffix of a benchmark name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchFile reads a benchmark artifact in `go test -json` or plain
+// text form and collects every benchmark result line.
+func parseBenchFile(path string) (benchSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set := benchSet{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		pkg, out, test := "", line, ""
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				continue // tolerate foreign lines in the stream
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			pkg, out, test = ev.Package, ev.Output, ev.Test
+		}
+		name, metrics, ok := parseBenchLine(out)
+		if !ok && strings.HasPrefix(test, "Benchmark") {
+			// test2json sometimes splits a benchmark result across two
+			// output events — the name alone, then the numbers. The
+			// event's Test field still names the benchmark, so re-parse
+			// the numbers-only line with it prepended.
+			name, metrics, ok = parseBenchLine(test + " " + out)
+		}
+		if !ok {
+			continue
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "/" + name
+		}
+		set[key] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// parseBenchLine parses one "BenchmarkFoo-8   123   456 ns/op  7 B/op ..."
+// result line into the benchmark's normalized name and its metrics.
+func parseBenchLine(out string) (string, map[string]float64, bool) {
+	fields := strings.Fields(strings.TrimSpace(out))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false // not an iteration count: some other output
+	}
+	name := procSuffix.ReplaceAllString(fields[0], "")
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}
+
+// delta is one (benchmark, metric) comparison.
+type delta struct {
+	key, metric string
+	oldV, newV  float64
+	pct         float64
+}
+
+// run diffs two artifacts and renders the report, returning the number of
+// regressions past the threshold.
+func run(oldPath, newPath string, opts options) (report string, regressions int, err error) {
+	oldSet, err := parseBenchFile(oldPath)
+	if err != nil {
+		return "", 0, err
+	}
+	newSet, err := parseBenchFile(newPath)
+	if err != nil {
+		return "", 0, err
+	}
+	if len(oldSet) == 0 {
+		return "", 0, fmt.Errorf("%s contains no benchmark results", oldPath)
+	}
+	if len(newSet) == 0 {
+		return "", 0, fmt.Errorf("%s contains no benchmark results", newPath)
+	}
+	metrics := strings.Split(opts.Metrics, ",")
+	var regressed, improved []delta
+	onlyOld, onlyNew := 0, 0
+	for key := range oldSet {
+		if _, ok := newSet[key]; !ok {
+			onlyOld++
+		}
+	}
+	keys := make([]string, 0, len(newSet))
+	for key := range newSet {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		olds, ok := oldSet[key]
+		if !ok {
+			onlyNew++
+			continue
+		}
+		news := newSet[key]
+		for _, metric := range metrics {
+			metric = strings.TrimSpace(metric)
+			oldV, okOld := olds[metric]
+			newV, okNew := news[metric]
+			if !okOld || !okNew || oldV < 0 {
+				continue
+			}
+			if metric == "ns/op" && oldV < opts.MinNs {
+				continue
+			}
+			if oldV == 0 {
+				// A zero baseline growing is an unbounded regression —
+				// exactly an allocation-free path starting to allocate.
+				if newV > 0 {
+					regressed = append(regressed, delta{key: key, metric: metric, oldV: oldV, newV: newV, pct: math.Inf(1)})
+				}
+				continue
+			}
+			pct := (newV - oldV) / oldV * 100
+			d := delta{key: key, metric: metric, oldV: oldV, newV: newV, pct: pct}
+			switch {
+			case pct > opts.Threshold:
+				regressed = append(regressed, d)
+			case pct < -opts.Threshold:
+				improved = append(improved, d)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if len(regressed) > 0 {
+		fmt.Fprintf(&b, "REGRESSIONS (>%g%%):\n", opts.Threshold)
+		for _, d := range regressed {
+			fmt.Fprintf(&b, "  %s %s: %g -> %g (%+.1f%%)\n", d.key, d.metric, d.oldV, d.newV, d.pct)
+		}
+	}
+	if len(improved) > 0 {
+		fmt.Fprintf(&b, "improvements (>%g%%):\n", opts.Threshold)
+		for _, d := range improved {
+			fmt.Fprintf(&b, "  %s %s: %g -> %g (%+.1f%%)\n", d.key, d.metric, d.oldV, d.newV, d.pct)
+		}
+	}
+	fmt.Fprintf(&b, "compared %d benchmarks (%d regressed, %d improved, %d only in old, %d only in new)\n",
+		len(newSet)-onlyNew, len(regressed), len(improved), onlyOld, onlyNew)
+	return b.String(), len(regressed), nil
+}

@@ -1,0 +1,52 @@
+// Command benchdiff compares two benchmark artifacts and exits non-zero
+// when any benchmark regressed past a threshold — the regression gate for
+// the BENCH_<sha>.json files CI publishes on every push to main.
+//
+// Usage:
+//
+//	benchdiff [flags] OLD NEW
+//
+// OLD and NEW are benchmark outputs in either `go test -json -bench` form
+// (one JSON event per line, as CI produces) or plain `go test -bench`
+// text. Benchmarks are matched by package and name (with the -GOMAXPROCS
+// suffix stripped, so artifacts from differently-sized runners still
+// line up); benchmarks present in only one artifact are reported but never
+// fail the diff.
+//
+// By default the tool compares ns/op and allocs/op and fails on a >15%
+// increase of either. Single-iteration timings of very fast benchmarks are
+// dominated by scheduling noise, so ns/op comparisons are skipped when the
+// baseline is below -min-ns (default 100µs); allocs/op is deterministic
+// and always compared.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var opts options
+	flag.Float64Var(&opts.Threshold, "threshold", 15, "regression threshold in percent")
+	flag.StringVar(&opts.Metrics, "metrics", "ns/op,allocs/op", "comma-separated metrics to compare")
+	flag.Float64Var(&opts.MinNs, "min-ns", 100_000, "skip ns/op comparison when the baseline is below this many ns/op")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD NEW\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	report, regressions, err := run(flag.Arg(0), flag.Arg(1), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(report)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldJSON = `{"Action":"start","Package":"evoprot/internal/risk"}
+{"Action":"output","Package":"evoprot/internal/risk","Output":"goos: linux\n"}
+{"Action":"output","Package":"evoprot/internal/risk","Output":"BenchmarkRankIntervalLinkage-8 \t   43468\t     200000 ns/op\t   55928 B/op\t     564 allocs/op\n"}
+{"Action":"output","Package":"evoprot/internal/risk","Output":"BenchmarkFast-8 \t   999\t     500 ns/op\t   16 B/op\t     2 allocs/op\n"}
+{"Action":"output","Package":"evoprot/internal/risk","Output":"BenchmarkGone-8 \t   10\t     300000 ns/op\n"}
+{"Action":"output","Package":"evoprot/internal/risk","Output":"PASS\n"}
+`
+
+func defaultOpts() options {
+	return options{Threshold: 15, Metrics: "ns/op,allocs/op", MinNs: 100_000}
+}
+
+func TestParseBenchFileJSON(t *testing.T) {
+	path := writeArtifact(t, "old.json", oldJSON)
+	set, err := parseBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := set["evoprot/internal/risk/BenchmarkRankIntervalLinkage"]
+	if !ok {
+		t.Fatalf("benchmark not found; keys: %v", keysOf(set))
+	}
+	if m["ns/op"] != 200000 || m["allocs/op"] != 564 || m["B/op"] != 55928 {
+		t.Fatalf("metrics = %v", m)
+	}
+	if len(set) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(set))
+	}
+}
+
+func TestParseBenchFileSplitResultLine(t *testing.T) {
+	// test2json sometimes emits the benchmark name and its numbers as two
+	// separate output events; the numbers-only event still carries the
+	// Test field.
+	path := writeArtifact(t, "split.json", `{"Action":"output","Package":"p","Test":"BenchmarkSplit","Output":"BenchmarkSplit\n"}
+{"Action":"output","Package":"p","Test":"BenchmarkSplit","Output":"       1\t      9715 ns/op\t     512 B/op\t       6 allocs/op\n"}
+`)
+	set, err := parseBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := set["p/BenchmarkSplit"]
+	if !ok || m["ns/op"] != 9715 || m["allocs/op"] != 6 {
+		t.Fatalf("split result not reassembled: %v", set)
+	}
+}
+
+func TestParseBenchFilePlainText(t *testing.T) {
+	path := writeArtifact(t, "plain.txt", `
+goos: linux
+BenchmarkFoo-16         100         12345 ns/op               3.5 things/op
+PASS
+`)
+	set, err := parseBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := set["BenchmarkFoo"]
+	if !ok || m["ns/op"] != 12345 || m["things/op"] != 3.5 {
+		t.Fatalf("set = %v", set)
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	oldPath := writeArtifact(t, "old.json", oldJSON)
+	newPath := writeArtifact(t, "new.json", `{"Action":"output","Package":"evoprot/internal/risk","Output":"BenchmarkRankIntervalLinkage-8 \t   100\t     300000 ns/op\t   55928 B/op\t     564 allocs/op\n"}
+{"Action":"output","Package":"evoprot/internal/risk","Output":"BenchmarkFast-8 \t   999\t     900000 ns/op\t   16 B/op\t     2 allocs/op\n"}
+{"Action":"output","Package":"evoprot/internal/risk","Output":"BenchmarkNew-8 \t   10\t     100 ns/op\n"}
+`)
+	report, regressions, err := run(oldPath, newPath, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +50% ns/op on the slow benchmark fails; BenchmarkFast's baseline sits
+	// below min-ns so its (huge) timing regression is ignored; added and
+	// removed benchmarks never fail.
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\nreport:\n%s", regressions, report)
+	}
+	if !strings.Contains(report, "BenchmarkRankIntervalLinkage ns/op") {
+		t.Fatalf("report misses the regression:\n%s", report)
+	}
+	if !strings.Contains(report, "1 only in old, 1 only in new") {
+		t.Fatalf("report misses added/removed counts:\n%s", report)
+	}
+}
+
+func TestDiffFlagsAllocRegressionEvenWhenFast(t *testing.T) {
+	oldPath := writeArtifact(t, "old.json", oldJSON)
+	newPath := writeArtifact(t, "new.json", `{"Action":"output","Package":"evoprot/internal/risk","Output":"BenchmarkFast-8 \t   999\t     500 ns/op\t   16 B/op\t     40 allocs/op\n"}
+`)
+	_, regressions, err := run(oldPath, newPath, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("allocs/op regression on a fast benchmark not flagged: %d", regressions)
+	}
+}
+
+func TestDiffFlagsZeroBaselineGrowth(t *testing.T) {
+	// An allocation-free benchmark starting to allocate is an unbounded
+	// regression, not a skipped comparison.
+	oldPath := writeArtifact(t, "old.json", `{"Action":"output","Package":"p","Output":"BenchmarkZero-8 \t   100\t     500000 ns/op\t   0 B/op\t     0 allocs/op\n"}
+`)
+	newPath := writeArtifact(t, "new.json", `{"Action":"output","Package":"p","Output":"BenchmarkZero-8 \t   100\t     500000 ns/op\t   512 B/op\t     50 allocs/op\n"}
+`)
+	report, regressions, err := run(oldPath, newPath, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 || !strings.Contains(report, "BenchmarkZero allocs/op: 0 -> 50") {
+		t.Fatalf("0 -> 50 allocs/op not flagged (regressions=%d):\n%s", regressions, report)
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	oldPath := writeArtifact(t, "old.json", oldJSON)
+	newPath := writeArtifact(t, "new.json", `{"Action":"output","Package":"evoprot/internal/risk","Output":"BenchmarkRankIntervalLinkage-8 \t   100\t     210000 ns/op\t   55928 B/op\t     600 allocs/op\n"}
+`)
+	report, regressions, err := run(oldPath, newPath, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("+5%%/+6%% flagged as regression:\n%s", report)
+	}
+}
+
+func TestDiffImprovementReported(t *testing.T) {
+	oldPath := writeArtifact(t, "old.json", oldJSON)
+	newPath := writeArtifact(t, "new.json", `{"Action":"output","Package":"evoprot/internal/risk","Output":"BenchmarkRankIntervalLinkage-8 \t   100\t     100000 ns/op\t   100 B/op\t     3 allocs/op\n"}
+`)
+	report, regressions, err := run(oldPath, newPath, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 || !strings.Contains(report, "improvements") {
+		t.Fatalf("improvement not reported (regressions=%d):\n%s", regressions, report)
+	}
+}
+
+func TestDiffEmptyArtifactErrors(t *testing.T) {
+	oldPath := writeArtifact(t, "old.json", oldJSON)
+	empty := writeArtifact(t, "empty.json", "{\"Action\":\"start\"}\n")
+	if _, _, err := run(oldPath, empty, defaultOpts()); err == nil {
+		t.Fatal("empty NEW artifact accepted")
+	}
+	if _, _, err := run(empty, oldPath, defaultOpts()); err == nil {
+		t.Fatal("empty OLD artifact accepted")
+	}
+}
+
+func keysOf(set benchSet) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}

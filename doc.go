@@ -116,14 +116,29 @@
 // window. The engine therefore scores offspring incrementally: measures
 // implementing the infoloss.Incremental / risk.Incremental capability
 // interfaces precompute a per-individual State (contingency tables,
-// distance sums, transition matrices, nearest-neighbour and
-// agreement-pattern caches) and patch it per changed cell, and
-// score.Evaluator.EvaluateDelta routes each measure of the battery to its
-// fast path. CTBIL, DBIL, EBIL, ID, DBRL and PRL are incremental; RSRL is
-// the documented full-recompute fallback. Initial populations are
+// distance sums, transition matrices, nearest-neighbour,
+// agreement-pattern and rank-window caches) and patch it per changed
+// cell, and score.Evaluator.EvaluateDelta routes each measure of the
+// battery to its fast path. The whole default battery is incremental —
+// CTBIL, DBIL, EBIL, ID, DBRL, PRL and RSRL; the rank-window linkage,
+// formerly the one full-recompute fallback, patches its category
+// frequencies, mid-rank windows and candidate bitsets in place and
+// re-intersects only the record profiles a change actually touches
+// (~17x faster than its own bitset-accelerated recompute, see
+// BenchmarkRankIntervalLinkageDeltaSpeedup). Initial populations are
 // delta-prepared inside the evaluation worker pool, so the first
 // reproduction of every parent skips the lazy state build
 // (core.Config.LazyPrepare restores the lazy behavior).
+//
+// The steady-state delta path is also allocation-conscious: measure
+// states keep reusable scratch buffers (candidate bitsets, EM and weight
+// arrays), the operators reuse their change-list buffers across
+// generations, and short change lists are validated without heap
+// allocation — RSRL's Apply runs allocation-free, and a paper-scale
+// mutation offspring costs ~4x fewer allocations per EvaluateDelta than
+// before (run the benchmarks with -benchmem; CI records both metrics in
+// its BENCH_<sha>.json artifacts, which cmd/benchdiff compares across
+// pushes).
 //
 // Delta evaluation is bit-for-bit identical to a full Evaluate — the
 // states keep exact integer summaries and share their final value

@@ -315,6 +315,12 @@ type Engine struct {
 	accepted  int
 	offspring int
 
+	// chBuf1/chBuf2 are the operators' change-list buffers, reused across
+	// generations: the delta-evaluation chain consumes change lists
+	// without retaining them, so each Step may overwrite the previous
+	// one's lists instead of allocating fresh slices.
+	chBuf1, chBuf2 []dataset.CellChange
+
 	mu    sync.Mutex // guards onGen
 	onGen func(GenStats)
 }
@@ -848,8 +854,8 @@ func (e *Engine) mutate(parent *Individual) (*Individual, []dataset.CellChange) 
 		v++
 	}
 	data.Set(row, col, v)
-	return NewIndividual(data, "mutation"),
-		[]dataset.CellChange{{Row: row, Col: col, Old: old, New: v}}
+	e.chBuf1 = append(e.chBuf1[:0], dataset.CellChange{Row: row, Col: col, Old: old, New: v})
+	return NewIndividual(data, "mutation"), e.chBuf1
 }
 
 // cross performs the paper's 2-point category-level crossover (§2.2.2):
@@ -863,6 +869,7 @@ func (e *Engine) cross(p1, p2 *Individual) (c1, c2 *Individual, ch1, ch2 []datas
 	length := e.geneCount()
 	s := e.rng.IntN(length)
 	r := s + e.rng.IntN(length-s) // uniform in [s, length-1]
+	ch1, ch2 = e.chBuf1[:0], e.chBuf2[:0]
 	for g := s; g <= r; g++ {
 		row, col := e.genePos(g)
 		v1, v2 := d1.At(row, col), d2.At(row, col)
@@ -874,6 +881,7 @@ func (e *Engine) cross(p1, p2 *Individual) (c1, c2 *Individual, ch1, ch2 []datas
 		ch1 = append(ch1, dataset.CellChange{Row: row, Col: col, Old: v1, New: v2})
 		ch2 = append(ch2, dataset.CellChange{Row: row, Col: col, Old: v2, New: v1})
 	}
+	e.chBuf1, e.chBuf2 = ch1, ch2 // keep any grown capacity for later steps
 	return NewIndividual(d1, "crossover"), NewIndividual(d2, "crossover"), ch1, ch2
 }
 

@@ -40,7 +40,8 @@ type Incremental interface {
 	// Apply advances state by the given cell changes — which must describe
 	// edits to the state's masked file, applied in order — and returns the
 	// measure's value for the edited file. An empty change list returns
-	// the current value.
+	// the current value. Apply must not retain changes: callers reuse the
+	// backing array across calls.
 	Apply(state State, changes []dataset.CellChange) float64
 }
 
@@ -72,6 +73,7 @@ type ctbilState struct {
 	tables []*ctbilTable
 	byPos  [][]int // attr position -> indices of tables containing it
 	mc     [][]int // masked protected columns, by attr position; owned
+	l1     []int   // Apply scratch, lazily built, never shared by clones
 }
 
 // CloneState implements State.
@@ -159,11 +161,13 @@ func (c *CTBIL) Apply(state State, changes []dataset.CellChange) float64 {
 		}
 		st.mc[a0][ch.Row] = ch.New
 	}
-	l1 := make([]int, len(st.tables))
-	for i, t := range st.tables {
-		l1[i] = t.l1
+	if st.l1 == nil {
+		st.l1 = make([]int, len(st.tables))
 	}
-	return ctbilValue(l1, st.n)
+	for i, t := range st.tables {
+		st.l1[i] = t.l1
+	}
+	return ctbilValue(st.l1, st.n)
 }
 
 // bump adjusts one masked cell count by ±1, keeping the L1 distance to the
@@ -251,6 +255,7 @@ type ebilState struct {
 	pos   map[int]int
 	joint [][][]int // per attr position (nil when card < 2): card x card
 	terms []float64 // cached ebilTerm per attr position
+	dirty []bool    // Apply scratch, lazily built, never shared by clones
 }
 
 // CloneState implements State.
@@ -302,7 +307,9 @@ func (e *EBIL) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
 // Apply implements Incremental.
 func (e *EBIL) Apply(state State, changes []dataset.CellChange) float64 {
 	st := state.(*ebilState)
-	dirty := make(map[int]bool, len(changes))
+	if st.dirty == nil {
+		st.dirty = make([]bool, len(st.attrs))
+	}
 	for _, ch := range changes {
 		a := st.pos[ch.Col]
 		if st.joint[a] == nil {
@@ -311,9 +318,13 @@ func (e *EBIL) Apply(state State, changes []dataset.CellChange) float64 {
 		o := st.orig.At(ch.Row, ch.Col)
 		st.joint[a][o][ch.Old]--
 		st.joint[a][o][ch.New]++
-		dirty[a] = true
+		st.dirty[a] = true
 	}
-	for a := range dirty {
+	for a := range st.dirty {
+		if !st.dirty[a] {
+			continue
+		}
+		st.dirty[a] = false
 		st.terms[a] = ebilTerm(st.joint[a], len(st.joint[a]), st.n)
 	}
 	sum := 0.0

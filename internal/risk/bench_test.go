@@ -3,6 +3,7 @@ package risk
 import (
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"evoprot/internal/datagen"
 	"evoprot/internal/dataset"
@@ -43,6 +44,91 @@ func BenchmarkRankIntervalLinkage(b *testing.B)  { benchMeasure(b, &RankInterval
 // paper's §4 asks for: 4x outer sampling should cut cost ~4x.
 func BenchmarkDistanceLinkageSampled(b *testing.B) {
 	benchMeasure(b, &DistanceLinkage{MaxRecords: 125}, 500)
+}
+
+// BenchmarkRankIntervalLinkageDelta is the tentpole "after": one mutation
+// offspring scored by patching the incremental RSRL state, against the
+// full bitset recompute above (BenchmarkRankIntervalLinkage). Steady-state
+// Apply calls reuse the state's scratch buffers and should report ~zero
+// allocations.
+func BenchmarkRankIntervalLinkageDelta(b *testing.B) {
+	orig, masked, attrs := benchPair(b, 500)
+	rl := &RankIntervalLinkage{}
+	st := rl.Prepare(orig, masked, attrs)
+	if st == nil {
+		b.Fatal("Prepare returned nil")
+	}
+	// Pregenerate an edit/undo cycle so the loop measures Apply alone:
+	// each even step applies a random change, each odd step reverts it, so
+	// the state never drifts from the pregenerated chain.
+	work := masked.Clone()
+	rng := rand.New(rand.NewPCG(11, 11))
+	cycle := make([]dataset.CellChange, 1024)
+	for i := 0; i < len(cycle); i += 2 {
+		ch := dataset.RandomChange(rng, work, attrs)
+		cycle[i] = ch
+		cycle[i+1] = dataset.CellChange{Row: ch.Row, Col: ch.Col, Old: ch.New, New: ch.Old}
+		work.Set(ch.Row, ch.Col, ch.Old)
+	}
+	changes := make([]dataset.CellChange, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		changes[0] = cycle[i%len(cycle)]
+		rl.Apply(st, changes)
+	}
+	b.StopTimer()
+	if b.N%2 == 1 { // leave the state consistent for -count > 1 runs
+		changes[0] = cycle[b.N%len(cycle)]
+		rl.Apply(st, changes)
+	}
+}
+
+// BenchmarkRankIntervalLinkageDeltaSpeedup reports the measured full/delta
+// ratio for a single-cell mutation directly as a custom metric — the
+// acceptance bar for the incremental state is >= 5x.
+func BenchmarkRankIntervalLinkageDeltaSpeedup(b *testing.B) {
+	orig, masked, attrs := benchPair(b, 500)
+	rl := &RankIntervalLinkage{}
+	st := rl.Prepare(orig, masked, attrs)
+	work := masked.Clone()
+	rng := rand.New(rand.NewPCG(12, 12))
+	changes := make([]dataset.CellChange, 1)
+	var full, delta time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		changes[0] = dataset.RandomChange(rng, work, attrs)
+		start := time.Now()
+		rl.Apply(st, changes)
+		delta += time.Since(start)
+		start = time.Now()
+		rl.Risk(orig, work, attrs)
+		full += time.Since(start)
+	}
+	if delta > 0 {
+		b.ReportMetric(float64(full)/float64(delta), "full/delta_ratio")
+	}
+}
+
+// BenchmarkRankIntervalLinkageDeltaClone measures the per-offspring branch
+// cost: cloning the parent state, patching one cell and discarding it —
+// the exact shape of the engine's survival tournament.
+func BenchmarkRankIntervalLinkageDeltaClone(b *testing.B) {
+	orig, masked, attrs := benchPair(b, 500)
+	rl := &RankIntervalLinkage{}
+	st := rl.Prepare(orig, masked, attrs).(*rsrlState)
+	work := masked.Clone()
+	rng := rand.New(rand.NewPCG(13, 13))
+	changes := make([]dataset.CellChange, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		child := st.CloneState()
+		changes[0] = dataset.RandomChange(rng, work, attrs)
+		rl.Apply(child, changes)
+		// Undo the edit so the parent state keeps describing work.
+		work.Set(changes[0].Row, changes[0].Col, changes[0].Old)
+	}
 }
 
 func BenchmarkFullBattery(b *testing.B) {

@@ -1,10 +1,12 @@
 package risk
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"testing"
 
 	"evoprot/internal/dataset"
+	"evoprot/internal/stats"
 )
 
 // incrementalDefaults returns the default battery's incremental measures.
@@ -12,14 +14,14 @@ func incrementalDefaults(t *testing.T) []Incremental {
 	t.Helper()
 	var out []Incremental
 	for _, m := range Default() {
-		if inc, ok := m.(Incremental); ok {
-			out = append(out, inc)
-		} else if m.Name() != "RSRL" {
-			t.Fatalf("%s unexpectedly lacks an incremental implementation", m.Name())
+		inc, ok := m.(Incremental)
+		if !ok {
+			t.Fatalf("%s lacks an incremental implementation", m.Name())
 		}
+		out = append(out, inc)
 	}
-	if len(out) != 3 {
-		t.Fatalf("expected 3 incremental risk measures, got %d", len(out))
+	if len(out) != 4 {
+		t.Fatalf("expected 4 incremental risk measures, got %d", len(out))
 	}
 	return out
 }
@@ -102,8 +104,9 @@ func TestIncrementalCloneIsolation(t *testing.T) {
 }
 
 // TestSampledLinkageHasNoIncrementalState checks the documented contract:
-// with intruder-side sampling configured the linkage states are
-// unavailable and callers must use the full (sampled) recompute.
+// with intruder-side sampling configured the DBRL/PRL states are
+// unavailable and callers must use the full (sampled) recompute — while
+// the RSRL state handles stride sampling directly.
 func TestSampledLinkageHasNoIncrementalState(t *testing.T) {
 	d, attrs := testData(t)
 	if st := (&DistanceLinkage{MaxRecords: 50}).Prepare(d, d.Clone(), attrs); st != nil {
@@ -111,6 +114,170 @@ func TestSampledLinkageHasNoIncrementalState(t *testing.T) {
 	}
 	if st := (&ProbabilisticLinkage{MaxRecords: 50}).Prepare(d, d.Clone(), attrs); st != nil {
 		t.Error("sampled PRL returned an incremental state")
+	}
+	if st := (&RankIntervalLinkage{MaxRecords: 50}).Prepare(d, d.Clone(), attrs); st == nil {
+		t.Error("sampled RSRL returned no incremental state; stride sampling is patchable")
+	}
+}
+
+// randomGrid builds a random dataset: numAttrs protected attributes with
+// random cardinalities in [2, maxCard], uniformly random cells.
+func randomGrid(t *testing.T, rng *rand.Rand, n, numAttrs, maxCard int) (*dataset.Dataset, []int) {
+	t.Helper()
+	specs := make([]*dataset.Attribute, numAttrs)
+	attrs := make([]int, numAttrs)
+	for a := range specs {
+		card := 2 + rng.IntN(maxCard-1)
+		cats := make([]string, card)
+		for i := range cats {
+			cats[i] = fmt.Sprintf("a%dc%d", a, i)
+		}
+		specs[a] = dataset.MustAttribute(fmt.Sprintf("p%d", a), cats, rng.IntN(2) == 0)
+		attrs[a] = a
+	}
+	d := dataset.New(dataset.MustSchema(specs...), n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < numAttrs; c++ {
+			d.Set(r, c, rng.IntN(specs[c].Cardinality()))
+		}
+	}
+	return d, attrs
+}
+
+// TestRSRLDeltaMatchesReference drives the incremental RSRL state through
+// random mutation- and crossover-sized change sequences — over the
+// standard test data and over random grids — and demands bit-identical
+// agreement with both the literal O(n²) pairwise oracle (rsrlReference)
+// and the full bitset Risk at every step, across window widths and
+// sampling strides.
+func TestRSRLDeltaMatchesReference(t *testing.T) {
+	type fixture struct {
+		name  string
+		d     *dataset.Dataset
+		attrs []int
+	}
+	rng := rand.New(rand.NewPCG(83, 2))
+	var fixtures []fixture
+	d, attrs := testData(t)
+	fixtures = append(fixtures, fixture{"german", d, attrs})
+	for k := 0; k < 3; k++ {
+		g, gattrs := randomGrid(t, rng, 60+rng.IntN(120), 1+rng.IntN(4), 9)
+		fixtures = append(fixtures, fixture{fmt.Sprintf("grid%d", k), g, gattrs})
+	}
+	for _, fx := range fixtures {
+		for _, cfg := range []RankIntervalLinkage{{}, {P: 2}, {P: 60}, {MaxRecords: 70}, {P: 5, MaxRecords: 40}} {
+			rl := cfg
+			name := fmt.Sprintf("%s/P=%v,MaxRecords=%d", fx.name, rl.P, rl.MaxRecords)
+			work := scramble(fx.d, fx.attrs, 13)
+			st := rl.Prepare(fx.d, work, fx.attrs)
+			if st == nil {
+				t.Fatalf("%s: Prepare returned nil", name)
+			}
+			for step := 0; step < 40; step++ {
+				batch := 1 // a mutation offspring
+				if step%3 == 2 {
+					batch = 1 + rng.IntN(8) // a crossover gene window
+				}
+				changes := make([]dataset.CellChange, batch)
+				for i := range changes {
+					changes[i] = dataset.RandomChange(rng, work, fx.attrs)
+				}
+				got := rl.Apply(st, changes)
+				if want := rsrlReference(&rl, fx.d, work, fx.attrs); got != want {
+					t.Fatalf("%s step %d: delta %v != pairwise reference %v", name, step, got, want)
+				}
+				if want := rl.Risk(fx.d, work, fx.attrs); got != want {
+					t.Fatalf("%s step %d: delta %v != full %v", name, step, got, want)
+				}
+			}
+		}
+	}
+}
+
+// rsrlSweepScan is the literal O(card²) window derivation rsrlSweep
+// replaced: test every (u, v) pair and take the min/max matching v.
+func rsrlSweepScan(oRanks, mRanks []float64, window float64, lo, hi []int) {
+	card := len(oRanks)
+	for u := 0; u < card; u++ {
+		l, h := card, -1
+		for v := 0; v < card; v++ {
+			gap := oRanks[u] - mRanks[v]
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap <= window {
+				if v < l {
+					l = v
+				}
+				if v > h {
+					h = v
+				}
+			}
+		}
+		lo[u], hi[u] = l, h
+	}
+}
+
+// TestRSRLSweepMatchesScan property-tests the two-pointer interval sweep
+// against the literal pairwise scan over random frequency shapes —
+// including empty categories, empty windows and degenerate widths.
+func TestRSRLSweepMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 4))
+	for trial := 0; trial < 200; trial++ {
+		card := 1 + rng.IntN(12)
+		oFreq := make([]int, card)
+		mFreq := make([]int, card)
+		n := 0
+		for i := 0; i < card; i++ {
+			if rng.IntN(3) > 0 { // leave ~1/3 of categories empty
+				oFreq[i] = rng.IntN(40)
+			}
+			n += oFreq[i]
+		}
+		// The masked file redistributes the same n records.
+		left := n
+		for i := 0; i < card-1; i++ {
+			mFreq[i] = rng.IntN(left + 1)
+			left -= mFreq[i]
+		}
+		mFreq[card-1] = left
+		oRanks := stats.MidRanks(oFreq)
+		mRanks := stats.MidRanks(mFreq)
+		for _, window := range []float64{0, 0.25, 1, float64(rng.IntN(n + 1)), float64(n) * 1.5} {
+			lo := make([]int, card)
+			hi := make([]int, card)
+			loScan := make([]int, card)
+			hiScan := make([]int, card)
+			rsrlSweep(oRanks, mRanks, window, lo, hi)
+			rsrlSweepScan(oRanks, mRanks, window, loScan, hiScan)
+			for u := 0; u < card; u++ {
+				if lo[u] != loScan[u] || hi[u] != hiScan[u] {
+					t.Fatalf("trial %d window %v u=%d: sweep [%d,%d] != scan [%d,%d]\noRanks=%v\nmRanks=%v",
+						trial, window, u, lo[u], hi[u], loScan[u], hiScan[u], oRanks, mRanks)
+				}
+			}
+		}
+	}
+}
+
+// TestProfileRadixGuard is the regression test for the profile-cache
+// overflow probe: a zero cardinality must disable the cache (the previous
+// probe divided by the cardinality), overflowing products must disable it,
+// and ordinary QI sets must keep it with the exact product.
+func TestProfileRadixGuard(t *testing.T) {
+	if _, ok := profileRadix([]int{4, 0, 7}); ok {
+		t.Error("zero cardinality reported cacheable")
+	}
+	if _, ok := profileRadix(
+		[]int{100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100}); ok {
+		t.Error("100^11 > 2^64 reported cacheable")
+	}
+	radix, ok := profileRadix([]int{4, 5, 6})
+	if !ok || radix != 120 {
+		t.Errorf("profileRadix(4,5,6) = %d,%v; want 120,true", radix, ok)
+	}
+	if radix, ok := profileRadix(nil); !ok || radix != 1 {
+		t.Errorf("profileRadix() = %d,%v; want 1,true", radix, ok)
 	}
 }
 

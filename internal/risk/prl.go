@@ -117,6 +117,17 @@ func pattern(i, j int, oc, mc [][]int) int {
 func emEstimate(patCount []float64, numAttrs int, totalPairs, trueMatches float64, iters int) (m, u []float64, p float64) {
 	m = make([]float64, numAttrs)
 	u = make([]float64, numAttrs)
+	p = emEstimateInto(m, u, make([]float64, numAttrs), make([]float64, numAttrs), patCount, totalPairs, trueMatches, iters)
+	return m, u, p
+}
+
+// emEstimateInto is emEstimate into caller-provided buffers — the
+// allocation-free variant the incremental PRL state calls on every Apply.
+// m and u receive the estimates; mNum and uNum are per-iteration
+// accumulators. All four must hold numAttrs elements. The arithmetic is
+// identical to emEstimate's, so results are bit-for-bit the same.
+func emEstimateInto(m, u, mNum, uNum, patCount []float64, totalPairs, trueMatches float64, iters int) (p float64) {
+	numAttrs := len(m)
 	p = trueMatches / totalPairs
 	// Initialize m optimistically and u at the overall agreement rate.
 	for a := 0; a < numAttrs; a++ {
@@ -131,8 +142,9 @@ func emEstimate(patCount []float64, numAttrs int, totalPairs, trueMatches float6
 	}
 	for it := 0; it < iters; it++ {
 		sumG, sumNG := 0.0, 0.0
-		mNum := make([]float64, numAttrs)
-		uNum := make([]float64, numAttrs)
+		for a := 0; a < numAttrs; a++ {
+			mNum[a], uNum[a] = 0, 0
+		}
 		for pat, c := range patCount {
 			if c == 0 {
 				continue
@@ -170,7 +182,7 @@ func emEstimate(patCount []float64, numAttrs int, totalPairs, trueMatches float6
 			u[a] = clampProb(uNum[a] / sumNG)
 		}
 	}
-	return m, u, p
+	return p
 }
 
 // clampProb keeps probabilities strictly inside (0,1) so log-ratios stay

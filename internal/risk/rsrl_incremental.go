@@ -1,0 +1,347 @@
+package risk
+
+// Incremental (delta) evaluation for the rank-interval linkage. The
+// measure's value is a pure function of three layers of summaries, each of
+// which a single cell change touches only locally:
+//
+//  1. Per-attribute category frequencies of the masked file, and the
+//     mid-ranks derived from them. Moving one record from category old to
+//     category new shifts only the ranks of categories between the two in
+//     domain order.
+//  2. Per-category admissibility windows. Mid-ranks are monotone in domain
+//     order, so every window is a contiguous interval [lo, hi]; after a
+//     rank shift the intervals are re-derived with one O(card) two-pointer
+//     sweep (rsrlSweep) and each candidate union is patched only at the
+//     interval boundaries that actually moved. The per-category record
+//     bitsets partition the masked records, so categories leaving a window
+//     subtract exactly (AndNotWith) and categories entering add (OrWith);
+//     the moved record itself is one Clear+Set.
+//  3. Per-profile candidate intersections. Profiles are over the original
+//     file and therefore static: sampled records are grouped once in
+//     Prepare, and a change invalidates exactly the groups whose profile
+//     holds a category whose candidate union changed — those few groups
+//     re-intersect against a reusable scratch bitset; all others keep
+//     their counts.
+//
+// Every summary is exact (integer frequencies, exact half-integer ranks,
+// bitsets), and the final credit sum is re-accumulated in the same record
+// order with the same float operations as the full Risk, so Apply is
+// bit-for-bit identical to a full recompute — rsrlReference, the literal
+// O(n²) pairwise scan, property-tests the whole chain.
+//
+// Unlike the DBRL/PRL states, the RSRL state supports MaxRecords stride
+// sampling: the sampled record set is deterministic, so only sampled
+// records are grouped and the patched credit sum is exactly the sampled
+// full recompute.
+
+import (
+	"sort"
+
+	"evoprot/internal/dataset"
+	"evoprot/internal/stats"
+)
+
+// rsrlGroup is one equivalence class of sampled original records sharing a
+// protected-attribute profile, together with the size of the profile's
+// candidate set under the current masked file.
+type rsrlGroup struct {
+	rep     int32   // representative record; the profile is oc[·][rep]
+	count   int32   // |candidate intersection| for this profile
+	members []int32 // sampled records with this profile (shared, immutable)
+}
+
+// rsrlState is the incremental state of RankIntervalLinkage for one masked
+// file. See the file comment for the update strategy.
+type rsrlState struct {
+	n      int
+	stride int
+	window float64
+	pos    map[int]int // protected column -> attribute position
+
+	// Original-file summaries: immutable, shared across clones.
+	oc          [][]int
+	cards       []int
+	oRanks      [][]float64
+	byCatGroups [][][]int32 // attr position -> category -> groups holding it
+	recGroup    []int32     // sampled record -> its group (-1 when unsampled)
+
+	// Masked-file summaries: owned, deep-copied by CloneState.
+	mFreq  [][]int
+	mRanks [][]float64
+	lo, hi [][]int
+	byCat  [][]*stats.Bitset // partition of masked records by category
+	cand   [][]*stats.Bitset // per original category: ∪ byCat over [lo,hi]
+	groups []rsrlGroup       // count owned; rep/members shared
+	recHit []bool            // sampled record i: candidate set contains masked record i
+
+	// Reusable scratch, lazily built and never shared between clones, so
+	// steady-state Apply calls allocate nothing.
+	scratch      *stats.Bitset
+	loNew, hiNew []int
+	dirty        []bool
+	dirtyList    []int32
+}
+
+// Prepare implements Incremental. The state costs about one full Risk to
+// build; every Apply then costs a small fraction of that.
+func (rl *RankIntervalLinkage) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
+	n := orig.Rows()
+	if n == 0 || len(attrs) == 0 {
+		return nil
+	}
+	st := &rsrlState{
+		n:      n,
+		stride: sampleStride(n, rl.MaxRecords),
+		window: rl.pOrDefault() * float64(n) / 100,
+		pos:    make(map[int]int, len(attrs)),
+		oc:     columns(orig, attrs),
+		cards:  orig.Schema().Cardinalities(attrs),
+	}
+	mc := columns(masked, attrs)
+	st.oRanks = make([][]float64, len(attrs))
+	st.mFreq = make([][]int, len(attrs))
+	st.mRanks = make([][]float64, len(attrs))
+	st.lo = make([][]int, len(attrs))
+	st.hi = make([][]int, len(attrs))
+	st.byCat = make([][]*stats.Bitset, len(attrs))
+	st.cand = make([][]*stats.Bitset, len(attrs))
+	for a, c := range attrs {
+		st.pos[c] = a
+		card := st.cards[a]
+		st.oRanks[a] = stats.MidRanks(stats.Freq(st.oc[a], card))
+		st.mFreq[a] = stats.Freq(mc[a], card)
+		st.mRanks[a] = stats.MidRanks(st.mFreq[a])
+		st.lo[a] = make([]int, card)
+		st.hi[a] = make([]int, card)
+		rsrlSweep(st.oRanks[a], st.mRanks[a], st.window, st.lo[a], st.hi[a])
+		st.byCat[a] = rsrlByCat(mc[a], card, n)
+		st.cand[a] = rsrlUnions(st.byCat[a], st.lo[a], st.hi[a], n)
+	}
+	st.buildGroups()
+	st.ensureScratch()
+	for g := range st.groups {
+		st.refreshGroup(int32(g))
+	}
+	return st
+}
+
+// buildGroups partitions the sampled records by their (static) original
+// profile and indexes the groups by the categories they hold, so a change
+// can invalidate exactly the groups it affects.
+func (st *rsrlState) buildGroups() {
+	sampled := make([]int32, 0, sampledCount(st.n, st.stride))
+	for i := 0; i < st.n; i += st.stride {
+		sampled = append(sampled, int32(i))
+	}
+	// Grouping by sort avoids any profile-key width limit: the comparator
+	// works for QI sets whose cardinality product overflows uint64 too.
+	sort.Slice(sampled, func(x, y int) bool {
+		i, j := sampled[x], sampled[y]
+		for a := range st.oc {
+			if st.oc[a][i] != st.oc[a][j] {
+				return st.oc[a][i] < st.oc[a][j]
+			}
+		}
+		return i < j
+	})
+	st.recGroup = make([]int32, st.n)
+	for i := range st.recGroup {
+		st.recGroup[i] = -1
+	}
+	st.recHit = make([]bool, st.n)
+	for k := 0; k < len(sampled); {
+		j := k + 1
+		for j < len(sampled) && st.sameProfile(sampled[k], sampled[j]) {
+			j++
+		}
+		g := int32(len(st.groups))
+		members := sampled[k:j:j]
+		st.groups = append(st.groups, rsrlGroup{rep: sampled[k], members: members})
+		for _, i := range members {
+			st.recGroup[i] = g
+		}
+		k = j
+	}
+	st.byCatGroups = make([][][]int32, len(st.oc))
+	for a := range st.oc {
+		st.byCatGroups[a] = make([][]int32, st.cards[a])
+	}
+	for g := range st.groups {
+		rep := st.groups[g].rep
+		for a := range st.oc {
+			u := st.oc[a][rep]
+			st.byCatGroups[a][u] = append(st.byCatGroups[a][u], int32(g))
+		}
+	}
+}
+
+// sameProfile reports whether records i and j agree on every protected
+// attribute of the original file.
+func (st *rsrlState) sameProfile(i, j int32) bool {
+	for a := range st.oc {
+		if st.oc[a][i] != st.oc[a][j] {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureScratch (re)builds the reusable scratch buffers; clones drop them,
+// so the first Apply after a branch rebuilds here.
+func (st *rsrlState) ensureScratch() {
+	if st.scratch == nil {
+		st.scratch = stats.NewBitset(st.n)
+	}
+	if len(st.dirty) < len(st.groups) {
+		st.dirty = make([]bool, len(st.groups))
+	}
+	maxCard := 0
+	for _, c := range st.cards {
+		if c > maxCard {
+			maxCard = c
+		}
+	}
+	if len(st.loNew) < maxCard {
+		st.loNew = make([]int, maxCard)
+		st.hiNew = make([]int, maxCard)
+	}
+}
+
+// refreshGroup recomputes one group's candidate intersection from the
+// current cand bitsets, updating its count and its members' hit flags.
+func (st *rsrlState) refreshGroup(g int32) {
+	grp := &st.groups[g]
+	rep := int(grp.rep)
+	sc := st.scratch
+	sc.CopyFrom(st.cand[0][st.oc[0][rep]])
+	for a := 1; a < len(st.oc); a++ {
+		sc.AndWith(st.cand[a][st.oc[a][rep]])
+	}
+	grp.count = int32(sc.Count())
+	for _, i := range grp.members {
+		st.recHit[i] = sc.Test(int(i))
+	}
+}
+
+// value folds the per-record hits into the measure value with the same
+// accumulation order and float operations as the full Risk, keeping delta
+// results bit-identical.
+func (st *rsrlState) value() float64 {
+	credit := 0.0
+	for i := 0; i < st.n; i += st.stride {
+		if st.recHit[i] {
+			credit += 1 / float64(st.groups[st.recGroup[i]].count)
+		}
+	}
+	return 100 * credit / float64(sampledCount(st.n, st.stride))
+}
+
+// CloneState implements State. Original-file summaries are shared;
+// masked-file summaries are deep-copied; scratch stays with the original
+// so clones are independent single-goroutine values.
+func (s *rsrlState) CloneState() State {
+	out := &rsrlState{
+		n: s.n, stride: s.stride, window: s.window, pos: s.pos,
+		oc: s.oc, cards: s.cards, oRanks: s.oRanks,
+		byCatGroups: s.byCatGroups, recGroup: s.recGroup,
+	}
+	out.mFreq = make([][]int, len(s.mFreq))
+	out.mRanks = make([][]float64, len(s.mRanks))
+	out.lo = make([][]int, len(s.lo))
+	out.hi = make([][]int, len(s.hi))
+	out.byCat = make([][]*stats.Bitset, len(s.byCat))
+	out.cand = make([][]*stats.Bitset, len(s.cand))
+	for a := range s.mFreq {
+		out.mFreq[a] = append([]int(nil), s.mFreq[a]...)
+		out.mRanks[a] = append([]float64(nil), s.mRanks[a]...)
+		out.lo[a] = append([]int(nil), s.lo[a]...)
+		out.hi[a] = append([]int(nil), s.hi[a]...)
+		out.byCat[a] = cloneBitsets(s.byCat[a])
+		out.cand[a] = cloneBitsets(s.cand[a])
+	}
+	out.groups = append([]rsrlGroup(nil), s.groups...)
+	out.recHit = append([]bool(nil), s.recHit...)
+	return out
+}
+
+func cloneBitsets(in []*stats.Bitset) []*stats.Bitset {
+	out := make([]*stats.Bitset, len(in))
+	for i, b := range in {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+// Apply implements Incremental.
+func (rl *RankIntervalLinkage) Apply(state State, changes []dataset.CellChange) float64 {
+	st := state.(*rsrlState)
+	st.ensureScratch()
+	for _, ch := range changes {
+		st.applyOne(ch)
+	}
+	for _, g := range st.dirtyList {
+		st.refreshGroup(g)
+		st.dirty[g] = false
+	}
+	st.dirtyList = st.dirtyList[:0]
+	return st.value()
+}
+
+// applyOne patches the state for one cell change: masked record ch.Row of
+// attribute ch.Col moves from category ch.Old to ch.New.
+func (st *rsrlState) applyOne(ch dataset.CellChange) {
+	if ch.Old == ch.New {
+		return
+	}
+	a := st.pos[ch.Col]
+	st.byCat[a][ch.Old].Clear(ch.Row)
+	st.byCat[a][ch.New].Set(ch.Row)
+	stats.FreqShift(st.mFreq[a], ch.Old, ch.New)
+	stats.MidRanksInto(st.mRanks[a], st.mFreq[a])
+	card := st.cards[a]
+	loNew, hiNew := st.loNew[:card], st.hiNew[:card]
+	rsrlSweep(st.oRanks[a], st.mRanks[a], st.window, loNew, hiNew)
+	for u := 0; u < card; u++ {
+		loO, hiO := st.lo[a][u], st.hi[a][u]
+		loN, hiN := loNew[u], hiNew[u]
+		cand := st.cand[a][u]
+		changed := false
+		// First make cand the union of the *updated* byCat sets over the
+		// old interval: only the moved record's membership can differ.
+		wasIn := loO <= ch.Old && ch.Old <= hiO
+		nowIn := loO <= ch.New && ch.New <= hiO
+		if wasIn != nowIn {
+			if wasIn {
+				cand.Clear(ch.Row)
+			} else {
+				cand.Set(ch.Row)
+			}
+			changed = true
+		}
+		// Then slide the interval: byCat partitions the records, so
+		// categories leaving the window subtract exactly and categories
+		// entering add.
+		if loO != loN || hiO != hiN {
+			for v := loO; v <= hiO; v++ {
+				if v < loN || v > hiN {
+					cand.AndNotWith(st.byCat[a][v])
+				}
+			}
+			for v := loN; v <= hiN; v++ {
+				if v < loO || v > hiO {
+					cand.OrWith(st.byCat[a][v])
+				}
+			}
+			st.lo[a][u], st.hi[a][u] = loN, hiN
+			changed = true
+		}
+		if changed {
+			for _, g := range st.byCatGroups[a][u] {
+				if !st.dirty[g] {
+					st.dirty[g] = true
+					st.dirtyList = append(st.dirtyList, g)
+				}
+			}
+		}
+	}
+}

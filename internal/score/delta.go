@@ -81,6 +81,84 @@ func (e *Evaluator) Prepare(masked *dataset.Dataset) (*DeltaState, error) {
 	return s, nil
 }
 
+// replayScanLimit bounds the change-list length validated by the
+// quadratic in-place scan. The genetic operators produce one change per
+// mutation and a handful per surviving crossover window, so the common
+// path stays allocation-free; longer lists (which are at worst one
+// allocation against an expensive evaluation) fall back to a map.
+const replayScanLimit = 32
+
+// validateChanges checks the change-list contract of EvaluateDelta: only
+// in-domain edits of protected cells may appear — the states index their
+// summaries by protected-attribute position and category, so an unchecked
+// foreign column or out-of-domain value would silently corrupt them.
+// (Edits to unprotected columns are invisible to every measure and need no
+// change entries at all.) Within one cell the list must chain — each edit
+// starts from the value the previous one produced (catches reordered or
+// merged lists from different ancestors) — and replaying the list must
+// land on the child (catches swapped Old/New, e.g. a diff taken in the
+// wrong direction). The Old values must describe the file the parent state
+// was built from — that file is not at hand here, so beyond the replay
+// checks correctness of Old is the caller's contract.
+func (e *Evaluator) validateChanges(child *dataset.Dataset, changes []dataset.CellChange) error {
+	for _, ch := range changes {
+		if ch.Row < 0 || ch.Row >= e.orig.Rows() {
+			return fmt.Errorf("score: change row %d outside [0,%d)", ch.Row, e.orig.Rows())
+		}
+		if !e.protected(ch.Col) {
+			return fmt.Errorf("score: change column %d is not a protected attribute", ch.Col)
+		}
+		card := e.orig.Schema().Attr(ch.Col).Cardinality()
+		if ch.Old < 0 || ch.Old >= card || ch.New < 0 || ch.New >= card {
+			return fmt.Errorf("score: change (%d,%d) values %d->%d outside domain [0,%d)",
+				ch.Row, ch.Col, ch.Old, ch.New, card)
+		}
+	}
+	if len(changes) <= replayScanLimit {
+		// Chain and replay checks by scanning the list itself — no
+		// allocation on the hot (short-list) path.
+		for k, ch := range changes {
+			for j := k - 1; j >= 0; j-- {
+				if changes[j].Row == ch.Row && changes[j].Col == ch.Col {
+					if ch.Old != changes[j].New {
+						return fmt.Errorf("score: change chain broken at cell (%d,%d): edit starts from %d, previous edit ended at %d",
+							ch.Row, ch.Col, ch.Old, changes[j].New)
+					}
+					break
+				}
+			}
+			last := true
+			for j := k + 1; j < len(changes); j++ {
+				if changes[j].Row == ch.Row && changes[j].Col == ch.Col {
+					last = false
+					break
+				}
+			}
+			if last && child.At(ch.Row, ch.Col) != ch.New {
+				return fmt.Errorf("score: change list does not replay to child at cell (%d,%d): list ends at %d, child holds %d",
+					ch.Row, ch.Col, ch.New, child.At(ch.Row, ch.Col))
+			}
+		}
+		return nil
+	}
+	final := make(map[[2]int]int, len(changes))
+	for _, ch := range changes {
+		cell := [2]int{ch.Row, ch.Col}
+		if prev, seen := final[cell]; seen && ch.Old != prev {
+			return fmt.Errorf("score: change chain broken at cell (%d,%d): edit starts from %d, previous edit ended at %d",
+				ch.Row, ch.Col, ch.Old, prev)
+		}
+		final[cell] = ch.New
+	}
+	for cell, v := range final {
+		if child.At(cell[0], cell[1]) != v {
+			return fmt.Errorf("score: change list does not replay to child at cell (%d,%d): list ends at %d, child holds %d",
+				cell[0], cell[1], v, child.At(cell[0], cell[1]))
+		}
+	}
+	return nil
+}
+
 // deltaRebuildFraction bounds when patching states change-by-change stops
 // paying off: once a change list touches more than rows/deltaRebuildFraction
 // cells (a wide crossover window), the per-change updates of the linkage
@@ -121,6 +199,10 @@ func (e *Evaluator) WideEdit(changes []dataset.CellChange) bool {
 //
 // The result is bit-for-bit identical to Evaluate(child), including the
 // per-measure parts maps.
+//
+// The changes slice is only read during the call — neither EvaluateDelta
+// nor any measure state retains it — so callers may reuse its backing
+// array across calls (the engine's operators do).
 func (e *Evaluator) EvaluateDelta(parent Evaluation, parentState *DeltaState, child *dataset.Dataset, changes []dataset.CellChange) (Evaluation, *DeltaState, error) {
 	if child == nil {
 		return Evaluation{}, nil, fmt.Errorf("score: nil child dataset")
@@ -136,45 +218,8 @@ func (e *Evaluator) EvaluateDelta(parent Evaluation, parentState *DeltaState, ch
 		return Evaluation{}, nil, fmt.Errorf("score: child dataset is %dx%d, original is %dx%d",
 			child.Rows(), child.Cols(), e.orig.Rows(), e.orig.Cols())
 	}
-	final := make(map[[2]int]int, len(changes))
-	for _, ch := range changes {
-		// Only in-domain edits of protected cells may appear in a change
-		// list: the states index their summaries by protected-attribute
-		// position and category, so an unchecked foreign column or
-		// out-of-domain value would silently corrupt them. (Edits to
-		// unprotected columns are invisible to every measure and need no
-		// change entries at all.) The Old values must describe the file
-		// parentState was built from — that file is not at hand here, so
-		// beyond the replay checks below correctness of Old is the
-		// caller's contract.
-		if ch.Row < 0 || ch.Row >= e.orig.Rows() {
-			return Evaluation{}, nil, fmt.Errorf("score: change row %d outside [0,%d)", ch.Row, e.orig.Rows())
-		}
-		if !e.protected(ch.Col) {
-			return Evaluation{}, nil, fmt.Errorf("score: change column %d is not a protected attribute", ch.Col)
-		}
-		card := e.orig.Schema().Attr(ch.Col).Cardinality()
-		if ch.Old < 0 || ch.Old >= card || ch.New < 0 || ch.New >= card {
-			return Evaluation{}, nil, fmt.Errorf("score: change (%d,%d) values %d->%d outside domain [0,%d)",
-				ch.Row, ch.Col, ch.Old, ch.New, card)
-		}
-		cell := [2]int{ch.Row, ch.Col}
-		// Within one cell the list must chain: each edit starts from the
-		// value the previous one produced (catches reordered or merged
-		// lists from different ancestors).
-		if prev, seen := final[cell]; seen && ch.Old != prev {
-			return Evaluation{}, nil, fmt.Errorf("score: change chain broken at cell (%d,%d): edit starts from %d, previous edit ended at %d",
-				ch.Row, ch.Col, ch.Old, prev)
-		}
-		final[cell] = ch.New
-	}
-	for cell, v := range final {
-		// The replayed list must land on the child (catches swapped
-		// Old/New, e.g. a diff taken in the wrong direction).
-		if child.At(cell[0], cell[1]) != v {
-			return Evaluation{}, nil, fmt.Errorf("score: change list does not replay to child at cell (%d,%d): list ends at %d, child holds %d",
-				cell[0], cell[1], v, child.At(cell[0], cell[1]))
-		}
+	if err := e.validateChanges(child, changes); err != nil {
+		return Evaluation{}, nil, err
 	}
 	if len(changes) == 0 {
 		return parent, parentState.Clone(), nil

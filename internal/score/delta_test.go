@@ -277,8 +277,10 @@ func TestEvaluateDeltaWithNonIncrementalBattery(t *testing.T) {
 	}
 }
 
-// RankOnly is a tiny non-incremental test measure: the RSRL fallback with
-// a fixed window.
+// RankOnly is a tiny non-incremental test measure wrapping RSRL's full
+// Risk with a fixed window: it implements only risk.Measure, keeping the
+// pure-fallback routing covered now that every default measure is
+// incremental.
 type RankOnly struct{}
 
 // Name implements risk.Measure.

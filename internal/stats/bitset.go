@@ -31,6 +31,13 @@ func (b *Bitset) Clear(i int) {
 	b.words[i>>6] &^= 1 << (uint(i) & 63)
 }
 
+// Reset removes every element, keeping the universe size.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
 // Test reports whether i is in the set.
 func (b *Bitset) Test(i int) bool {
 	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
@@ -56,6 +63,27 @@ func (b *Bitset) AndWith(o *Bitset) {
 	for i, w := range o.words {
 		b.words[i] &= w
 	}
+}
+
+// AndNotWith removes every element of o from b. Both bitsets must share
+// the same universe size.
+func (b *Bitset) AndNotWith(o *Bitset) {
+	if b.n != o.n {
+		panic("stats: AndNotWith on bitsets of different size")
+	}
+	for i, w := range o.words {
+		b.words[i] &^= w
+	}
+}
+
+// CopyFrom overwrites b's contents with o's without allocating — the
+// in-place counterpart of Clone for reusable scratch bitsets. Both bitsets
+// must share the same universe size.
+func (b *Bitset) CopyFrom(o *Bitset) {
+	if b.n != o.n {
+		panic("stats: CopyFrom on bitsets of different size")
+	}
+	copy(b.words, o.words)
 }
 
 // Count returns the number of elements in the set.

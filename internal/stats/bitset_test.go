@@ -69,10 +69,83 @@ func TestBitsetAndOrAgainstMaps(t *testing.T) {
 }
 
 func TestBitsetSizeMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AndWith across sizes did not panic")
+	ops := map[string]func(a, b *Bitset){
+		"AndWith":    func(a, b *Bitset) { a.AndWith(b) },
+		"OrWith":     func(a, b *Bitset) { a.OrWith(b) },
+		"AndNotWith": func(a, b *Bitset) { a.AndNotWith(b) },
+		"CopyFrom":   func(a, b *Bitset) { a.CopyFrom(b) },
+	}
+	for name, op := range ops {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s across sizes did not panic", name)
+				}
+			}()
+			op(NewBitset(10), NewBitset(11))
+		}()
+	}
+}
+
+func TestBitsetAndNotAgainstMaps(t *testing.T) {
+	const n = 200
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 20; trial++ {
+		a, b := NewBitset(n), NewBitset(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.5 {
+				a.Set(i)
+				ma[i] = true
+			}
+			if rng.Float64() < 0.5 {
+				b.Set(i)
+				mb[i] = true
+			}
 		}
-	}()
-	NewBitset(10).AndWith(NewBitset(11))
+		diff := a.Clone()
+		diff.AndNotWith(b)
+		for i := 0; i < n; i++ {
+			if diff.Test(i) != (ma[i] && !mb[i]) {
+				t.Fatalf("trial %d: AndNotWith wrong at %d", trial, i)
+			}
+		}
+		// Removing a disjoint partition piece from its union restores the
+		// other piece exactly — the identity the RSRL window patch uses.
+		union := a.Clone()
+		union.AndNotWith(b) // a \ b
+		rest := b.Clone()
+		rest.AndNotWith(a) // b \ a
+		both := union.Clone()
+		both.OrWith(rest)
+		both.AndNotWith(rest)
+		for i := 0; i < n; i++ {
+			if both.Test(i) != union.Test(i) {
+				t.Fatalf("trial %d: disjoint subtract wrong at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestBitsetCopyFromAndReset(t *testing.T) {
+	a := NewBitset(130)
+	for _, i := range []int{0, 5, 63, 64, 100, 129} {
+		a.Set(i)
+	}
+	b := NewBitset(130)
+	b.Set(7)
+	b.CopyFrom(a)
+	if b.Count() != a.Count() || b.Test(7) || !b.Test(129) {
+		t.Fatalf("CopyFrom: count=%d (want %d), Test(7)=%v, Test(129)=%v",
+			b.Count(), a.Count(), b.Test(7), b.Test(129))
+	}
+	// CopyFrom must not share storage.
+	b.Clear(129)
+	if !a.Test(129) {
+		t.Fatal("CopyFrom shares storage with source")
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Len() != 130 {
+		t.Fatalf("Reset left count=%d len=%d", a.Count(), a.Len())
+	}
 }

@@ -71,6 +71,14 @@ func Freq(column []int, card int) []int {
 	return counts
 }
 
+// FreqShift patches a frequency table for one value moving from category
+// old to category new — the incremental counterpart of recomputing Freq
+// after a single cell edit.
+func FreqShift(counts []int, old, new int) {
+	counts[old]--
+	counts[new]++
+}
+
 // CumFreq returns the exclusive cumulative frequencies of counts:
 // out[i] = counts[0] + ... + counts[i-1]. len(out) == len(counts)+1, and
 // out[len(counts)] is the total.
@@ -92,16 +100,30 @@ func CumFreq(counts []int) []int {
 // them.
 func MidRanks(counts []int) []float64 {
 	ranks := make([]float64, len(counts))
+	MidRanksInto(ranks, counts)
+	return ranks
+}
+
+// MidRanksInto is MidRanks into a caller-provided slice — the
+// allocation-free variant incremental state updates use to re-derive ranks
+// after a frequency patch. dst must hold len(counts) elements. The values
+// written are identical to MidRanks', so full and incremental paths agree
+// bit-for-bit.
+//
+// MidRanks are monotone non-decreasing in category order: consecutive
+// ranks differ by (counts[i]+counts[i+1])/2 ≥ 0. All values are exact
+// multiples of one half, so comparisons against them are exact; window
+// code relies on both properties.
+func MidRanksInto(dst []float64, counts []int) {
 	cum := 0
 	for i, c := range counts {
 		if c > 0 {
-			ranks[i] = float64(cum) + float64(c-1)/2
+			dst[i] = float64(cum) + float64(c-1)/2
 		} else {
-			ranks[i] = float64(cum)
+			dst[i] = float64(cum)
 		}
 		cum += c
 	}
-	return ranks
 }
 
 // Quantile returns the index of the category at the q-quantile (0 <= q <= 1)

@@ -120,6 +120,44 @@ func TestMidRanksMonotone(t *testing.T) {
 	}
 }
 
+func TestMidRanksIntoMatchesMidRanks(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := make([]int, len(raw))
+		for i, v := range raw {
+			counts[i] = int(v)
+		}
+		dst := make([]float64, len(counts))
+		for i := range dst {
+			dst[i] = -1 // stale values must all be overwritten
+		}
+		MidRanksInto(dst, counts)
+		want := MidRanks(counts)
+		for i := range want {
+			if dst[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreqShiftMatchesRecount(t *testing.T) {
+	column := []int{0, 2, 2, 1, 3, 2, 0, 1}
+	counts := Freq(column, 4)
+	// Move one value 2 -> 0 and compare against a recount.
+	column[1] = 0
+	FreqShift(counts, 2, 0)
+	want := Freq(column, 4)
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("FreqShift: counts=%v, recount=%v", counts, want)
+		}
+	}
+}
+
 func TestQuantile(t *testing.T) {
 	counts := []int{10, 20, 30, 40} // cum: 10,30,60,100
 	cases := []struct {
