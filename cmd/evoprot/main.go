@@ -5,8 +5,14 @@
 // Ctrl-C (or -timeout) cancels gracefully: the run stops at the next
 // generation boundary and still reports (and saves) the best so far.
 //
+// Islands may be heterogeneous (-niches spreads a preset of search
+// behaviors across them, -per-island overrides single islands as JSON)
+// and the migration schedule may adapt to cross-island divergence
+// (-adaptive); both stay bit-reproducible from -seed.
+//
 //	evoprot -dataset adult -gens 400 -seed 42 -plots
 //	evoprot -dataset flare -gens 2000 -islands 4 -migrate-every 50
+//	evoprot -dataset flare -gens 2000 -islands 4 -niches explore-exploit -adaptive
 //	evoprot -orig mydata.csv -attrs A,B,C -grid flare -gens 200 -best best.csv
 //	evoprot -dataset flare -gens 5000 -checkpoint run.ckpt -checkpoint-every 500
 //	evoprot -dataset flare -gens 5000 -resume run.ckpt -timeout 2m
@@ -14,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,10 +55,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		seed      = fs.Uint64("seed", 42, "run seed")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "initial-evaluation workers")
 		stall     = fs.Int("stall", 0, "stop an island after N generations without improvement (0 = off)")
-		nIslands  = fs.Int("islands", 1, "concurrently evolving islands")
+		nIslands  = fs.Int("islands", 0, "concurrently evolving islands (0 = one, or one per -per-island override)")
 		migEvery  = fs.Int("migrate-every", 0, "generations between island migrations (0 = default 25)")
 		migrants  = fs.Int("migrants", 0, "elite individuals exchanged per migration (0 = default 2)")
 		topoName  = fs.String("topology", "ring", "migration topology: ring | broadcast")
+		niches    = fs.String("niches", "", "heterogeneous-island preset: "+strings.Join(evoprot.NicheNames(), " | "))
+		perIsland = fs.String("per-island", "", `per-island engine overrides as a JSON array, e.g. '[{},{"selection":"rank","mutation_rate":0.7}]'`)
+		adaptive  = fs.Bool("adaptive", false, "adapt the migration schedule to cross-island divergence (default bounds)")
 		timeout   = fs.Duration("timeout", 0, "overall run deadline, e.g. 90s or 5m (0 = none)")
 		best      = fs.String("best", "", "write the best protection to this CSV")
 		plots     = fs.Bool("plots", false, "print dispersion and evolution plots")
@@ -84,9 +94,28 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		evoprot.WithSeed(*seed),
 		evoprot.WithWorkers(*workers),
 		evoprot.WithEarlyStop(*stall),
-		evoprot.WithIslands(*nIslands),
 		evoprot.WithMigration(*migEvery, *migrants),
 		evoprot.WithTopology(topo),
+	}
+	if *nIslands != 0 {
+		// Left unset, -per-island implies one island per override (and a
+		// single island otherwise); forcing WithIslands(1) here would
+		// defeat that. Non-zero values — including invalid negatives —
+		// pass through to validation.
+		options = append(options, evoprot.WithIslands(*nIslands))
+	}
+	if *niches != "" {
+		options = append(options, evoprot.WithNiches(*niches))
+	}
+	if *perIsland != "" {
+		var overrides []evoprot.IslandConfig
+		if err := json.Unmarshal([]byte(*perIsland), &overrides); err != nil {
+			return fmt.Errorf("parsing -per-island: %w", err)
+		}
+		options = append(options, evoprot.WithPerIsland(overrides...))
+	}
+	if *adaptive {
+		options = append(options, evoprot.WithAdaptiveMigration(evoprot.AdaptiveMigration{}))
 	}
 	if *noDelta {
 		options = append(options, evoprot.WithoutDelta())
@@ -141,6 +170,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		} else {
 			fmt.Fprintf(stdout, "final checkpoint written to %s\n", *ckpt)
 		}
+	}
+	if *adaptive {
+		every, mig := runner.EffectiveMigration()
+		fmt.Fprintf(stdout, "adaptive migration settled at every %d generations, %d migrant(s)\n", every, mig)
 	}
 	report(stdout, res, *plots)
 	if *best != "" {

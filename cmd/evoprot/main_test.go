@@ -57,6 +57,45 @@ func TestRunIslands(t *testing.T) {
 	}
 }
 
+// TestRunHeterogeneousIslands: the -niches/-adaptive flags drive a niched
+// adaptive run, and -per-island without -islands runs one island per
+// override (the implied-count contract the flag's help text documents).
+func TestRunHeterogeneousIslands(t *testing.T) {
+	var out strings.Builder
+	err := runCLI(t, []string{
+		"-dataset", "flare", "-rows", "80", "-gens", "20", "-seed", "3",
+		"-islands", "3", "-migrate-every", "5", "-niches", "explore-exploit", "-adaptive",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"adaptive migration settled at", "3 islands", "best protection:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("output missing %q:\n%s", want, report)
+		}
+	}
+
+	out.Reset()
+	err = runCLI(t, []string{
+		"-dataset", "flare", "-rows", "80", "-gens", "10", "-seed", "3",
+		"-per-island", `[{},{"selection":"rank","mutation_rate":0.7}]`,
+	}, &out)
+	if err != nil {
+		t.Fatalf("-per-island without -islands: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 islands") {
+		t.Errorf("implied island count not honoured:\n%s", out.String())
+	}
+
+	// -niches without -islands is a rejected silent no-op.
+	if err := runCLI(t, []string{
+		"-dataset", "flare", "-rows", "80", "-gens", "10", "-niches", "explore-exploit",
+	}, &out); err == nil {
+		t.Error("-niches without -islands accepted")
+	}
+}
+
 func TestRunCheckpointAndResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
 	var out strings.Builder

@@ -63,6 +63,49 @@
 //
 // See examples/quickstart and examples/islands for runnable tours.
 //
+// # Heterogeneous islands and adaptive migration
+//
+// Islands need not run identical engines. WithPerIsland overlays
+// per-island overrides — selection policy, mutation rate, leader
+// fraction, crossover cut count, even a per-island fitness aggregation —
+// onto the shared configuration (zero-valued fields inherit), and
+// WithNiches spreads a ready-made preset across the islands:
+// "explore-exploit" runs exploitative and explorative searches side by
+// side, "selection-sweep" varies the selection pressure, and
+// "aggregator-sweep" has each island optimize a different point of the
+// risk/information-loss trade-off while migration exchanges protections
+// across the biases. Migrants are re-scored under the receiving island's
+// aggregation on arrival.
+//
+// WithAdaptiveMigration ties the migration schedule to the populations
+// themselves: at every barrier the coordinator computes a cheap
+// cross-island divergence statistic (the coefficient of variation of the
+// islands' mean scores) and widens the migration interval when the
+// islands have converged — less coordination for the same mixing — or
+// narrows it and exchanges more migrants when they strongly diverge, all
+// within configured bounds. Each barrier reports an EpochInfo on an
+// Island -1 event.
+//
+//	res, _ := evoprot.Run(ctx, orig, attrs,
+//		evoprot.WithGrid("flare"),
+//		evoprot.WithIslands(4),
+//		evoprot.WithNiches("explore-exploit"),
+//		evoprot.WithMigration(25, 2), // the controller's starting schedule
+//		evoprot.WithAdaptiveMigration(evoprot.AdaptiveMigration{}),
+//	)
+//
+// Heterogeneity never costs reproducibility: divergence is a pure
+// function of island state and every controller decision happens at a
+// quiescent barrier, so one top-level seed still reproduces the whole
+// run bit for bit — a property a dedicated determinism/equivalence
+// harness pins down (all-equal overrides with the controller off
+// reproduce the homogeneous trajectory exactly; one island equals a
+// plain engine under the merged config; barrier snapshots resume onto
+// the uninterrupted trajectory, controller state and per-island configs
+// included). The same knobs travel the whole stack: JobSpec.PerIsland /
+// Niches / Adaptive on the wire, and -niches / -per-island / -adaptive
+// on cmd/evoprot.
+//
 // # Running as a service
 //
 // cmd/evoprotd serves optimizations as HTTP jobs for parameter sweeps and

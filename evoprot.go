@@ -132,6 +132,11 @@ func AggregatorByName(name string) (Aggregator, error) {
 	return score.ExtendedAggregatorByName(name)
 }
 
+// DefaultAggregatorName names the aggregation selected when none is
+// configured: "max" (Eq. 2), the aggregation the paper concludes works
+// better for categorical data.
+const DefaultAggregatorName = score.DefaultAggregatorName
+
 // PaperComposition returns the paper's §3 initial-population composition
 // for the named dataset.
 func PaperComposition(name string) (Composition, error) {

@@ -1,11 +1,19 @@
-// Islands: parallel multi-population evolution through the Runner API.
+// Islands: heterogeneous multi-population evolution through the Runner
+// API.
 //
 // Four islands evolve the same initial population concurrently, each from
-// its own derived seed, exchanging their two best protections around a
-// ring every 25 generations. A progress callback streams per-island
-// statistics, Ctrl-C cancels gracefully (best-so-far still reported), and
-// the whole parallel run is reproducible: the one top-level seed fixes
-// every island's trajectory and every migration.
+// its own derived seed — but not identically: the "explore-exploit" niche
+// preset spreads mutation rates, leader fractions, selection pressures
+// and crossover disruption across the islands, so exploitative and
+// explorative searches run side by side and elite protections migrate
+// between the niches. Migration itself adapts: at every barrier the
+// coordinator measures how far the island populations have diverged and
+// widens or narrows the exchange schedule accordingly (watch the
+// "epoch" lines). A progress callback streams per-island statistics,
+// Ctrl-C cancels gracefully (best-so-far still reported), and the whole
+// heterogeneous adaptive run is reproducible: the one top-level seed
+// fixes every island's trajectory, every migration and every controller
+// decision.
 //
 //	go run ./examples/islands
 package main
@@ -43,6 +51,13 @@ func main() {
 	progress := func(ev evoprot.Event) {
 		mu.Lock()
 		defer mu.Unlock()
+		if ev.Epoch != nil {
+			// The adaptive controller's barrier decision: the divergence it
+			// observed and the schedule governing the next epoch.
+			fmt.Printf("epoch: divergence %.4f -> migrate every %d, %d migrant(s), %d accepted\n",
+				ev.Epoch.Divergence, ev.Epoch.MigrateEvery, ev.Epoch.Migrants, ev.Epoch.Accepted)
+			return
+		}
 		if ev.Done {
 			fmt.Printf("island %d done after %d generations (stop: %s)\n", ev.Island, ev.Stats.Gen, ev.Stop)
 			return
@@ -62,7 +77,9 @@ func main() {
 		evoprot.WithSeed(42),
 		evoprot.WithWorkers(8),
 		evoprot.WithIslands(4),
-		evoprot.WithMigration(25, 2),
+		evoprot.WithNiches("explore-exploit"), // islands 1..3 mutate/select/cross differently
+		evoprot.WithMigration(25, 2),          // the adaptive controller's starting schedule
+		evoprot.WithAdaptiveMigration(evoprot.AdaptiveMigration{}),
 		evoprot.WithTopology(evoprot.Ring),
 		evoprot.WithProgress(progress),
 	)

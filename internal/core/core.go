@@ -137,6 +137,18 @@ func (p CrowdingPolicy) String() string {
 	}
 }
 
+// CrowdingByName resolves a crowding-policy name.
+func CrowdingByName(name string) (CrowdingPolicy, error) {
+	switch name {
+	case "parent-index", "":
+		return CrowdParentIndex, nil
+	case "nearest-parent", "nearest":
+		return CrowdNearestParent, nil
+	default:
+		return 0, fmt.Errorf("core: unknown crowding policy %q", name)
+	}
+}
+
 // AllCrossover is the MutationRate sentinel requesting an effective rate
 // of 0.0 — every generation performs crossover. It exists because the
 // zero value of Config.MutationRate selects the paper's default of 0.5,
@@ -188,6 +200,21 @@ type Config struct {
 	Selection SelectionPolicy
 	// Crowding is the crossover replacement policy.
 	Crowding CrowdingPolicy
+	// CrossoverPoints is the number of cut points of the category-level
+	// crossover. Zero and 2 both select the paper's 2-point scheme (§2.2.2)
+	// through its historical random draw, so existing trajectories are
+	// unchanged; any other k >= 1 performs standard k-point crossover
+	// (sorted random cuts, alternating segments exchanged). Negative values
+	// are rejected. Heterogeneous islands use this to give islands distinct
+	// recombination behaviors.
+	CrossoverPoints int
+	// Aggregator optionally names a per-engine fitness aggregation — "mean",
+	// "max", "euclidean" or "weighted:<w>" — overriding the evaluator's.
+	// Empty keeps the evaluator's aggregator. The engine then re-scores the
+	// shared initial evaluations and all offspring under its own
+	// aggregation, which is how heterogeneous islands explore the
+	// risk/information-loss trade-off from different biases at once.
+	Aggregator string
 	// Seed drives all stochastic decisions; a fixed seed reproduces a run
 	// exactly.
 	Seed uint64
@@ -245,7 +272,81 @@ func (c *Config) withDefaults() (Config, error) {
 	default:
 		return out, fmt.Errorf("core: ForceOp %q (want mutation|crossover|empty)", out.ForceOp)
 	}
+	if out.CrossoverPoints == 0 {
+		out.CrossoverPoints = 2
+	}
+	if out.CrossoverPoints < 1 {
+		return out, fmt.Errorf("core: CrossoverPoints must be positive, got %d", out.CrossoverPoints)
+	}
+	if out.Aggregator != "" {
+		if _, err := score.ExtendedAggregatorByName(out.Aggregator); err != nil {
+			return out, err
+		}
+	}
 	return out, nil
+}
+
+// Validate checks the configuration the way engine construction would,
+// without building anything — the admission-time gate services run on
+// submitted job specs.
+func (c Config) Validate() error {
+	_, err := c.withDefaults()
+	return err
+}
+
+// Merged overlays an override onto this configuration — the inheritance
+// rule of heterogeneous islands: every zero-valued override field keeps
+// the template's value, every set field replaces it. Because inheritance
+// keys on the zero value, a few settings cannot be expressed in an
+// override: MutationRate 0.0 needs the AllCrossover sentinel (as
+// everywhere), and the zero-valued Selection and Crowding policies (the
+// defaults) cannot override a template that sets a non-default policy.
+// Boolean knobs can only be switched on, never back off.
+func (c Config) Merged(o Config) Config {
+	out := c
+	if o.Generations != 0 {
+		out.Generations = o.Generations
+	}
+	if o.MutationRate != 0 {
+		out.MutationRate = o.MutationRate
+	}
+	if o.LeaderFraction != 0 {
+		out.LeaderFraction = o.LeaderFraction
+	}
+	if o.Selection != 0 {
+		out.Selection = o.Selection
+	}
+	if o.Crowding != 0 {
+		out.Crowding = o.Crowding
+	}
+	if o.Seed != 0 {
+		out.Seed = o.Seed
+	}
+	if o.NoImprovementWindow != 0 {
+		out.NoImprovementWindow = o.NoImprovementWindow
+	}
+	if o.ForceOp != "" {
+		out.ForceOp = o.ForceOp
+	}
+	if o.InitWorkers != 0 {
+		out.InitWorkers = o.InitWorkers
+	}
+	if o.DisableDelta {
+		out.DisableDelta = true
+	}
+	if o.LazyPrepare {
+		out.LazyPrepare = true
+	}
+	if o.CrossoverPoints != 0 {
+		out.CrossoverPoints = o.CrossoverPoints
+	}
+	if o.Aggregator != "" {
+		out.Aggregator = o.Aggregator
+	}
+	if o.OnGeneration != nil {
+		out.OnGeneration = o.OnGeneration
+	}
+	return out
 }
 
 // GenStats is one generation's record in the evolution history — the data
@@ -320,6 +421,9 @@ type Engine struct {
 	// without retaining them, so each Step may overwrite the previous
 	// one's lists instead of allocating fresh slices.
 	chBuf1, chBuf2 []dataset.CellChange
+	// cutBuf holds the k-point crossover's sorted cut positions, reused
+	// across generations (unused on the 2-point paper path).
+	cutBuf []int
 
 	mu    sync.Mutex // guards onGen
 	onGen func(GenStats)
@@ -401,9 +505,20 @@ func NewEngines(ctx context.Context, eval *score.Evaluator, initial []*Individua
 	}
 	engines := make([]*Engine, len(resolved))
 	for k, c := range resolved {
+		engEval, err := engineEvaluator(eval, c)
+		if err != nil {
+			return nil, err
+		}
 		pop := make([]*Individual, len(initial))
 		for i, ind := range initial {
 			pop[i] = &Individual{Data: ind.Data, Origin: ind.Origin, Eval: evs[i]}
+			if engEval != eval {
+				// The shared evaluation carries the shared aggregator's
+				// score; re-combine the (IL, DR) pair under this engine's
+				// own aggregation. The parts maps stay shared — they are
+				// aggregator-independent.
+				pop[i].Eval.Score = engEval.Aggregator().Combine(evs[i].IL, evs[i].DR)
+			}
 			if states != nil && !c.DisableDelta && !c.LazyPrepare {
 				if k == len(resolved)-1 {
 					pop[i].state = states[i] // last engine takes ownership
@@ -414,7 +529,7 @@ func NewEngines(ctx context.Context, eval *score.Evaluator, initial []*Individua
 		}
 		pcg := rand.NewPCG(c.Seed, 0x853c49e6748fea9b)
 		e := &Engine{
-			eval:    eval,
+			eval:    engEval,
 			cfg:     c,
 			rng:     rand.New(pcg),
 			pcg:     pcg,
@@ -428,6 +543,21 @@ func NewEngines(ctx context.Context, eval *score.Evaluator, initial []*Individua
 		engines[k] = e
 	}
 	return engines, nil
+}
+
+// engineEvaluator resolves the evaluator an engine scores with: the shared
+// one, or — when the config names its own aggregation — a derived copy
+// sharing the measure batteries (so delta states remain interchangeable
+// across engines) but combining (IL, DR) its own way.
+func engineEvaluator(eval *score.Evaluator, c Config) (*score.Evaluator, error) {
+	if c.Aggregator == "" {
+		return eval, nil
+	}
+	agg, err := score.ExtendedAggregatorByName(c.Aggregator)
+	if err != nil {
+		return nil, err
+	}
+	return eval.WithAggregator(agg), nil
 }
 
 // mutableAttrs returns the protected columns whose domain has more than
@@ -649,17 +779,24 @@ func (e *Engine) Emigrants(k int) []*Individual {
 // strictly better than the current worst replaces it (the standard
 // worst-replacement acceptance, preserving elitism — the best can only
 // improve). Returns how many migrants were accepted. The migrants' cached
-// evaluations are trusted; their wrappers are copied so the caller may
-// offer the same slice to several engines.
+// (IL, DR) pairs are trusted, but their Score is re-combined under this
+// engine's own aggregator, so heterogeneous islands judge arrivals on
+// their own fitness scale; with a shared aggregator the re-combination is
+// a pure recomputation of the identical value, so homogeneous runs are
+// bit-for-bit unchanged. The wrappers are copied so the caller may offer
+// the same slice to several engines.
 func (e *Engine) Immigrate(migrants []*Individual) int {
 	accepted := 0
+	agg := e.eval.Aggregator()
 	for _, m := range migrants {
 		if m == nil || m.Data == nil {
 			continue
 		}
+		ev := m.Eval
+		ev.Score = agg.Combine(ev.IL, ev.DR)
 		worst := len(e.pop) - 1
-		if m.Eval.Score < e.pop[worst].Eval.Score {
-			e.pop[worst] = &Individual{Data: m.Data, Eval: m.Eval, Origin: m.Origin, state: m.state}
+		if ev.Score < e.pop[worst].Eval.Score {
+			e.pop[worst] = &Individual{Data: m.Data, Eval: ev, Origin: m.Origin, state: m.state}
 			e.sortPop()
 			accepted++
 		}
@@ -858,28 +995,56 @@ func (e *Engine) mutate(parent *Individual) (*Individual, []dataset.CellChange) 
 	return NewIndividual(data, "mutation"), e.chBuf1
 }
 
-// cross performs the paper's 2-point category-level crossover (§2.2.2):
-// positions s..r (inclusive) are exchanged between the parents; when
-// s == r exactly one value swaps. The returned change lists record each
-// child's cells that differ from its parent (positions where the parents
-// agree swap to the same value and are omitted).
+// cross recombines two parents at the category level. With the default
+// CrossoverPoints of 2 it performs the paper's 2-point crossover (§2.2.2)
+// through its historical random draw — positions s..r (inclusive) are
+// exchanged; when s == r exactly one value swaps — so existing seeds keep
+// their trajectories. Any other k performs standard k-point crossover: k
+// cut positions are drawn, sorted, and alternating segments (the first
+// starting at the lowest cut) are exchanged; coinciding cuts cancel. The
+// returned change lists record each child's cells that differ from its
+// parent (positions where the parents agree swap to the same value and
+// are omitted).
 func (e *Engine) cross(p1, p2 *Individual) (c1, c2 *Individual, ch1, ch2 []dataset.CellChange) {
 	d1 := p1.Data.Clone()
 	d2 := p2.Data.Clone()
 	length := e.geneCount()
-	s := e.rng.IntN(length)
-	r := s + e.rng.IntN(length-s) // uniform in [s, length-1]
 	ch1, ch2 = e.chBuf1[:0], e.chBuf2[:0]
-	for g := s; g <= r; g++ {
+	swapGene := func(g int) {
 		row, col := e.genePos(g)
 		v1, v2 := d1.At(row, col), d2.At(row, col)
 		if v1 == v2 {
-			continue
+			return
 		}
 		d1.Set(row, col, v2)
 		d2.Set(row, col, v1)
 		ch1 = append(ch1, dataset.CellChange{Row: row, Col: col, Old: v1, New: v2})
 		ch2 = append(ch2, dataset.CellChange{Row: row, Col: col, Old: v2, New: v1})
+	}
+	if e.cfg.CrossoverPoints == 2 {
+		s := e.rng.IntN(length)
+		r := s + e.rng.IntN(length-s) // uniform in [s, length-1]
+		for g := s; g <= r; g++ {
+			swapGene(g)
+		}
+	} else {
+		cuts := e.cutBuf[:0]
+		for i := 0; i < e.cfg.CrossoverPoints; i++ {
+			cuts = append(cuts, e.rng.IntN(length))
+		}
+		sort.Ints(cuts)
+		e.cutBuf = cuts
+		// Exchange segments [c0,c1), [c2,c3), ...; an odd final cut opens a
+		// segment that runs to the end of the chromosome.
+		for i := 0; i < len(cuts); i += 2 {
+			end := length
+			if i+1 < len(cuts) {
+				end = cuts[i+1]
+			}
+			for g := cuts[i]; g < end; g++ {
+				swapGene(g)
+			}
+		}
 	}
 	e.chBuf1, e.chBuf2 = ch1, ch2 // keep any grown capacity for later steps
 	return NewIndividual(d1, "crossover"), NewIndividual(d2, "crossover"), ch1, ch2

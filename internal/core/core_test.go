@@ -647,10 +647,12 @@ func TestEmigrantsAndImmigrate(t *testing.T) {
 	if acc > 0 && b.Population()[len(b.pop)-1].Eval.Score > worstBefore {
 		t.Fatal("immigration worsened the worst individual")
 	}
-	// A hopeless migrant is rejected.
+	// A hopeless migrant is rejected. Immigrate trusts the (IL, DR) pair
+	// and re-combines the score under the receiving engine's aggregator,
+	// so hopelessness lives in the components, not a hand-edited Score.
 	bad := &Individual{Data: em[0].Data, Origin: "bad"}
 	bad.Eval = em[0].Eval
-	bad.Eval.Score = 1e9
+	bad.Eval.IL, bad.Eval.DR, bad.Eval.Score = 1e9, 1e9, 1e9
 	if got := b.Immigrate([]*Individual{bad}); got != 0 {
 		t.Fatalf("hopeless migrant accepted %d times", got)
 	}

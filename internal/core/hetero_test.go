@@ -1,0 +1,259 @@
+package core
+
+// Tests for the heterogeneous-island building blocks that live in core:
+// the Merged override layer, k-point crossover, per-engine aggregator
+// overrides, and the name resolvers behind them.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"evoprot/internal/score"
+)
+
+func stripHistory(h []GenStats) []GenStats {
+	out := make([]GenStats, len(h))
+	for i, gs := range h {
+		gs.EvalTime, gs.TotalTime = 0, 0
+		out[i] = gs
+	}
+	return out
+}
+
+func sameHistories(t *testing.T, label string, a, b []GenStats) {
+	t.Helper()
+	x, y := stripHistory(a), stripHistory(b)
+	if len(x) != len(y) {
+		t.Fatalf("%s: history lengths %d vs %d", label, len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("%s: generation %d diverged:\n%+v\n%+v", label, i+1, x[i], y[i])
+		}
+	}
+}
+
+// TestMergedInheritance: zero-valued override fields inherit the
+// template, set fields replace it — field by field.
+func TestMergedInheritance(t *testing.T) {
+	template := Config{
+		Generations:         100,
+		MutationRate:        0.4,
+		LeaderFraction:      0.2,
+		Selection:           SelectRank,
+		Crowding:            CrowdNearestParent,
+		Seed:                7,
+		NoImprovementWindow: 50,
+		ForceOp:             "mutation",
+		InitWorkers:         3,
+		CrossoverPoints:     3,
+		Aggregator:          "mean",
+	}
+	// An all-zero override changes nothing.
+	if got := template.Merged(Config{}); got.Generations != 100 || got.MutationRate != 0.4 ||
+		got.LeaderFraction != 0.2 || got.Selection != SelectRank || got.Crowding != CrowdNearestParent ||
+		got.Seed != 7 || got.NoImprovementWindow != 50 || got.ForceOp != "mutation" ||
+		got.InitWorkers != 3 || got.CrossoverPoints != 3 || got.Aggregator != "mean" ||
+		got.DisableDelta || got.LazyPrepare {
+		t.Fatalf("zero override mutated the template: %+v", got)
+	}
+	// A full override replaces everything it sets.
+	ov := Config{
+		Generations:         5,
+		MutationRate:        AllCrossover,
+		LeaderFraction:      0.5,
+		Selection:           SelectUniform,
+		Crowding:            CrowdParentIndex, // zero value: inherits
+		NoImprovementWindow: 2,
+		ForceOp:             "crossover",
+		InitWorkers:         8,
+		CrossoverPoints:     5,
+		Aggregator:          "euclidean",
+		DisableDelta:        true,
+		LazyPrepare:         true,
+	}
+	got := template.Merged(ov)
+	if got.Generations != 5 || got.MutationRate != AllCrossover || got.LeaderFraction != 0.5 ||
+		got.Selection != SelectUniform || got.NoImprovementWindow != 2 || got.ForceOp != "crossover" ||
+		got.InitWorkers != 8 || got.CrossoverPoints != 5 || got.Aggregator != "euclidean" ||
+		!got.DisableDelta || !got.LazyPrepare {
+		t.Fatalf("override not applied: %+v", got)
+	}
+	// Zero-valued policies are the documented blind spot: they inherit.
+	if got.Crowding != CrowdNearestParent {
+		t.Fatalf("zero-valued crowding override replaced the template: %v", got.Crowding)
+	}
+	if got.Seed != 7 {
+		t.Fatalf("unset override seed replaced the template: %d", got.Seed)
+	}
+}
+
+// TestCrossoverPointsPaperPathIdentical: CrossoverPoints 0 and 2 both
+// select the historical 2-point draw — trajectories are bit-identical.
+func TestCrossoverPointsPaperPathIdentical(t *testing.T) {
+	a := mustRun(t, testEngine(t, Config{Generations: 40, Seed: 13}))
+	b := mustRun(t, testEngine(t, Config{Generations: 40, Seed: 13, CrossoverPoints: 2}))
+	sameHistories(t, "points 0 vs 2", a.History, b.History)
+	if !a.Best.Data.Equal(b.Best.Data) {
+		t.Fatal("best individuals diverged between CrossoverPoints 0 and 2")
+	}
+}
+
+// TestKPointCrossoverDeltaOracle: for non-paper cut counts the engine's
+// change lists must describe the offspring exactly — the delta path and
+// the full-recompute path walk bit-identical trajectories.
+func TestKPointCrossoverDeltaOracle(t *testing.T) {
+	for _, points := range []int{1, 3, 4, 5} {
+		delta := mustRun(t, testEngine(t, Config{Generations: 40, Seed: 17, CrossoverPoints: points, ForceOp: "crossover"}))
+		full := mustRun(t, testEngine(t, Config{Generations: 40, Seed: 17, CrossoverPoints: points, ForceOp: "crossover", DisableDelta: true}))
+		sameHistories(t, "k-point delta vs full", delta.History, full.History)
+		if !delta.Best.Data.Equal(full.Best.Data) {
+			t.Fatalf("points=%d: delta and full evaluation diverged", points)
+		}
+	}
+}
+
+// TestKPointCrossoverDiffersFromPaperPath: a different cut count must
+// actually change the search (same seed, different trajectory).
+func TestKPointCrossoverDiffersFromPaperPath(t *testing.T) {
+	two := mustRun(t, testEngine(t, Config{Generations: 60, Seed: 19, ForceOp: "crossover"}))
+	five := mustRun(t, testEngine(t, Config{Generations: 60, Seed: 19, ForceOp: "crossover", CrossoverPoints: 5}))
+	a, b := stripHistory(two.History), stripHistory(five.History)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("5-point crossover reproduced the 2-point trajectory exactly")
+	}
+}
+
+// TestEngineAggregatorOverride: an engine with its own named aggregation
+// scores everything — initial population and offspring — under it, and
+// matches an engine built directly over a re-aggregated evaluator.
+func TestEngineAggregatorOverride(t *testing.T) {
+	eval, pop := testPopulation(t)
+	named, err := NewEngine(eval, pop, Config{Generations: 30, Seed: 23, Aggregator: "mean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ind := range named.Population() {
+		if want := (ind.Eval.IL + ind.Eval.DR) / 2; ind.Eval.Score != want {
+			t.Fatalf("initial individual scored %v under mean override, want %v", ind.Eval.Score, want)
+		}
+	}
+	res, err := named.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ind := range res.Population {
+		if want := (ind.Eval.IL + ind.Eval.DR) / 2; ind.Eval.Score != want {
+			t.Fatalf("evolved individual scored %v under mean override, want %v", ind.Eval.Score, want)
+		}
+	}
+
+	eval2, pop2 := testPopulation(t)
+	direct, err := NewEngine(eval2.WithAggregator(score.Mean{}), pop2, Config{Generations: 30, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := direct.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistories(t, "named vs direct aggregator", res.History, ref.History)
+	if !res.Best.Data.Equal(ref.Best.Data) {
+		t.Fatal("named-aggregator engine diverged from the re-aggregated evaluator")
+	}
+}
+
+// TestResumeRescoresUnderAggregatorOverride: resuming a snapshot into a
+// config with a different per-engine aggregator must re-combine the
+// restored population's scores on the new scale (mirroring NewEngines),
+// so selection and replacement never compare mixed-scale scores.
+func TestResumeRescoresUnderAggregatorOverride(t *testing.T) {
+	eval, pop := testPopulation(t)
+	e, err := NewEngine(eval, pop, Config{Generations: 10, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(eval, bytes.NewReader(buf.Bytes()), Config{Generations: 10, Seed: 29, Aggregator: "mean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ind := range resumed.Population() {
+		if want := (ind.Eval.IL + ind.Eval.DR) / 2; ind.Eval.Score != want {
+			t.Fatalf("resumed individual scored %v, want mean value %v", ind.Eval.Score, want)
+		}
+	}
+	// Resuming under the aggregator the snapshot was taken with restores
+	// the identical scores.
+	same, err := Resume(eval, bytes.NewReader(buf.Bytes()), Config{Generations: 10, Seed: 29, Aggregator: "max"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := e.Population(), same.Population()
+	for i := range a {
+		if a[i].Eval.Score != b[i].Eval.Score {
+			t.Fatalf("same-aggregator resume changed score %d: %v vs %v", i, a[i].Eval.Score, b[i].Eval.Score)
+		}
+	}
+}
+
+// TestConfigValidationNewKnobs: the new knobs are validated like the old
+// ones.
+func TestConfigValidationNewKnobs(t *testing.T) {
+	eval, pop := testPopulation(t)
+	for name, cfg := range map[string]Config{
+		"negative crossover points": {Generations: 5, CrossoverPoints: -1},
+		"unknown aggregator":        {Generations: 5, Aggregator: "median"},
+		"malformed weighted":        {Generations: 5, Aggregator: "weighted:1.7"},
+	} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", name)
+		}
+		if _, err := NewEngine(eval, pop, cfg); err == nil {
+			t.Errorf("%s: NewEngine accepted", name)
+		}
+	}
+	if err := (Config{Generations: 5, CrossoverPoints: 1, Aggregator: "weighted:0.7"}).Validate(); err != nil {
+		t.Errorf("good new knobs rejected: %v", err)
+	}
+}
+
+// TestCrowdingByName: resolver round-trip and rejection.
+func TestCrowdingByName(t *testing.T) {
+	for name, want := range map[string]CrowdingPolicy{
+		"":               CrowdParentIndex,
+		"parent-index":   CrowdParentIndex,
+		"nearest-parent": CrowdNearestParent,
+		"nearest":        CrowdNearestParent,
+	} {
+		got, err := CrowdingByName(name)
+		if err != nil || got != want {
+			t.Errorf("CrowdingByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := CrowdingByName("tournament"); err == nil {
+		t.Error("unknown crowding name accepted")
+	}
+	for _, p := range []CrowdingPolicy{CrowdParentIndex, CrowdNearestParent} {
+		back, err := CrowdingByName(p.String())
+		if err != nil || back != p {
+			t.Errorf("crowding %v does not round-trip through its name", p)
+		}
+	}
+}

@@ -155,8 +155,23 @@ func Resume(eval *score.Evaluator, r io.Reader, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	engEval, err := engineEvaluator(eval, c)
+	if err != nil {
+		return nil, err
+	}
+	if engEval != eval {
+		// Mirror NewEngines: a per-engine aggregator re-combines the
+		// restored (IL, DR) pairs so the population is scored — and sorted
+		// below — on this engine's own scale. Resuming with the aggregator
+		// the snapshot was taken under recombines the identical values, so
+		// unchanged configs restore bit-identically.
+		agg := engEval.Aggregator()
+		for _, ind := range pop {
+			ind.Eval.Score = agg.Combine(ind.Eval.IL, ind.Eval.DR)
+		}
+	}
 	e := &Engine{
-		eval:      eval,
+		eval:      engEval,
 		cfg:       c,
 		rng:       rand.New(pcg),
 		pcg:       pcg,

@@ -1,0 +1,69 @@
+package islands
+
+// Fuzz targets for the string resolvers: no input may panic, successful
+// resolutions must round-trip through String, and errors must never hand
+// the caller a usable value by accident. `go test` runs the seed corpus;
+// `go test -fuzz FuzzTopologyByName` explores further.
+
+import (
+	"testing"
+
+	"evoprot/internal/core"
+)
+
+// coreConfigForFuzz is a minimal valid engine template for config-level
+// fuzz assertions.
+func coreConfigForFuzz() core.Config { return core.Config{Generations: 5} }
+
+func FuzzTopologyByName(f *testing.F) {
+	for _, seed := range []string{"", "ring", "broadcast", "all", "star", "RING", "ring ", "броад", "\x00", "broadcastbroadcast"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		topo, err := TopologyByName(name)
+		if err != nil {
+			if topo != Ring { // the zero value, never a silently-usable third topology
+				t.Fatalf("error case returned topology %v", topo)
+			}
+			return
+		}
+		// A resolved topology names itself back to the same value.
+		back, err := TopologyByName(topo.String())
+		if err != nil || back != topo {
+			t.Fatalf("topology %v does not round-trip: %v, %v", topo, back, err)
+		}
+		// And it must be accepted by a full config validation.
+		cfg := Config{Topology: topo, Engine: coreConfigForFuzz()}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("resolved topology %v rejected by Validate: %v", topo, err)
+		}
+	})
+}
+
+func FuzzNichesByName(f *testing.F) {
+	for _, name := range []string{"", "explore-exploit", "selection-sweep", "aggregator-sweep", "unknown", "explore-exploit "} {
+		for _, n := range []int{-1, 0, 1, 3, 17} {
+			f.Add(name, n)
+		}
+	}
+	f.Fuzz(func(t *testing.T, name string, n int) {
+		if n > 256 {
+			n %= 256 // keep override slices small; size is not the property under test
+		}
+		overrides, err := NichesByName(name, n)
+		if err != nil {
+			if overrides != nil {
+				t.Fatal("error case returned overrides")
+			}
+			return
+		}
+		if len(overrides) != n {
+			t.Fatalf("%s/%d: %d overrides", name, n, len(overrides))
+		}
+		// Every successfully-built preset must be admissible.
+		cfg := Config{Islands: n, Engine: coreConfigForFuzz(), PerIsland: overrides}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s/%d: preset rejected by Validate: %v", name, n, err)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package islands
+
+// Niche presets: ready-made per-island override spreads for Config.
+// PerIsland. A niched (heterogeneous) island model runs distinct search
+// behaviors side by side — exploitative and explorative islands, several
+// selection pressures, several fitness aggregations — and lets migration
+// move good genes between the niches, which explores the
+// risk/information-loss trade-off from several biases at once instead of
+// multiplying one bias by N.
+
+import (
+	"fmt"
+	"sort"
+
+	"evoprot/internal/core"
+)
+
+// nichePresets maps each preset name to its override builder. Island 0
+// always stays on the shared template: it keeps the top-level seed, so
+// the best-known baseline trajectory is always part of the run.
+var nichePresets = map[string]func(n int) []core.Config{
+	// explore-exploit spreads islands from exploitative to explorative:
+	// mutation rates rise from 0.25 to 0.75, leader groups widen, and the
+	// most explorative islands move to rank then uniform selection with a
+	// more disruptive 4-point crossover.
+	"explore-exploit": func(n int) []core.Config {
+		out := make([]core.Config, n)
+		for i := 1; i < n; i++ {
+			t := float64(i) / float64(n-1)
+			out[i].MutationRate = 0.25 + 0.5*t
+			out[i].LeaderFraction = 0.05 + 0.2*t
+			if t > 0.5 {
+				out[i].Selection = core.SelectRank
+				out[i].CrossoverPoints = 4
+			}
+			if t > 0.75 {
+				out[i].Selection = core.SelectUniform
+			}
+		}
+		return out
+	},
+	// selection-sweep cycles the reproduction-selection policies across
+	// islands: the template policy, then rank, then uniform.
+	"selection-sweep": func(n int) []core.Config {
+		out := make([]core.Config, n)
+		for i := 1; i < n; i++ {
+			switch i % 3 {
+			case 1:
+				out[i].Selection = core.SelectRank
+			case 2:
+				out[i].Selection = core.SelectUniform
+			}
+		}
+		return out
+	},
+	// aggregator-sweep gives islands different fitness aggregations —
+	// balanced (the template), mean, euclidean, privacy-leaning and
+	// utility-leaning weighted sums — so each island optimizes a different
+	// point of the risk/information-loss trade-off and migration exchanges
+	// protections across those biases.
+	"aggregator-sweep": func(n int) []core.Config {
+		aggs := []string{"", "mean", "euclidean", "weighted:0.3", "weighted:0.7"}
+		out := make([]core.Config, n)
+		for i := 1; i < n; i++ {
+			out[i].Aggregator = aggs[i%len(aggs)]
+		}
+		return out
+	},
+}
+
+// NicheNames returns the built-in niche preset names, sorted.
+func NicheNames() []string {
+	names := make([]string, 0, len(nichePresets))
+	for name := range nichePresets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NichesByName builds the named preset's per-island overrides for n
+// islands, ready for Config.PerIsland. Island 0 always inherits the
+// template unchanged (preserving the baseline trajectory of the top-level
+// seed); with one island every preset degenerates to the plain template.
+// The overrides only set engine knobs — Merged overlays them onto
+// whatever template the run configures.
+func NichesByName(name string, n int) ([]core.Config, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("islands: niches need at least 1 island, got %d", n)
+	}
+	preset, ok := nichePresets[name]
+	if !ok {
+		return nil, fmt.Errorf("islands: unknown niche preset %q (want %v)", name, NicheNames())
+	}
+	return preset(n), nil
+}

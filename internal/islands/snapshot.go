@@ -10,26 +10,128 @@ import (
 	"evoprot/internal/score"
 )
 
-// Multi-island checkpoints wrap one core engine snapshot per island. The
-// coordinator itself keeps no state worth persisting: budgets are
-// per-Run-call (resuming with -gens N runs N more generations, matching
-// the single-engine contract) and the migration schedule restarts from the
-// next barrier. Because OnEpoch — the checkpointing hook — only fires at
-// barriers, a resumed run's epochs stay aligned with the schedule.
+// Multi-island checkpoints wrap one core engine snapshot per island plus
+// the coordinator state worth persisting: the adaptive controller's
+// effective schedule (required for bit-reproducible resumption of
+// adaptive runs) and the per-island configuration overrides of
+// heterogeneous runs (so a bare Resume without a PerIsland config rebuilds
+// the same niches). Budgets stay per-Run-call — resuming with -gens N runs
+// N more generations, matching the single-engine contract — and the
+// migration schedule restarts from the next barrier. Because OnEpoch — the
+// checkpointing hook — only fires at barriers, a resumed run's epochs stay
+// aligned with the schedule.
 
 // snapshotVersion guards against incompatible checkpoint layouts.
-const snapshotVersion = 1
+// Version 2 added the adaptive-migration controller state and the
+// per-island configuration overrides; version-1 snapshots (homogeneous,
+// fixed-schedule) still load.
+const snapshotVersion = 2
+
+// minSnapshotVersion is the oldest layout Resume still reads.
+const minSnapshotVersion = 1
 
 type snapshotJSON struct {
-	Version int               `json:"version"`
-	Islands int               `json:"islands"`
-	Engines []json.RawMessage `json:"engines"`
+	Version int `json:"version"`
+	Islands int `json:"islands"`
+	// Adaptive carries the controller's effective schedule; present only
+	// on adaptive runs.
+	Adaptive *adaptiveStateJSON `json:"adaptive,omitempty"`
+	// Configs carries the per-island overrides of heterogeneous runs,
+	// aligned with Engines; empty on homogeneous runs.
+	Configs []islandConfigJSON `json:"configs,omitempty"`
+	Engines []json.RawMessage  `json:"engines"`
 }
 
-// Snapshot serializes every island's engine state. Only safe while the
-// islands are quiescent: between runs, or inside Config.OnEpoch.
+type adaptiveStateJSON struct {
+	MigrateEvery int `json:"migrate_every"`
+	Migrants     int `json:"migrants"`
+}
+
+// islandConfigJSON is the serializable subset of a core.Config override —
+// exactly the knobs PerIsland may set. Zero values mean "inherit the
+// template", matching the Merged contract, so round-tripping an override
+// through JSON reproduces the identical merged configuration. A custom
+// programmatic aggregator cannot be serialized; PerIsland aggregators are
+// names, which round-trip exactly.
+type islandConfigJSON struct {
+	Generations         int     `json:"generations,omitempty"`
+	MutationRate        float64 `json:"mutation_rate,omitempty"`
+	LeaderFraction      float64 `json:"leader_fraction,omitempty"`
+	Selection           string  `json:"selection,omitempty"`
+	Crowding            string  `json:"crowding,omitempty"`
+	CrossoverPoints     int     `json:"crossover_points,omitempty"`
+	NoImprovementWindow int     `json:"early_stop,omitempty"`
+	ForceOp             string  `json:"force_op,omitempty"`
+	Aggregator          string  `json:"aggregator,omitempty"`
+	DisableDelta        bool    `json:"disable_delta,omitempty"`
+	LazyPrepare         bool    `json:"lazy_prepare,omitempty"`
+}
+
+func configToJSON(c core.Config) islandConfigJSON {
+	j := islandConfigJSON{
+		Generations:         c.Generations,
+		MutationRate:        c.MutationRate,
+		LeaderFraction:      c.LeaderFraction,
+		CrossoverPoints:     c.CrossoverPoints,
+		NoImprovementWindow: c.NoImprovementWindow,
+		ForceOp:             c.ForceOp,
+		Aggregator:          c.Aggregator,
+		DisableDelta:        c.DisableDelta,
+		LazyPrepare:         c.LazyPrepare,
+	}
+	if c.Selection != 0 {
+		j.Selection = c.Selection.String()
+	}
+	if c.Crowding != 0 {
+		j.Crowding = c.Crowding.String()
+	}
+	return j
+}
+
+func configFromJSON(j islandConfigJSON) (core.Config, error) {
+	sel, err := core.SelectionByName(j.Selection)
+	if err != nil {
+		return core.Config{}, err
+	}
+	crowd, err := core.CrowdingByName(j.Crowding)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Generations:         j.Generations,
+		MutationRate:        j.MutationRate,
+		LeaderFraction:      j.LeaderFraction,
+		Selection:           sel,
+		Crowding:            crowd,
+		CrossoverPoints:     j.CrossoverPoints,
+		NoImprovementWindow: j.NoImprovementWindow,
+		ForceOp:             j.ForceOp,
+		Aggregator:          j.Aggregator,
+		DisableDelta:        j.DisableDelta,
+		LazyPrepare:         j.LazyPrepare,
+	}, nil
+}
+
+// Snapshot serializes every island's engine state plus the coordinator's
+// adaptive schedule and per-island overrides. Only safe while the islands
+// are quiescent: between runs, or inside Config.OnEpoch.
 func (r *Runner) Snapshot(w io.Writer) error {
 	snap := snapshotJSON{Version: snapshotVersion, Islands: len(r.engines)}
+	if r.cfg.Adaptive.Enabled {
+		snap.Adaptive = &adaptiveStateJSON{MigrateEvery: r.effEvery, Migrants: r.effMigrants}
+	}
+	if len(r.cfg.PerIsland) > 0 {
+		snap.Configs = make([]islandConfigJSON, len(r.cfg.PerIsland))
+		for i, ov := range r.cfg.PerIsland {
+			snap.Configs[i] = configToJSON(ov)
+		}
+	}
+	if snap.Adaptive == nil && snap.Configs == nil {
+		// No v2 content: stamp the lowest version the payload needs so
+		// homogeneous fixed-schedule checkpoints stay readable by builds
+		// that require version 1 exactly.
+		snap.Version = minSnapshotVersion
+	}
 	for i, e := range r.engines {
 		var buf bytes.Buffer
 		if err := e.Snapshot(&buf); err != nil {
@@ -47,29 +149,49 @@ func (r *Runner) Snapshot(w io.Writer) error {
 // same original dataset the snapshot was taken against; the island count
 // comes from the snapshot (cfg.Islands is ignored), and every island
 // continues its identical stochastic trajectory. cfg.Engine.Generations is
-// the per-island budget for the next Run call.
+// the per-island budget for the next Run call. A heterogeneous snapshot's
+// per-island overrides are applied automatically when cfg.PerIsland is
+// empty (pass overrides explicitly to supersede them), and an adaptive
+// snapshot's effective schedule is restored whenever cfg.Adaptive is
+// enabled, so a resumed adaptive run continues the controller where it
+// left off.
 func Resume(eval *score.Evaluator, rd io.Reader, cfg Config) (*Runner, error) {
 	var snap snapshotJSON
 	if err := json.NewDecoder(rd).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("islands: decoding snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("islands: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	if snap.Version < minSnapshotVersion || snap.Version > snapshotVersion {
+		return nil, fmt.Errorf("islands: snapshot version %d, this build reads %d..%d", snap.Version, minSnapshotVersion, snapshotVersion)
 	}
 	if snap.Islands < 1 || snap.Islands != len(snap.Engines) {
 		return nil, fmt.Errorf("islands: snapshot declares %d islands but carries %d engines", snap.Islands, len(snap.Engines))
 	}
+	if len(snap.Configs) != 0 && len(snap.Configs) != snap.Islands {
+		return nil, fmt.Errorf("islands: snapshot carries %d island configs for %d islands", len(snap.Configs), snap.Islands)
+	}
 	cfg.Islands = snap.Islands
+	if len(cfg.PerIsland) == 0 && len(snap.Configs) > 0 {
+		cfg.PerIsland = make([]core.Config, len(snap.Configs))
+		for i, j := range snap.Configs {
+			ov, err := configFromJSON(j)
+			if err != nil {
+				return nil, fmt.Errorf("islands: snapshot island %d config: %w", i, err)
+			}
+			cfg.PerIsland[i] = ov
+		}
+	}
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	engines := make([]*core.Engine, snap.Islands)
+	cfgs := make([]core.Config, snap.Islands)
 	popSize := 0
 	for i, raw := range snap.Engines {
-		ec := c.Engine
-		ec.Seed = IslandSeed(c.Engine.Seed, i) // cosmetic: the RNG stream is restored from the snapshot
-		e, err := core.Resume(eval, bytes.NewReader(raw), ec)
+		// The derived per-island seed is cosmetic here: the RNG stream is
+		// restored from the snapshot.
+		cfgs[i] = c.islandConfig(i)
+		e, err := core.Resume(eval, bytes.NewReader(raw), cfgs[i])
 		if err != nil {
 			return nil, fmt.Errorf("islands: resuming island %d: %w", i, err)
 		}
@@ -78,7 +200,15 @@ func Resume(eval *score.Evaluator, rd io.Reader, cfg Config) (*Runner, error) {
 			popSize = n
 		}
 	}
-	return &Runner{cfg: c, engines: engines, popSize: popSize, seq: c.FirstSeq}, nil
+	r := &Runner{
+		cfg: c, engines: engines, perIsland: cfgs, agg: runAggregator(eval, c), popSize: popSize,
+		effEvery: c.MigrateEvery, effMigrants: c.Migrants, seq: c.FirstSeq,
+	}
+	if c.Adaptive.Enabled && snap.Adaptive != nil {
+		r.effEvery = min(max(snap.Adaptive.MigrateEvery, c.Adaptive.MinEvery), c.Adaptive.MaxEvery)
+		r.effMigrants = min(max(snap.Adaptive.Migrants, c.Adaptive.MinMigrants), c.Adaptive.MaxMigrants)
+	}
+	return r, nil
 }
 
 // Meta describes a checkpoint without resuming it: the island count and
@@ -97,6 +227,9 @@ type Meta struct {
 	// differ. Budget arithmetic for a resume should count from
 	// MinGeneration so no island ends up short of its configured budget.
 	MinGeneration int
+	// Heterogeneous reports whether the checkpoint carries per-island
+	// configuration overrides.
+	Heterogeneous bool
 }
 
 // Peek reads a checkpoint's metadata without rebuilding engines; the
@@ -107,13 +240,13 @@ func Peek(rd io.Reader) (Meta, error) {
 	if err := json.NewDecoder(rd).Decode(&snap); err != nil {
 		return Meta{}, fmt.Errorf("islands: decoding snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return Meta{}, fmt.Errorf("islands: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	if snap.Version < minSnapshotVersion || snap.Version > snapshotVersion {
+		return Meta{}, fmt.Errorf("islands: snapshot version %d, this build reads %d..%d", snap.Version, minSnapshotVersion, snapshotVersion)
 	}
 	if snap.Islands < 1 || snap.Islands != len(snap.Engines) {
 		return Meta{}, fmt.Errorf("islands: snapshot declares %d islands but carries %d engines", snap.Islands, len(snap.Engines))
 	}
-	m := Meta{Islands: snap.Islands}
+	m := Meta{Islands: snap.Islands, Heterogeneous: len(snap.Configs) > 0}
 	for i, raw := range snap.Engines {
 		var hdr struct {
 			Gen int `json:"gen"`

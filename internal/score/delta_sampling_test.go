@@ -1,0 +1,116 @@
+package score
+
+// The ROADMAP-noted gap: under intruder-side sampling (MaxRecords) the
+// DBRL and PRL measures cannot run incrementally — Prepare returns a nil
+// slot and EvaluateDelta falls back to a full sampled recompute of just
+// those measures. Unlike the RSRL and ID states, that fallback had no
+// dedicated oracle until now. The property: a delta-evaluation chain over
+// a sampling-configured battery is bit-identical to a from-scratch
+// evaluation of each intermediate dataset — every measure value, both
+// averages and the aggregated score — across random grids, strides and
+// change batches.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/datagen"
+	"evoprot/internal/risk"
+)
+
+// TestSampledLinkageFallbackMatchesFromScratch is the property test: for
+// several datasets, MaxRecords strides and seeds, a chain of random
+// mutation batches evaluated through Prepare/EvaluateDelta (where DBRL
+// and PRL run the sampled full-recompute fallback each step) must equal
+// Evaluate-from-scratch bit for bit at every step.
+func TestSampledLinkageFallbackMatchesFromScratch(t *testing.T) {
+	grids := []struct {
+		name string
+		rows int
+	}{
+		{"flare", 90},
+		{"german", 130},
+	}
+	for _, grid := range grids {
+		for _, maxRecords := range []int{10, 33, 64} {
+			for _, seed := range []uint64{3, 19} {
+				orig := datagen.MustByName(grid.name, grid.rows, seed)
+				names, _ := datagen.ProtectedAttrs(grid.name)
+				attrs, err := orig.Schema().Indices(names...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if grid.rows <= maxRecords {
+					t.Fatalf("test setup: stride sampling inactive for %d rows with MaxRecords %d", grid.rows, maxRecords)
+				}
+				eval, err := NewEvaluator(orig, attrs, Config{
+					DR: []risk.Measure{
+						&risk.IntervalDisclosure{MaxP: 10},
+						&risk.DistanceLinkage{MaxRecords: maxRecords},
+						&risk.ProbabilisticLinkage{EMIters: 10, MaxRecords: maxRecords},
+						&risk.RankIntervalLinkage{P: 15, MaxRecords: maxRecords},
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				rng := rand.New(rand.NewPCG(seed, 7))
+				masked := orig.Clone()
+				applyRandomChanges(rng, masked, attrs, 25) // start away from the original
+				parentEval, err := eval.Evaluate(masked)
+				if err != nil {
+					t.Fatal(err)
+				}
+				state := mustPrepare(t, eval, masked)
+
+				for step := 0; step < 6; step++ {
+					child := masked.Clone()
+					batch := 1 + rng.IntN(4) // mutations and small crossover windows
+					changes := applyRandomChanges(rng, child, attrs, batch)
+					gotEval, gotState, err := eval.EvaluateDelta(parentEval, state, child, changes)
+					if err != nil {
+						t.Fatalf("%s/max%d/seed%d step %d: %v", grid.name, maxRecords, seed, step, err)
+					}
+					want, err := eval.Evaluate(child)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireIdentical(t,
+						grid.name+" sampled delta step", gotEval, want)
+					if gotState == nil {
+						t.Fatalf("%s/max%d/seed%d step %d: narrow edit returned no state", grid.name, maxRecords, seed, step)
+					}
+					masked, parentEval, state = child, gotEval, gotState
+				}
+			}
+		}
+	}
+}
+
+// TestSampledLinkagePrepareSlots pins the capability split the fallback
+// relies on: under active stride sampling DBRL and PRL must decline an
+// incremental state while ID and RSRL keep theirs — if a future change
+// made the linkage caches claim sampled support without implementing it,
+// the oracle above would be testing the wrong path.
+func TestSampledLinkagePrepareSlots(t *testing.T) {
+	orig := datagen.MustByName("flare", 90, 5)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, err := orig.Schema().Indices(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := orig.Clone()
+	if st := (&risk.DistanceLinkage{MaxRecords: 30}).Prepare(orig, masked, attrs); st != nil {
+		t.Error("sampled DBRL claims incremental support")
+	}
+	if st := (&risk.ProbabilisticLinkage{MaxRecords: 30}).Prepare(orig, masked, attrs); st != nil {
+		t.Error("sampled PRL claims incremental support")
+	}
+	if st := (&risk.RankIntervalLinkage{MaxRecords: 30}).Prepare(orig, masked, attrs); st == nil {
+		t.Error("sampled RSRL lost its incremental support")
+	}
+	if st := (&risk.IntervalDisclosure{}).Prepare(orig, masked, attrs); st == nil {
+		t.Error("ID lost its incremental support")
+	}
+}

@@ -174,6 +174,139 @@ func fetchResult(t *testing.T, base, id string) JobResult {
 	return result
 }
 
+// TestKillAndRestartHeterogeneousJob: a niched adaptive multi-island job
+// survives a server restart — per-island configs and the adaptive
+// controller state come back from the persisted spec and checkpoint, the
+// resumed job completes its full budget, and the event feed (including
+// the Island -1 epoch events the controller emits) spans both server
+// lifetimes with contiguous offsets.
+func TestKillAndRestartHeterogeneousJob(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		DataDir:         dir,
+		Workers:         1,
+		CheckpointEvery: 5,
+		Logf:            t.Logf,
+	}
+	spec := evoprot.JobSpec{
+		Dataset:      "flare",
+		Rows:         120,
+		Generations:  400,
+		Islands:      3,
+		MigrateEvery: 10,
+		Niches:       "explore-exploit",
+		Adaptive:     &evoprot.AdaptiveMigration{},
+		Seed:         23,
+	}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	status := postJob(t, ts1.URL, spec)
+	interrupted := waitFor(t, ts1.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
+		return s.Generation >= 40
+	})
+	if interrupted.State.terminal() {
+		t.Fatalf("job finished (%s) before the test could interrupt it; slow the spec down", interrupted.State)
+	}
+	ts1.Close()
+	stopCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := s1.Stop(stopCtx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	// The checkpoint on disk must advertise the heterogeneous shape.
+	st := &store{root: dir}
+	f, err := os.Open(st.checkpointPath(status.ID))
+	if err != nil {
+		t.Fatalf("no checkpoint after interruption: %v", err)
+	}
+	meta, err := evoprot.PeekCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Islands != 3 || !meta.Heterogeneous {
+		t.Fatalf("checkpoint meta %+v, want 3 heterogeneous islands", meta)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		stopCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s2.Stop(stopCtx); err != nil {
+			t.Error(err)
+		}
+	}()
+	done := waitFor(t, ts2.URL, status.ID, 120*time.Second, func(s JobStatus) bool {
+		return s.State.terminal()
+	})
+	if done.State != StateDone {
+		t.Fatalf("resumed heterogeneous job finished as %s (error %q)", done.State, done.Error)
+	}
+	// Budget arithmetic counts from the checkpoint's MinGeneration so no
+	// island ends up short; islands ahead of a mid-epoch checkpoint
+	// overshoot by at most the cross-island spread at the interruption,
+	// which one epoch bounds (the adaptive interval never exceeds
+	// MigrateEvery*4 by default).
+	maxOver := 400 + 4*spec.MigrateEvery
+	if done.Generation < 400 || done.Generation > maxOver {
+		t.Fatalf("resumed job executed %d generations, want 400..%d", done.Generation, maxOver)
+	}
+	if done.Resumes != 1 {
+		t.Fatalf("resumes = %d, want 1", done.Resumes)
+	}
+
+	// The feed spans both lifetimes contiguously; the adaptive controller's
+	// epoch events ride it alongside island traffic.
+	events := fetchEvents(t, ts2.URL, status.ID, 0)
+	maxGen, doneEvents, epochs := 0, 0, 0
+	for i, ev := range events {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d: restart broke the offset space", i, ev.Seq)
+		}
+		if ev.Epoch != nil {
+			epochs++
+			if ev.Island != -1 {
+				t.Fatalf("epoch event on island %d", ev.Island)
+			}
+			continue
+		}
+		if ev.Stats.Gen > maxGen {
+			maxGen = ev.Stats.Gen
+		}
+		if ev.Done {
+			doneEvents++
+		}
+	}
+	if maxGen != done.Generation {
+		t.Fatalf("feed reaches generation %d, status reports %d", maxGen, done.Generation)
+	}
+	if epochs == 0 {
+		t.Fatal("no adaptive epoch events survived the restart")
+	}
+	// One Done per island per lifetime the island ended in: 3 at the
+	// interruption plus 3 at completion.
+	if doneEvents != 6 {
+		t.Fatalf("feed carries %d Done events, want 6", doneEvents)
+	}
+
+	result := fetchResult(t, ts2.URL, status.ID)
+	if result.Islands != 3 || result.Best.Score <= 0 {
+		t.Fatalf("heterogeneous result malformed: %+v", result)
+	}
+}
+
 // TestRestartRecoversQueuedJobs: a job accepted but never started also
 // survives a restart — recovery re-enqueues it from scratch.
 func TestRestartRecoversQueuedJobs(t *testing.T) {

@@ -96,6 +96,7 @@ var (
 type job struct {
 	id  string
 	log *eventLog
+	agg evoprot.Aggregator // the job's shared fitness aggregation (see jobAggregator)
 
 	mu           sync.Mutex
 	status       JobStatus
@@ -103,6 +104,27 @@ type job struct {
 	clientCancel bool                    // DELETE arrived; wins over shutdown races
 	sincePers    int                     // events since the last status persist
 	logErr       error                   // first event-log append failure
+}
+
+// jobAggregator resolves the job's shared fitness aggregation — the
+// metric live best-so-far tracking judges island bests under. Islands
+// with per-island aggregator overrides emit Stats scored on their own
+// scales, so comparing raw Min values across islands would mix scales;
+// re-combining each island best's (IL, DR) pair under the job's own
+// aggregator keeps the live status consistent with the final result
+// (which islands.Runner judges the same way). The spec was validated at
+// admission; an unresolvable name cannot reach here, and the fallback
+// only guards recovery of a hand-corrupted status file.
+func jobAggregator(spec evoprot.JobSpec) evoprot.Aggregator {
+	name := spec.Aggregator
+	if name == "" {
+		name = evoprot.DefaultAggregatorName
+	}
+	agg, err := evoprot.AggregatorByName(name)
+	if err != nil {
+		return evoprot.Max{}
+	}
+	return agg
 }
 
 // clientCancelled reports whether a DELETE was received for the job.
@@ -192,7 +214,7 @@ func (s *Server) recover() error {
 			s.cfg.Logf("serve: skipping job %s: event log: %v", id, err)
 			continue
 		}
-		j := &job{id: id, log: log, status: status}
+		j := &job{id: id, log: log, agg: jobAggregator(status.Spec), status: status}
 		if status.State.terminal() {
 			log.finish()
 		} else {
@@ -473,12 +495,19 @@ func (s *Server) onEvent(j *job, ev evoprot.Event) {
 		if ev.Stats.Gen > j.status.Generation {
 			j.status.Generation = ev.Stats.Gen
 		}
-		if !ev.Done && (j.status.Best == nil || ev.Stats.Min < j.status.Best.Score) {
-			j.status.Best = &BestSummary{
-				Score:  ev.Stats.Min,
-				IL:     ev.Stats.BestIL,
-				DR:     ev.Stats.BestDR,
-				Island: ev.Island,
+		// Judge island bests under the job's shared aggregation: islands
+		// running per-island aggregators report Stats on their own scales,
+		// and for homogeneous jobs the re-combination reproduces Stats.Min
+		// bit for bit.
+		if !ev.Done {
+			score := j.agg.Combine(ev.Stats.BestIL, ev.Stats.BestDR)
+			if j.status.Best == nil || score < j.status.Best.Score {
+				j.status.Best = &BestSummary{
+					Score:  score,
+					IL:     ev.Stats.BestIL,
+					DR:     ev.Stats.BestDR,
+					Island: ev.Island,
+				}
 			}
 		}
 	}
@@ -503,11 +532,14 @@ func (s *Server) finalize(j *job, res *evoprot.RunResult, state jobState, errMsg
 			generations = snap.Generation
 		}
 		// res.Islands is empty on the finalize-from-checkpoint path; the
-		// spec still knows the run's shape.
+		// spec still knows the run's shape (a per_island spec without an
+		// explicit count runs one island per override).
 		islands := len(res.Islands)
 		if islands == 0 {
 			if islands = snap.Spec.Islands; islands < 1 {
-				islands = 1
+				if islands = len(snap.Spec.PerIsland); islands < 1 {
+					islands = 1
+				}
 			}
 		}
 		result := JobResult{
@@ -605,6 +637,7 @@ func (s *Server) submit(spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus,
 	j := &job{
 		id:  id,
 		log: log,
+		agg: jobAggregator(spec),
 		status: JobStatus{
 			ID:      id,
 			State:   StateQueued,

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"evoprot/internal/core"
+	"evoprot/internal/islands"
 )
 
 // JobSpec describes one optimization job. Exactly one dataset source must
@@ -60,6 +61,20 @@ type JobSpec struct {
 	Migrants int `json:"migrants,omitempty"`
 	// Topology is the migration topology: "ring" (default) or "broadcast".
 	Topology string `json:"topology,omitempty"`
+	// PerIsland specializes islands: entry i overrides engine knobs for
+	// island i (zero-valued fields inherit the job's shared setup). When
+	// set without Islands, the job runs one island per entry; with
+	// Islands, the lengths must match. Mutually exclusive with Niches.
+	PerIsland []IslandConfig `json:"per_island,omitempty"`
+	// Niches names a built-in heterogeneity preset spread across the
+	// islands: "explore-exploit", "selection-sweep" or "aggregator-sweep".
+	// Requires Islands >= 2 (one island would make every preset a silent
+	// no-op). Mutually exclusive with PerIsland.
+	Niches string `json:"niches,omitempty"`
+	// Adaptive, when present, enables divergence-driven adaptive migration
+	// within its bounds (zero-valued bounds select defaults derived from
+	// the schedule).
+	Adaptive *AdaptiveMigration `json:"adaptive,omitempty"`
 	// DisableDelta turns off incremental offspring evaluation — identical
 	// results, much slower; a benchmarking knob.
 	DisableDelta bool `json:"disable_delta,omitempty"`
@@ -104,7 +119,43 @@ func (s *JobSpec) Validate() error {
 		s.EarlyStop < 0 || s.MigrateEvery < 0 || s.Migrants < 0 {
 		return fmt.Errorf("evoprot: job spec counts must be non-negative")
 	}
-	return nil
+	// Heterogeneity and adaptive migration are validated by building the
+	// exact island configuration the job would run — admission rejects
+	// whatever run time would reject, before any evaluation work happens.
+	icfg, err := s.islandsConfig()
+	if err != nil {
+		return err
+	}
+	return icfg.Validate()
+}
+
+// islandsConfig mirrors the spec onto the islands.Config the job would
+// execute with, through the same resolveIslandSetup the functional
+// options use — the single source of truth for admission-time validation
+// of heterogeneous and adaptive jobs.
+func (s *JobSpec) islandsConfig() (islands.Config, error) {
+	sel, _ := core.SelectionByName(s.Selection) // validated by the caller
+	topo, _ := TopologyByName(s.Topology)
+	nIslands, perIsland, adaptive, err := resolveIslandSetup(s.Islands, s.PerIsland, s.Niches, s.Adaptive)
+	if err != nil {
+		return islands.Config{}, err
+	}
+	return islands.Config{
+		Islands:      nIslands,
+		MigrateEvery: s.MigrateEvery,
+		Migrants:     s.Migrants,
+		Topology:     topo,
+		PerIsland:    perIsland,
+		Adaptive:     adaptive,
+		Engine: core.Config{
+			Generations:         s.Generations,
+			Selection:           sel,
+			NoImprovementWindow: s.EarlyStop,
+			InitWorkers:         s.Workers,
+			DisableDelta:        s.DisableDelta,
+			LazyPrepare:         s.LazyPrepare,
+		},
+	}, nil
 }
 
 // Materialize validates the spec, loads or generates the original dataset
@@ -199,6 +250,15 @@ func (s *JobSpec) Options() ([]Option, error) {
 	}
 	if s.MigrateEvery > 0 || s.Migrants > 0 {
 		opts = append(opts, WithMigration(s.MigrateEvery, s.Migrants))
+	}
+	if len(s.PerIsland) > 0 {
+		opts = append(opts, WithPerIsland(s.PerIsland...))
+	}
+	if s.Niches != "" {
+		opts = append(opts, WithNiches(s.Niches))
+	}
+	if s.Adaptive != nil {
+		opts = append(opts, WithAdaptiveMigration(*s.Adaptive))
 	}
 	if s.DisableDelta {
 		opts = append(opts, WithoutDelta())

@@ -27,6 +27,10 @@ type (
 	// statistics tagged with the island that produced it, or an island's
 	// final Done summary with its stop reason.
 	Event = islands.Event
+	// EpochInfo describes one migration barrier of an adaptive run: the
+	// divergence observed and the effective schedule going forward. Found
+	// on Island -1 events when WithAdaptiveMigration is configured.
+	EpochInfo = islands.EpochInfo
 	// Topology selects which islands exchange individuals when migrating.
 	Topology = islands.Topology
 	// RunResult is the outcome of a Runner.Run: the best individual across
@@ -67,6 +71,9 @@ type runnerOptions struct {
 	migrateEvery    int
 	migrants        int
 	topology        Topology
+	perIsland       []IslandConfig
+	niches          string
+	adaptive        *AdaptiveMigration
 	onEvent         func(Event)
 	events          chan<- Event
 	disableDelta    bool
@@ -74,6 +81,148 @@ type runnerOptions struct {
 	checkpointPath  string
 	checkpointEvery int
 	firstSeq        uint64
+}
+
+// IslandConfig overrides engine knobs for one island of a heterogeneous
+// run. Zero-valued fields inherit the shared run configuration; set
+// fields replace it for that island only. It doubles as the JSON shape of
+// JobSpec.PerIsland, so the same overrides travel through the evoprotd
+// wire format.
+type IslandConfig struct {
+	// Selection names the island's reproduction-selection policy:
+	// "inverse-proportional", "raw-proportional", "rank" or "uniform".
+	// Note that the default policy resolves to the zero value, which the
+	// override layer reads as "inherit": an explicit
+	// "inverse-proportional" cannot override a run whose shared selection
+	// is non-default — configure the shared run with the policy most
+	// islands want and override the exceptions.
+	Selection string `json:"selection,omitempty"`
+	// Crowding names the island's crossover replacement policy:
+	// "parent-index" or "nearest-parent". As with Selection, the default
+	// "parent-index" resolves to "inherit".
+	Crowding string `json:"crowding,omitempty"`
+	// MutationRate is the island's probability of mutating rather than
+	// crossing per generation; use AllCrossover for an explicit 0.0.
+	MutationRate float64 `json:"mutation_rate,omitempty"`
+	// LeaderFraction sets the island's leader-group size as a population
+	// fraction.
+	LeaderFraction float64 `json:"leader_fraction,omitempty"`
+	// CrossoverPoints sets the island's crossover cut count (2 = the
+	// paper's scheme).
+	CrossoverPoints int `json:"crossover_points,omitempty"`
+	// Aggregator names the island's own fitness aggregation ("mean",
+	// "max", "euclidean", "weighted:<w>"), overriding the run's — niched
+	// search over the risk/information-loss trade-off.
+	Aggregator string `json:"aggregator,omitempty"`
+	// Generations overrides the island's per-Run budget.
+	Generations int `json:"generations,omitempty"`
+	// EarlyStop overrides the island's stagnation window.
+	EarlyStop int `json:"early_stop,omitempty"`
+}
+
+// toCore resolves the override's symbolic names into a core.Config
+// override for islands.Config.PerIsland.
+func (c IslandConfig) toCore() (core.Config, error) {
+	sel, err := core.SelectionByName(c.Selection)
+	if err != nil {
+		return core.Config{}, err
+	}
+	crowd, err := core.CrowdingByName(c.Crowding)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if c.Aggregator != "" {
+		if _, err := AggregatorByName(c.Aggregator); err != nil {
+			return core.Config{}, err
+		}
+	}
+	return core.Config{
+		Selection:           sel,
+		Crowding:            crowd,
+		MutationRate:        c.MutationRate,
+		LeaderFraction:      c.LeaderFraction,
+		CrossoverPoints:     c.CrossoverPoints,
+		Aggregator:          c.Aggregator,
+		Generations:         c.Generations,
+		NoImprovementWindow: c.EarlyStop,
+	}, nil
+}
+
+// AdaptiveMigration bounds the divergence-driven migration controller
+// enabled by WithAdaptiveMigration. Zero-valued fields select defaults
+// derived from the configured schedule (see islands.Adaptive). It doubles
+// as the JSON shape of JobSpec.Adaptive.
+type AdaptiveMigration struct {
+	// MinEvery and MaxEvery bound the effective migration interval;
+	// defaults max(1, every/4) and every*4.
+	MinEvery int `json:"min_every,omitempty"`
+	MaxEvery int `json:"max_every,omitempty"`
+	// MinMigrants and MaxMigrants bound the per-island exchange size;
+	// defaults 1 and migrants*4.
+	MinMigrants int `json:"min_migrants,omitempty"`
+	MaxMigrants int `json:"max_migrants,omitempty"`
+	// LowDivergence and HighDivergence are the controller's thresholds;
+	// defaults 0.02 and 0.10.
+	LowDivergence  float64 `json:"low_divergence,omitempty"`
+	HighDivergence float64 `json:"high_divergence,omitempty"`
+}
+
+// toIslands maps the bounds onto the enabled islands controller config.
+func (a AdaptiveMigration) toIslands() islands.Adaptive {
+	return islands.Adaptive{
+		Enabled:        true,
+		MinEvery:       a.MinEvery,
+		MaxEvery:       a.MaxEvery,
+		MinMigrants:    a.MinMigrants,
+		MaxMigrants:    a.MaxMigrants,
+		LowDivergence:  a.LowDivergence,
+		HighDivergence: a.HighDivergence,
+	}
+}
+
+// resolveIslandSetup is the single resolution of the heterogeneity
+// surface, shared by the functional options and the JobSpec wire format
+// so admission-time validation can never drift from run-time behavior:
+// it returns the effective island count (per-island overrides imply one
+// island each when no count is given), the resolved override configs
+// (niche preset or explicit overrides — mutually exclusive), and the
+// adaptive controller config.
+func resolveIslandSetup(nIslands int, perIsland []IslandConfig, niches string, adaptive *AdaptiveMigration) (int, []core.Config, islands.Adaptive, error) {
+	var zero islands.Adaptive
+	if niches != "" && len(perIsland) > 0 {
+		return 0, nil, zero, fmt.Errorf("evoprot: niches and per-island overrides are mutually exclusive")
+	}
+	if nIslands == 0 && len(perIsland) > 0 {
+		nIslands = len(perIsland)
+	}
+	var overrides []core.Config
+	switch {
+	case niches != "":
+		if nIslands < 2 {
+			// One implied island would make every preset a silent no-op;
+			// demand the count the niches should spread over.
+			return 0, nil, zero, fmt.Errorf("evoprot: niches %q needs an island count of at least 2 (set WithIslands / islands)", niches)
+		}
+		var err error
+		overrides, err = islands.NichesByName(niches, nIslands)
+		if err != nil {
+			return 0, nil, zero, err
+		}
+	case len(perIsland) > 0:
+		overrides = make([]core.Config, len(perIsland))
+		for i, ov := range perIsland {
+			oc, err := ov.toCore()
+			if err != nil {
+				return 0, nil, zero, fmt.Errorf("evoprot: island %d override: %w", i, err)
+			}
+			overrides[i] = oc
+		}
+	}
+	var a islands.Adaptive
+	if adaptive != nil {
+		a = adaptive.toIslands()
+	}
+	return nIslands, overrides, a, nil
 }
 
 // Option configures a Runner. Zero/omitted options select the paper's
@@ -131,6 +280,42 @@ func WithMigration(every, migrants int) Option {
 
 // WithTopology selects the migration topology (Ring default, Broadcast).
 func WithTopology(t Topology) Option { return func(o *runnerOptions) { o.topology = t } }
+
+// WithPerIsland specializes islands: override i applies to island i on
+// top of the run's shared configuration (zero-valued fields inherit), so
+// different islands can run different selection pressures, mutation
+// rates, crossover disruption or fitness aggregations. The override count
+// must equal the island count; without WithIslands it implies one island
+// per override. All-zero overrides reproduce the homogeneous run bit for
+// bit. Mutually exclusive with WithNiches.
+func WithPerIsland(overrides ...IslandConfig) Option {
+	return func(o *runnerOptions) { o.perIsland = overrides }
+}
+
+// WithNiches spreads a named heterogeneity preset across the islands:
+// "explore-exploit" (mutation rates, leader fractions, selection
+// pressures and crossover disruption from exploitative to explorative),
+// "selection-sweep", or "aggregator-sweep" (islands optimize different
+// points of the risk/information-loss trade-off). Island 0 always keeps
+// the shared configuration, and WithIslands must ask for at least 2 —
+// a single island would make every preset a silent no-op. See
+// NicheNames. Mutually exclusive with WithPerIsland.
+func WithNiches(name string) Option { return func(o *runnerOptions) { o.niches = name } }
+
+// WithAdaptiveMigration ties the migration schedule to cross-island
+// population divergence: at every barrier the coordinator measures how
+// far the islands' populations have drifted apart and widens the
+// migration interval when they have converged (less coordination) or
+// narrows it and exchanges more migrants when they strongly diverge
+// (more mixing), within am's bounds. WithMigration supplies the starting
+// schedule. Adaptive runs stay bit-reproducible from the top-level seed;
+// Island -1 events carry an EpochInfo per barrier.
+func WithAdaptiveMigration(am AdaptiveMigration) Option {
+	return func(o *runnerOptions) { o.adaptive = &am }
+}
+
+// NicheNames returns the built-in niche preset names for WithNiches.
+func NicheNames() []string { return islands.NicheNames() }
 
 // WithProgress streams every generation's statistics (and one Done event
 // per island) to fn. Calls are serialized, never concurrent.
@@ -220,7 +405,19 @@ func NewRunner(orig *Dataset, attrNames []string, options ...Option) (*Runner, e
 	if _, err := core.SelectionByName(o.selection); err != nil {
 		return nil, err
 	}
-	return &Runner{orig: orig, attrs: attrs, eval: eval, opts: o}, nil
+	r := &Runner{orig: orig, attrs: attrs, eval: eval, opts: o}
+	// Validate the whole island configuration — per-island overrides,
+	// niche preset, adaptive bounds, engine template — exactly the way the
+	// first Run would, so a bad heterogeneous setup fails here instead of
+	// after the initial population was paid for.
+	cfg, err := r.islandsConfig()
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // buildInitial materializes the initial population the options describe.
@@ -241,11 +438,17 @@ func (r *Runner) islandsConfig() (islands.Config, error) {
 	if err != nil {
 		return islands.Config{}, err
 	}
+	nIslands, perIsland, adaptive, err := resolveIslandSetup(r.opts.islands, r.opts.perIsland, r.opts.niches, r.opts.adaptive)
+	if err != nil {
+		return islands.Config{}, err
+	}
 	cfg := islands.Config{
-		Islands:      r.opts.islands,
+		Islands:      nIslands,
 		MigrateEvery: r.opts.migrateEvery,
 		Migrants:     r.opts.migrants,
 		Topology:     r.opts.topology,
+		PerIsland:    perIsland,
+		Adaptive:     adaptive,
 		Engine: core.Config{
 			Generations:         r.opts.generations,
 			Seed:                r.opts.seed,
@@ -376,7 +579,9 @@ func (r *Runner) Snapshot(w io.Writer) error {
 
 // Best returns the best individual across islands right now: the live
 // best-so-far between runs, or a resumed checkpoint's best before any
-// Run. Nil before the first Run or Resume. Only valid while no Run is in
+// Run. On heterogeneous runs the winner is judged — and its Score
+// expressed — under the run's shared aggregation (see RunResult.Best).
+// Nil before the first Run or Resume. Only valid while no Run is in
 // flight.
 func (r *Runner) Best() *Individual {
 	if r.ir == nil {
@@ -399,11 +604,25 @@ func (r *Runner) Generation() int {
 func (r *Runner) Islands() int {
 	if r.ir == nil {
 		if r.opts.islands < 1 {
+			if n := len(r.opts.perIsland); n > 0 {
+				return n
+			}
 			return 1
 		}
 		return r.opts.islands
 	}
 	return r.ir.Islands()
+}
+
+// EffectiveMigration returns the migration schedule currently in force:
+// the configured one before the first Run and on fixed-schedule runs, the
+// adaptive controller's latest decision otherwise. Only valid while no
+// Run is in flight.
+func (r *Runner) EffectiveMigration() (every, migrants int) {
+	if r.ir == nil {
+		return r.opts.migrateEvery, r.opts.migrants
+	}
+	return r.ir.EffectiveMigration()
 }
 
 // TopologyByName resolves a migration-topology name: "ring" or
