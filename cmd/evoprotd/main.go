@@ -8,6 +8,13 @@
 //
 //	evoprotd -addr :8080 -data /var/lib/evoprotd
 //	evoprotd -addr 127.0.0.1:0 -data ./run -workers 4 -checkpoint-every 50
+//	evoprotd -addr :8080 -store fs:/var/lib/evoprotd
+//	evoprotd -addr :8080 -store mem
+//
+// The -store flag selects the persistence backend: "fs:<dir>" is the
+// durable filesystem store (equivalent to -data <dir>, the default),
+// "mem" keeps everything in process memory — nothing survives the
+// process, which suits throwaway benchmarking and demo daemons.
 //
 // See cmd/evoprotd/README.md for the job spec and endpoint reference.
 package main
@@ -24,9 +31,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"evoprot/internal/serve"
+	"evoprot/internal/storage"
 )
 
 func main() {
@@ -43,6 +52,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	var (
 		addr       = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
 		dataDir    = fs.String("data", "evoprotd-data", "persistence root: specs, datasets, event logs, checkpoints")
+		storeSpec  = fs.String("store", "", `storage backend: "fs:<dir>" (durable, the default over -data) or "mem" (in-process, lost on exit)`)
 		workers    = fs.Int("workers", min(4, runtime.GOMAXPROCS(0)), "jobs evolving concurrently")
 		queueDepth = fs.Int("queue", serve.DefaultQueueDepth, "accepted jobs that may wait for a worker")
 		ckptEvery  = fs.Int("checkpoint-every", serve.DefaultCheckpointEvery, "generations between periodic checkpoints (the most a crash can lose)")
@@ -53,9 +63,30 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
+	// -store generalizes -data: "fs:<dir>" rebinds the data dir, "mem"
+	// swaps the whole persistence layer. -data keeps working unchanged.
+	var backend storage.Store
+	where := *dataDir
+	switch {
+	case *storeSpec == "":
+		// serve.New builds the filesystem store over -data.
+	case *storeSpec == "mem":
+		backend = storage.NewMem()
+		where = "in-memory (lost on exit)"
+	case strings.HasPrefix(*storeSpec, "fs:"):
+		where = strings.TrimPrefix(*storeSpec, "fs:")
+		if where == "" {
+			return fmt.Errorf(`-store fs: needs a directory, e.g. "fs:/var/lib/evoprotd"`)
+		}
+		*dataDir = where
+	default:
+		return fmt.Errorf(`unknown -store %q: want "fs:<dir>" or "mem"`, *storeSpec)
+	}
+
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	srv, err := serve.New(serve.Config{
 		DataDir:          *dataDir,
+		Store:            backend,
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
 		CheckpointEvery:  *ckptEvery,
@@ -72,7 +103,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(stdout, "evoprotd listening on %s (data: %s)\n", ln.Addr(), *dataDir)
+	fmt.Fprintf(stdout, "evoprotd listening on %s (data: %s)\n", ln.Addr(), where)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

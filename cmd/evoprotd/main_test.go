@@ -41,17 +41,26 @@ func (b *lockedBuffer) String() string {
 var listenRE = regexp.MustCompile(`listening on ([0-9.:\[\]]+)`)
 
 func TestDaemonEndToEnd(t *testing.T) {
+	daemonEndToEnd(t, []string{"-data", t.TempDir()})
+}
+
+// TestDaemonEndToEndMemStore: the same lifecycle with -store mem — the
+// whole persistence layer swapped out from the command line.
+func TestDaemonEndToEndMemStore(t *testing.T) {
+	daemonEndToEnd(t, []string{"-store", "mem"})
+}
+
+func daemonEndToEnd(t *testing.T, storeArgs []string) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	stdout := &lockedBuffer{}
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- run(ctx, []string{
+		errCh <- run(ctx, append([]string{
 			"-addr", "127.0.0.1:0",
-			"-data", t.TempDir(),
 			"-workers", "1",
 			"-checkpoint-every", "5",
-		}, stdout)
+		}, storeArgs...), stdout)
 	}()
 
 	// Find the ephemeral address in the banner.
@@ -145,5 +154,11 @@ func TestDaemonEndToEnd(t *testing.T) {
 func TestDaemonBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-store", "s3:bucket"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown -store backend accepted")
+	}
+	if err := run(context.Background(), []string{"-store", "fs:"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-store fs: with no directory accepted")
 	}
 }

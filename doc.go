@@ -117,16 +117,32 @@
 // (each event's Seq is its stable position in the feed); the terminal
 // result — trajectory, summary and the protected dataset — comes from
 // GET /v1/jobs/{id}/result, and DELETE cancels a job while keeping its
-// partial result. Jobs checkpoint into the server's data directory as
-// they evolve, so a restarted daemon resumes interrupted jobs from their
+// partial result. Jobs checkpoint into the server's store as they
+// evolve, so a restarted daemon resumes interrupted jobs from their
 // last snapshot with only their remaining generation budget: a graceful
 // shutdown loses nothing, a hard crash at most one checkpoint interval.
+//
+// Persistence, queueing and epoch execution are seams, not wiring. The
+// service reads and writes everything — specs, datasets, event feeds,
+// checkpoints, results — through a small storage interface
+// (internal/storage.Store) with two built-in backends: the filesystem
+// store (the historical data-dir layout, byte for byte, with fsync'd
+// atomic writes) and an in-memory store for tests and throwaway
+// daemons, selected by evoprotd's -store flag ("fs:<dir>" or "mem").
+// The admission queue is likewise an interface (serve.JobQueue, bounded
+// FIFO by default), and the island model's epoch rendezvous is a
+// pluggable EpochBarrier (WithEpochBarrier) whose contract guarantees
+// any conforming execution — serial, parallel, or on remote workers —
+// reproduces the identical run bit for bit. Together the three are the
+// seams a distributed deployment slots into without touching handler or
+// coordinator logic.
 //
 // The pieces compose from this package: JobSpec.Materialize /
 // JobSpec.Options bridge specs to Runner options, WithFirstEventSeq keeps
 // event offsets contiguous across restarts, PeekCheckpoint sizes a
-// resumed job's remaining budget, and Runner.Best exposes a resumed
-// checkpoint's best without running. See internal/serve for the service
+// resumed job's remaining budget, WithCheckpointSink routes checkpoint
+// bytes to any store, and Runner.Best exposes a resumed checkpoint's
+// best without running. See internal/serve for the service
 // implementation, cmd/evoprotd/README.md for the wire reference, and
 // examples/client for a complete API client.
 //

@@ -1,0 +1,54 @@
+package islands
+
+import (
+	"context"
+	"sync"
+)
+
+// EpochBarrier is the rendezvous seam between island epochs and
+// coordinator work: Run hands it the set of still-active islands plus an
+// epoch function, and the barrier brings every one of them through its
+// epoch before returning — at which point all islands are quiescent and
+// the coordinator migrates, adapts and checkpoints. The default
+// InProcessBarrier runs epochs on goroutines of this process; a network
+// barrier can instead dispatch them to remote workers and wait for their
+// epoch acknowledgements, which is the seam distributed evolution slots
+// into.
+//
+// The contract a conforming barrier must honour, because the run's
+// bit-reproducibility depends on it:
+//
+//   - run(i) is invoked exactly once per id in active, never twice and
+//     never for other ids;
+//   - every invocation has returned (or been fully applied, for a remote
+//     execution) before RunEpoch returns — the rendezvous itself;
+//   - RunEpoch establishes happens-before between the epoch work and its
+//     return, so the coordinator reads island state without races.
+//
+// Within those rules the barrier is free to sequence or distribute the
+// epochs however it likes: each island's epoch depends only on that
+// island's own state, so serial, parallel and remote execution all yield
+// bit-identical trajectories. A barrier error ends the run like a
+// cancellation: the partial result is kept and the error is returned.
+type EpochBarrier interface {
+	RunEpoch(ctx context.Context, active []int, run func(island int)) error
+}
+
+// InProcessBarrier is the default EpochBarrier: one goroutine per active
+// island and a WaitGroup rendezvous — the island model's historical
+// in-process execution, bit for bit.
+type InProcessBarrier struct{}
+
+// RunEpoch runs every active island's epoch concurrently and waits.
+func (InProcessBarrier) RunEpoch(ctx context.Context, active []int, run func(island int)) error {
+	var wg sync.WaitGroup
+	for _, i := range active {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run(i)
+		}(i)
+	}
+	wg.Wait()
+	return nil
+}

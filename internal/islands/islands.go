@@ -215,6 +215,12 @@ type Config struct {
 	// quiescent during the call, so Runner.Snapshot is safe inside it —
 	// the checkpointing hook.
 	OnEpoch func(*Runner)
+	// Barrier executes island epochs and rendezvouses them (see
+	// EpochBarrier). Nil selects InProcessBarrier — goroutines of this
+	// process, the historical behavior bit for bit. A conforming barrier
+	// never changes a run's trajectory, only where the epochs execute;
+	// it survives Snapshot/Resume by riding this Config into Resume.
+	Barrier EpochBarrier
 	// FirstSeq is the sequence number assigned to the feed's first event —
 	// the numbering origin. A service that resumes a checkpointed run and
 	// has already delivered n events passes n, so the resumed feed
@@ -248,6 +254,9 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("islands: unknown topology %v", c.Topology)
 	}
 	c.Engine.OnGeneration = nil
+	if c.Barrier == nil {
+		c.Barrier = InProcessBarrier{}
+	}
 	if len(c.PerIsland) != 0 && len(c.PerIsland) != c.Islands {
 		return c, fmt.Errorf("islands: PerIsland carries %d overrides for %d islands", len(c.PerIsland), c.Islands)
 	}
@@ -524,27 +533,24 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 			runErr = err
 			break
 		}
-		active := 0
+		active := make([]int, 0, n)
 		for i := range r.done {
 			if !r.done[i] {
-				active++
+				active = append(active, i)
 			}
 		}
-		if active == 0 {
+		if len(active) == 0 {
 			break
 		}
-		var wg sync.WaitGroup
-		for i := range r.engines {
-			if r.done[i] {
-				continue
-			}
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				r.runEpoch(ctx, i)
-			}(i)
+		// The barrier owns epoch execution: every active island goes
+		// through its epoch (in-process goroutines by default, remote
+		// workers for a distributed barrier) and is quiescent again when
+		// RunEpoch returns. A barrier failure ends the run like a
+		// cancellation — work already done is kept.
+		if err := r.cfg.Barrier.RunEpoch(ctx, active, func(i int) { r.runEpoch(ctx, i) }); err != nil {
+			runErr = err
+			break
 		}
-		wg.Wait()
 		if err := ctx.Err(); err != nil {
 			runErr = err
 			break

@@ -2,120 +2,66 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 
 	"evoprot"
 )
 
 // eventLog is one job's append-only NDJSON event feed: every
-// evoprot.Event the run emits, one JSON object per line, durable on disk
-// so the feed survives server restarts and replays from any offset. The
-// line index equals the event's Seq — the runner is started with
-// WithFirstEventSeq(count) on resume, which keeps the two in step across
-// restarts.
+// evoprot.Event the run emits, one JSON object per line, durable in the
+// store so the feed survives server restarts and replays from any
+// offset. The line index equals the event's Seq — the runner is started
+// with WithFirstEventSeq(count) on resume, which keeps the two in step
+// across restarts.
 type eventLog struct {
-	path string
+	st  *store
+	job string
 
 	mu       sync.Mutex
-	f        *os.File // append handle; nil after finish
-	count    uint64   // lines in the file
-	terminal bool     // no further appends will ever happen
-	failed   error    // first append failure; latches the log read-only
+	count    uint64 // events persisted
+	terminal bool   // no further appends will ever happen
+	failed   error  // first append failure; latches the log read-only
 	updated  chan struct{}
 }
 
-// openEventLog opens (or creates) the log at path and counts the events
+// openEventLog opens (or creates) the job's feed and counts the events
 // already persisted. A hard crash mid-append can leave a torn trailing
 // line; it is truncated away first, so the feed stays valid NDJSON and
 // the next event starts on a fresh line.
-func openEventLog(path string) (*eventLog, error) {
-	if err := truncateTornTail(path); err != nil {
-		return nil, err
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openEventLog(st *store, job string) (*eventLog, error) {
+	data, err := st.be.Get(job, eventsKey)
 	if err != nil {
-		return nil, err
+		if !isNotExist(err) {
+			return nil, err
+		}
+		// Create the empty feed eagerly so streamers of a queued job have
+		// something to tail.
+		if err := st.be.Append(job, eventsKey, nil); err != nil {
+			return nil, err
+		}
+		data = nil
 	}
-	count, err := countLines(path)
-	if err != nil {
-		f.Close()
-		return nil, err
+	// Heal a torn tail: keep everything up to the last newline.
+	keep := int64(bytes.LastIndexByte(data, '\n') + 1)
+	if keep < int64(len(data)) {
+		if err := st.be.Truncate(job, eventsKey, keep); err != nil {
+			return nil, err
+		}
+		data = data[:keep]
 	}
-	return &eventLog{path: path, f: f, count: count, updated: make(chan struct{})}, nil
+	return &eventLog{
+		st:      st,
+		job:     job,
+		count:   uint64(bytes.Count(data, []byte{'\n'})),
+		updated: make(chan struct{}),
+	}, nil
 }
 
-// truncateTornTail drops a partial trailing line (no terminating
-// newline) left by a crash mid-append. The lost event re-emerges when
-// the resumed run re-executes its generation.
-func truncateTornTail(path string) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return err
-	}
-	size := st.Size()
-	if size == 0 {
-		return nil
-	}
-	// Scan backwards in chunks for the last newline.
-	const chunk = 4096
-	buf := make([]byte, chunk)
-	end := size
-	for end > 0 {
-		start := end - chunk
-		if start < 0 {
-			start = 0
-		}
-		n := int(end - start)
-		if _, err := f.ReadAt(buf[:n], start); err != nil {
-			return err
-		}
-		for i := n - 1; i >= 0; i-- {
-			if buf[i] == '\n' {
-				keep := start + int64(i) + 1
-				if keep == size {
-					return nil // the file ends cleanly
-				}
-				return f.Truncate(keep)
-			}
-		}
-		end = start
-	}
-	return f.Truncate(0) // a single torn line and nothing else
-}
-
-func countLines(path string) (uint64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	var n uint64
-	br := bufio.NewReader(f)
-	for {
-		_, err := br.ReadString('\n')
-		if err == io.EOF {
-			return n, nil
-		}
-		if err != nil {
-			return 0, err
-		}
-		n++
-	}
-}
-
-// append persists one event as a single full-line write and wakes every
+// append persists one event as a single full-line Append and wakes every
 // waiting streamer. The first write failure latches the log: a dropped
 // event would shift every later line off its Seq — the invariant replay
 // offsets are built on — so no further appends are accepted. A restart
@@ -132,10 +78,10 @@ func (l *eventLog) append(ev evoprot.Event) error {
 	if l.failed != nil {
 		return l.failed
 	}
-	if l.f == nil {
-		return fmt.Errorf("serve: event log %s is finished", l.path)
+	if l.terminal {
+		return fmt.Errorf("serve: event log %s/%s is finished", l.job, eventsKey)
 	}
-	if _, err := l.f.Write(buf); err != nil {
+	if err := l.st.be.Append(l.job, eventsKey, buf); err != nil {
 		l.failed = err
 		return err
 	}
@@ -153,10 +99,6 @@ func (l *eventLog) finish() {
 		return
 	}
 	l.terminal = true
-	if l.f != nil {
-		l.f.Close()
-		l.f = nil
-	}
 	l.signal()
 }
 
@@ -178,16 +120,18 @@ func (l *eventLog) state() (count uint64, terminal bool, updated <-chan struct{}
 // stream delivers the feed to deliver, one raw NDJSON line (without the
 // trailing newline) per event, starting at 0-based event offset. It
 // returns once the feed is terminal and fully delivered, when deliver
-// returns an error (a gone client), or when done fires. Partially-written
+// returns an error (a gone client), or when done fires. The reader comes
+// from Store.Open, whose growth-observing contract the loop leans on:
+// after io.EOF a later read sees bytes appended since. Partially-written
 // trailing lines — a reader can observe an append mid-write — are held
 // back until their newline arrives.
 func (l *eventLog) stream(done <-chan struct{}, offset uint64, deliver func(line []byte) error) error {
-	f, err := os.Open(l.path)
+	rd, err := l.st.be.Open(l.job, eventsKey)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
+	defer rd.Close()
+	br := bufio.NewReader(rd)
 	var (
 		pending   []byte
 		delivered uint64
@@ -218,7 +162,7 @@ func (l *eventLog) stream(done <-chan struct{}, offset uint64, deliver func(line
 				}
 			}
 			// More data (or a final newline) is available; keep reading the
-			// same handle — the file only ever grows.
+			// same handle — the feed only ever grows.
 		default:
 			return err
 		}

@@ -8,69 +8,83 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
-	"os"
-	"path/filepath"
 	"testing"
 	"time"
 
 	"evoprot"
+	"evoprot/internal/storage"
 )
+
+// testStores builds one of each storage backend for a parameterized
+// test: the filesystem store over a temp dir and the in-memory store.
+func testStores(t *testing.T) map[string]storage.Store {
+	t.Helper()
+	fs, err := storage.NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]storage.Store{"fs": fs, "mem": storage.NewMem()}
+}
 
 // TestTornTailTruncated: a crash mid-append leaves a partial trailing
 // line; reopening the log must drop it so the feed stays valid NDJSON
-// and new events start on a fresh line.
+// and new events start on a fresh line. The healing is a Store.Truncate
+// over the seam, so it must hold on every backend.
 func TestTornTailTruncated(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "events.ndjson")
-	whole := `{"Seq":0,"Island":0}` + "\n" + `{"Seq":1,"Island":0}` + "\n"
-	if err := os.WriteFile(path, []byte(whole+`{"Seq":2,"Isl`), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	l, err := openEventLog(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if count, _, _ := l.state(); count != 2 {
-		t.Fatalf("count after torn tail = %d, want 2", count)
-	}
-	if err := l.append(evoprot.Event{Seq: 2, Island: 1}); err != nil {
-		t.Fatal(err)
-	}
-	l.finish()
-	var lines [][]byte
-	done := make(chan struct{})
-	close(done)
-	if err := l.stream(done, 0, func(line []byte) error {
-		lines = append(lines, append([]byte(nil), line...))
-		return nil
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if len(lines) != 3 {
-		t.Fatalf("replayed %d lines, want 3", len(lines))
-	}
-	for i, line := range lines {
-		var ev evoprot.Event
-		if err := json.Unmarshal(line, &ev); err != nil {
-			t.Fatalf("line %d is not valid JSON after crash recovery: %q", i, line)
-		}
-		if ev.Seq != uint64(i) {
-			t.Fatalf("line %d has Seq %d", i, ev.Seq)
-		}
-	}
+	for name, be := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			st := &store{be: be}
+			whole := `{"Seq":0,"Island":0}` + "\n" + `{"Seq":1,"Island":0}` + "\n"
+			if err := be.Append("job1", eventsKey, []byte(whole+`{"Seq":2,"Isl`)); err != nil {
+				t.Fatal(err)
+			}
+			l, err := openEventLog(st, "job1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count, _, _ := l.state(); count != 2 {
+				t.Fatalf("count after torn tail = %d, want 2", count)
+			}
+			if err := l.append(evoprot.Event{Seq: 2, Island: 1}); err != nil {
+				t.Fatal(err)
+			}
+			l.finish()
+			var lines [][]byte
+			done := make(chan struct{})
+			close(done)
+			if err := l.stream(done, 0, func(line []byte) error {
+				lines = append(lines, append([]byte(nil), line...))
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(lines) != 3 {
+				t.Fatalf("replayed %d lines, want 3", len(lines))
+			}
+			for i, line := range lines {
+				var ev evoprot.Event
+				if err := json.Unmarshal(line, &ev); err != nil {
+					t.Fatalf("line %d is not valid JSON after crash recovery: %q", i, line)
+				}
+				if ev.Seq != uint64(i) {
+					t.Fatalf("line %d has Seq %d", i, ev.Seq)
+				}
+			}
 
-	// An all-torn file (single partial line) truncates to empty.
-	path2 := filepath.Join(t.TempDir(), "events.ndjson")
-	if err := os.WriteFile(path2, []byte(`{"Seq":0`), 0o644); err != nil {
-		t.Fatal(err)
+			// An all-torn feed (single partial line) truncates to empty.
+			if err := be.Append("job2", eventsKey, []byte(`{"Seq":0`)); err != nil {
+				t.Fatal(err)
+			}
+			l2, err := openEventLog(st, "job2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count, _, _ := l2.state(); count != 0 {
+				t.Fatalf("count after fully-torn feed = %d, want 0", count)
+			}
+			l2.finish()
+		})
 	}
-	l2, err := openEventLog(path2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if count, _, _ := l2.state(); count != 0 {
-		t.Fatalf("count after fully-torn file = %d, want 0", count)
-	}
-	l2.finish()
 }
 
 // TestStopUnblocksEventStreamers: a live event stream attached to an

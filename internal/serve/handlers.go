@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"os"
 	"strconv"
 	"strings"
 
@@ -58,7 +57,7 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
-		"queued": s.queue.depth(),
+		"queued": s.queue.Depth(),
 	})
 }
 
@@ -214,16 +213,16 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var result JobResult
-	if err := s.st.loadJSON(s.st.resultPath(j.id), &result); err != nil {
-		if os.IsNotExist(err) {
+	if err := s.st.loadJSON(j.id, resultKey, &result); err != nil {
+		if isNotExist(err) {
 			writeError(w, http.StatusNotFound, "job %s (%s) produced no result", j.id, status.State)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "loading result: %v", err)
 		return
 	}
-	csv, err := os.ReadFile(s.st.bestCSVPath(j.id))
-	if err != nil && !os.IsNotExist(err) {
+	csv, err := s.st.be.Get(j.id, bestCSVKey)
+	if err != nil && !isNotExist(err) {
 		writeError(w, http.StatusInternalServerError, "loading protected dataset: %v", err)
 		return
 	}

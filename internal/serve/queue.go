@@ -2,11 +2,38 @@ package serve
 
 import "sync"
 
-// queue is the bounded FIFO of job ids feeding the worker pool. Pushes
-// from the submit handler respect the bound (a full queue turns into an
-// HTTP 503); recovery pushes bypass it so a restarted server never
-// strands persisted jobs behind its own admission control.
-type queue struct {
+// JobQueue is the admission seam between the HTTP layer and the worker
+// pool: submissions enter through Push under the queue's admission
+// policy, recovery re-enqueues persisted work through ForcePush, and
+// workers drain through Pop. The default NewFIFOQueue is a bounded
+// in-memory FIFO; a distributed deployment can substitute a shared queue
+// without the server noticing.
+//
+// The contract:
+//
+//   - Push admits id in arrival order, or reports false when the queue
+//     refuses it (full or closed) — the HTTP layer's 503.
+//   - ForcePush enqueues id regardless of the admission bound, so a
+//     restarted server never strands persisted jobs behind its own
+//     admission control. Force-pushed work still occupies queue
+//     capacity: while a recovered backlog keeps the queue at or over
+//     its bound, Push keeps refusing new submissions until workers
+//     drain it back under. False only after Close.
+//   - Pop blocks until an item arrives or the queue closes; ok reports
+//     whether an item was delivered. Close wins over queued items, so
+//     workers exit promptly on shutdown.
+//   - Close wakes every blocked Pop and refuses further pushes.
+//   - Depth reports how many ids are queued right now.
+type JobQueue interface {
+	Push(id string) bool
+	ForcePush(id string) bool
+	Pop() (id string, ok bool)
+	Close()
+	Depth() int
+}
+
+// fifoQueue is the default JobQueue: a bounded in-memory FIFO.
+type fifoQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []string
@@ -14,15 +41,19 @@ type queue struct {
 	closed bool
 }
 
-func newQueue(bound int) *queue {
-	q := &queue{bound: bound}
+// NewFIFOQueue builds the default bounded FIFO admitting at most bound
+// queued jobs at a time.
+func NewFIFOQueue(bound int) JobQueue {
+	q := &fifoQueue{bound: bound}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// push appends id in arrival order; it reports false when the queue is
-// full or closed.
-func (q *queue) push(id string) bool {
+// Push appends id in arrival order; it reports false when the queue is
+// full or closed. Recovered jobs enqueued by ForcePush count toward the
+// fullness check: admission control sees the true backlog, not just the
+// part of it that arrived over HTTP.
+func (q *fifoQueue) Push(id string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed || len(q.items) >= q.bound {
@@ -33,9 +64,9 @@ func (q *queue) push(id string) bool {
 	return true
 }
 
-// forcePush appends id regardless of the bound — the recovery path.
-// Still refused after close.
-func (q *queue) forcePush(id string) bool {
+// ForcePush appends id regardless of the bound — the recovery path.
+// Still refused after Close.
+func (q *fifoQueue) ForcePush(id string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -46,11 +77,11 @@ func (q *queue) forcePush(id string) bool {
 	return true
 }
 
-// pop blocks until an item arrives or the queue closes; ok reports
+// Pop blocks until an item arrives or the queue closes; ok reports
 // whether an item was delivered. Close wins over queued items: workers
 // exit promptly on shutdown and whatever remains is re-enqueued from the
 // store on the next boot.
-func (q *queue) pop() (id string, ok bool) {
+func (q *fifoQueue) Pop() (id string, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
@@ -64,16 +95,16 @@ func (q *queue) pop() (id string, ok bool) {
 	return id, true
 }
 
-// close wakes every blocked pop and refuses further pushes.
-func (q *queue) close() {
+// Close wakes every blocked Pop and refuses further pushes.
+func (q *fifoQueue) Close() {
 	q.mu.Lock()
 	q.closed = true
 	q.cond.Broadcast()
 	q.mu.Unlock()
 }
 
-// depth returns the number of queued ids.
-func (q *queue) depth() int {
+// Depth returns the number of queued ids.
+func (q *fifoQueue) Depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.items)

@@ -4,24 +4,36 @@ package serve
 // interrupted mid-run survives a server restart, resumes from its last
 // checkpoint with only its remaining budget, and — because snapshot
 // resume continues the identical stochastic trajectory — converges to
-// the same result an uninterrupted run produces.
+// the same result an uninterrupted run produces. Both restart tests run
+// against each storage backend: the same crash-and-resume semantics,
+// and the same results bit for bit, whatever the store.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"testing"
 	"time"
 
 	"evoprot"
+	"evoprot/internal/storage"
 )
 
 func TestKillAndRestartResumesFromCheckpoint(t *testing.T) {
-	dir := t.TempDir()
+	for name, be := range testStores(t) {
+		t.Run(name, func(t *testing.T) { killAndRestartResumes(t, be) })
+	}
+}
+
+func killAndRestartResumes(t *testing.T, be storage.Store) {
+	// Both server lifetimes share the backend instance: the filesystem
+	// store is stateless over its root, and the in-memory store IS the
+	// persistence, so handing the same one to the restarted server is the
+	// mem analogue of pointing a new server at the old data dir.
 	cfg := Config{
-		DataDir:         dir,
+		Store:           be,
 		Workers:         1,
 		CheckpointEvery: 5,
 		Logf:            t.Logf,
@@ -59,22 +71,21 @@ func TestKillAndRestartResumesFromCheckpoint(t *testing.T) {
 	}
 	cancel()
 
-	// The disk state must describe a resumable, non-terminal job whose
-	// checkpoint is no more than one checkpoint interval behind.
-	st := &store{root: dir}
+	// The persisted state must describe a resumable, non-terminal job
+	// whose checkpoint is no more than one checkpoint interval behind.
+	st := &store{be: be}
 	var diskStatus JobStatus
-	if err := st.loadJSON(st.statusPath(status.ID), &diskStatus); err != nil {
+	if err := st.loadJSON(status.ID, statusKey, &diskStatus); err != nil {
 		t.Fatal(err)
 	}
 	if diskStatus.State.terminal() {
 		t.Fatalf("interrupted job persisted as terminal %s", diskStatus.State)
 	}
-	f, err := os.Open(st.checkpointPath(status.ID))
+	ckpt, err := be.Get(status.ID, checkpointKey)
 	if err != nil {
 		t.Fatalf("no checkpoint after interruption: %v", err)
 	}
-	meta, err := evoprot.PeekCheckpoint(f)
-	f.Close()
+	meta, err := evoprot.PeekCheckpoint(bytes.NewReader(ckpt))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,9 +192,14 @@ func fetchResult(t *testing.T, base, id string) JobResult {
 // the Island -1 epoch events the controller emits) spans both server
 // lifetimes with contiguous offsets.
 func TestKillAndRestartHeterogeneousJob(t *testing.T) {
-	dir := t.TempDir()
+	for name, be := range testStores(t) {
+		t.Run(name, func(t *testing.T) { killAndRestartHeterogeneous(t, be) })
+	}
+}
+
+func killAndRestartHeterogeneous(t *testing.T, be storage.Store) {
 	cfg := Config{
-		DataDir:         dir,
+		Store:           be,
 		Workers:         1,
 		CheckpointEvery: 5,
 		Logf:            t.Logf,
@@ -219,14 +235,12 @@ func TestKillAndRestartHeterogeneousJob(t *testing.T) {
 	}
 	cancel()
 
-	// The checkpoint on disk must advertise the heterogeneous shape.
-	st := &store{root: dir}
-	f, err := os.Open(st.checkpointPath(status.ID))
+	// The persisted checkpoint must advertise the heterogeneous shape.
+	ckpt, err := be.Get(status.ID, checkpointKey)
 	if err != nil {
 		t.Fatalf("no checkpoint after interruption: %v", err)
 	}
-	meta, err := evoprot.PeekCheckpoint(f)
-	f.Close()
+	meta, err := evoprot.PeekCheckpoint(bytes.NewReader(ckpt))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,34 +1,40 @@
 // Package serve is the optimization job service behind cmd/evoprotd: an
 // HTTP layer over the evoprot Runner that accepts JSON job specs, runs
-// them on a bounded worker pool fed by a FIFO queue, streams every run's
-// per-generation events (replayable from any offset, as NDJSON or SSE),
-// and persists enough — spec, dataset, status, event log, checkpoints —
-// that a restarted server resumes in-flight jobs from their last
-// migration snapshot instead of losing them.
+// them on a bounded worker pool fed by a pluggable JobQueue, streams
+// every run's per-generation events (replayable from any offset, as
+// NDJSON or SSE), and persists enough — spec, dataset, status, event
+// log, checkpoints — that a restarted server resumes in-flight jobs from
+// their last migration snapshot instead of losing them.
+//
+// Persistence goes through the storage.Store seam: the filesystem store
+// by default (byte-for-byte the historical data-dir layout), an
+// in-memory store for tests and ephemeral deployments, or any other
+// conforming backend via Config.Store. No handler or worker touches the
+// filesystem directly.
 //
 // Restart semantics: stopping the server does not cancel jobs, it
 // interrupts them. The runner's final checkpoint write on interruption
 // persists the exact cancellation-point state, the job stays non-terminal
-// on disk, and the next boot re-enqueues it with its remaining generation
-// budget; a hard crash instead resumes from the last periodic checkpoint,
-// bounding the loss to one checkpoint interval. Client cancellation
-// (DELETE) is the terminal variant: the partial result is finalized and
-// kept.
+// in the store, and the next boot re-enqueues it with its remaining
+// generation budget; a hard crash instead resumes from the last periodic
+// checkpoint, bounding the loss to one checkpoint interval. Client
+// cancellation (DELETE) is the terminal variant: the partial result is
+// finalized and kept.
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"evoprot"
+	"evoprot/internal/storage"
 )
 
 // Defaults for Config's zero values.
@@ -41,12 +47,20 @@ const (
 
 // Config parameterizes a Server. Zero values select the defaults above.
 type Config struct {
-	// DataDir is the server's persistence root. Required.
+	// DataDir roots the default filesystem store. Required unless Store
+	// is set, ignored when it is.
 	DataDir string
+	// Store selects the persistence backend; nil selects the filesystem
+	// store over DataDir (the historical on-disk layout, byte for byte).
+	Store storage.Store
+	// Queue overrides the admission queue; nil selects the bounded FIFO
+	// of depth QueueDepth.
+	Queue JobQueue
 	// Workers bounds how many jobs evolve concurrently.
 	Workers int
 	// QueueDepth bounds how many accepted jobs may wait for a worker;
-	// submissions beyond it are refused with 503.
+	// submissions beyond it are refused with 503. Ignored when Queue is
+	// set — a custom queue brings its own admission policy.
 	QueueDepth int
 	// CheckpointEvery is the minimum generation distance between periodic
 	// checkpoint writes — the most work a hard crash can lose.
@@ -64,8 +78,8 @@ type Config struct {
 }
 
 func (c Config) withDefaults() (Config, error) {
-	if c.DataDir == "" {
-		return c, fmt.Errorf("serve: Config.DataDir is required")
+	if c.DataDir == "" && c.Store == nil {
+		return c, fmt.Errorf("serve: Config.DataDir or Config.Store is required")
 	}
 	if c.Workers <= 0 {
 		c.Workers = DefaultWorkers
@@ -85,8 +99,11 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// isNotExist reports whether err means the store has no such key.
+func isNotExist(err error) bool { return errors.Is(err, storage.ErrNotExist) }
+
 // Cancellation causes, distinguished through context.Cause: a shutdown
-// leaves the job resumable on disk, a client cancel finalizes it.
+// leaves the job resumable in the store, a client cancel finalizes it.
 var (
 	errShutdown  = errors.New("serve: server shutting down")
 	errCancelled = errors.New("serve: job cancelled by client")
@@ -151,7 +168,7 @@ func (j *job) snapshotStatus() JobStatus {
 type Server struct {
 	cfg   Config
 	st    *store
-	queue *queue
+	queue JobQueue
 
 	ctx      context.Context
 	shutdown context.CancelCauseFunc
@@ -167,23 +184,32 @@ type Server struct {
 	jobs map[string]*job
 }
 
-// New builds a server over cfg.DataDir and recovers every persisted job:
-// terminal jobs become queryable history, non-terminal ones are
-// re-enqueued (oldest first) to resume from their last checkpoint.
+// New builds a server over the configured store (the filesystem store at
+// cfg.DataDir by default) and recovers every persisted job: terminal
+// jobs become queryable history, non-terminal ones are re-enqueued
+// (oldest first) to resume from their last checkpoint.
 func New(cfg Config) (*Server, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	st, err := newStore(c.DataDir)
-	if err != nil {
-		return nil, err
+	be := c.Store
+	if be == nil {
+		fs, err := storage.NewFS(c.DataDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening data dir: %w", err)
+		}
+		be = fs
+	}
+	queue := c.Queue
+	if queue == nil {
+		queue = NewFIFOQueue(c.QueueDepth)
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:      c,
-		st:       st,
-		queue:    newQueue(c.QueueDepth),
+		st:       &store{be: be},
+		queue:    queue,
 		ctx:      ctx,
 		shutdown: cancel,
 		stopping: make(chan struct{}),
@@ -196,7 +222,10 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// recover loads persisted jobs and re-enqueues unfinished work.
+// recover loads persisted jobs and re-enqueues unfinished work. A job
+// whose status document is unreadable or corrupt is skipped — logged,
+// left in the store for the operator — without taking down its
+// neighbors or the boot.
 func (s *Server) recover() error {
 	ids, err := s.st.listJobIDs()
 	if err != nil {
@@ -205,11 +234,11 @@ func (s *Server) recover() error {
 	var pending []*job
 	for _, id := range ids {
 		var status JobStatus
-		if err := s.st.loadJSON(s.st.statusPath(id), &status); err != nil {
+		if err := s.st.loadJSON(id, statusKey, &status); err != nil {
 			s.cfg.Logf("serve: skipping job %s: unreadable status: %v", id, err)
 			continue
 		}
-		log, err := openEventLog(s.st.eventsPath(id))
+		log, err := openEventLog(s.st, id)
 		if err != nil {
 			s.cfg.Logf("serve: skipping job %s: event log: %v", id, err)
 			continue
@@ -225,7 +254,7 @@ func (s *Server) recover() error {
 				j.status.Resumes++
 			}
 			j.status.State = StateQueued
-			if err := s.st.saveJSON(s.st.statusPath(id), j.status); err != nil {
+			if err := s.st.saveJSON(id, statusKey, j.status); err != nil {
 				s.cfg.Logf("serve: job %s: persisting recovered status: %v", id, err)
 			}
 			pending = append(pending, j)
@@ -236,7 +265,7 @@ func (s *Server) recover() error {
 		return pending[a].status.Created.Before(pending[b].status.Created)
 	})
 	for _, j := range pending {
-		s.queue.forcePush(j.id)
+		s.queue.ForcePush(j.id)
 		s.cfg.Logf("serve: recovered job %s at generation %d", j.id, j.status.Generation)
 	}
 	return nil
@@ -250,12 +279,12 @@ func (s *Server) Start() {
 	}
 }
 
-// Stop interrupts running jobs (leaving them resumable on disk),
+// Stop interrupts running jobs (leaving them resumable in the store),
 // unblocks event streamers, stops the workers, and waits for them up to
 // ctx's deadline.
 func (s *Server) Stop(ctx context.Context) error {
 	s.stopOnce.Do(func() { close(s.stopping) })
-	s.queue.close()
+	s.queue.Close()
 	s.shutdown(errShutdown)
 	done := make(chan struct{})
 	go func() {
@@ -273,7 +302,7 @@ func (s *Server) Stop(ctx context.Context) error {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		id, ok := s.queue.pop()
+		id, ok := s.queue.Pop()
 		if !ok {
 			return
 		}
@@ -322,11 +351,11 @@ func (s *Server) claim(j *job) bool {
 	return true
 }
 
-// persistStatusLocked writes j.status to disk; callers hold j.mu.
+// persistStatusLocked writes j.status to the store; callers hold j.mu.
 func (s *Server) persistStatusLocked(j *job) {
 	count, _, _ := j.log.state()
 	j.status.Events = count
-	if err := s.st.saveJSON(s.st.statusPath(j.id), j.status); err != nil {
+	if err := s.st.saveJSON(j.id, statusKey, j.status); err != nil {
 		s.cfg.Logf("serve: job %s: persisting status: %v", j.id, err)
 	}
 }
@@ -384,7 +413,7 @@ func (s *Server) executeJob(ctx context.Context, j *job) (*evoprot.RunResult, er
 	spec := j.status.Spec
 	j.mu.Unlock()
 
-	orig, err := evoprot.LoadCSV(s.st.datasetPath(j.id))
+	orig, err := s.st.loadCSV(j.id, datasetFileName)
 	if err != nil {
 		return nil, fmt.Errorf("loading original dataset: %w", err)
 	}
@@ -393,15 +422,13 @@ func (s *Server) executeJob(ctx context.Context, j *job) (*evoprot.RunResult, er
 		return nil, err
 	}
 
-	ckptPath := s.st.checkpointPath(j.id)
+	ckpt, err := s.st.be.Get(j.id, checkpointKey)
+	if err != nil && !isNotExist(err) {
+		return nil, fmt.Errorf("reading checkpoint: %w", err)
+	}
 	resumeFrom := 0
-	if _, err := os.Stat(ckptPath); err == nil {
-		f, err := os.Open(ckptPath)
-		if err != nil {
-			return nil, fmt.Errorf("opening checkpoint: %w", err)
-		}
-		meta, err := evoprot.PeekCheckpoint(f)
-		f.Close()
+	if err == nil {
+		meta, err := evoprot.PeekCheckpoint(bytes.NewReader(ckpt))
 		if err != nil {
 			return nil, fmt.Errorf("reading checkpoint: %w", err)
 		}
@@ -422,7 +449,11 @@ func (s *Server) executeJob(ctx context.Context, j *job) (*evoprot.RunResult, er
 
 	count, _, _ := j.log.state()
 	opts = append(opts,
-		evoprot.WithCheckpoint(ckptPath, s.cfg.CheckpointEvery),
+		// Checkpoints route through the store, not a private file path —
+		// Put's atomicity and durability replace the facade's tmp+rename.
+		evoprot.WithCheckpointSink(func(snapshot []byte) error {
+			return s.st.be.Put(j.id, checkpointKey, snapshot)
+		}, s.cfg.CheckpointEvery),
 		evoprot.WithFirstEventSeq(count),
 		evoprot.WithProgress(func(ev evoprot.Event) { s.onEvent(j, ev) }),
 	)
@@ -439,13 +470,7 @@ func (s *Server) executeJob(ctx context.Context, j *job) (*evoprot.RunResult, er
 		return nil, err
 	}
 	if resumeFrom > 0 {
-		f, err := os.Open(ckptPath)
-		if err != nil {
-			return nil, fmt.Errorf("opening checkpoint: %w", err)
-		}
-		err = runner.Resume(f)
-		f.Close()
-		if err != nil {
+		if err := runner.Resume(bytes.NewReader(ckpt)); err != nil {
 			return nil, fmt.Errorf("resuming checkpoint: %w", err)
 		}
 		s.cfg.Logf("serve: job %s resuming at generation %d (%d remaining)", j.id, resumeFrom, remaining)
@@ -562,10 +587,10 @@ func (s *Server) finalize(j *job, res *evoprot.RunResult, state jobState, errMsg
 		if len(res.Islands) > 0 {
 			result.History = res.Islands[res.BestIsland].History
 		}
-		if err := s.st.saveJSON(s.st.resultPath(j.id), result); err != nil {
+		if err := s.st.saveJSON(j.id, resultKey, result); err != nil {
 			s.cfg.Logf("serve: job %s: persisting result: %v", j.id, err)
 		}
-		if err := evoprot.SaveCSV(res.Best.Data, s.st.bestCSVPath(j.id)); err != nil {
+		if err := s.st.saveCSV(j.id, bestCSVKey, res.Best.Data); err != nil {
 			s.cfg.Logf("serve: job %s: persisting best dataset: %v", j.id, err)
 		}
 	}
@@ -599,6 +624,20 @@ func (s *Server) finalize(j *job, res *evoprot.RunResult, state jobState, errMsg
 	s.cfg.Logf("serve: job %s %s (stop: %s)", j.id, state, stop)
 }
 
+// specDatasetPath is the DatasetPath recorded in a persisted spec whose
+// dataset was materialized into the store at admission. On path-backed
+// stores it is the dataset's real absolute path — the historical format,
+// valid for clients that round-trip the spec. Stores without paths get a
+// synthetic "mem:<job>/dataset.csv" marker: execution always reloads the
+// dataset from the store by key, so the marker only has to keep the spec
+// a valid one-source spec, never to resolve.
+func (s *Server) specDatasetPath(id string) string {
+	if p, ok := s.st.be.(storage.Pather); ok {
+		return p.Path(id, datasetFileName)
+	}
+	return "mem:" + id + "/" + datasetFileName
+}
+
 // submit persists and enqueues a validated spec whose dataset has already
 // been materialized; it returns the new job's status snapshot.
 func (s *Server) submit(spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus, error) {
@@ -606,30 +645,25 @@ func (s *Server) submit(spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus,
 	if err != nil {
 		return JobStatus{}, err
 	}
-	dir := s.st.jobDir(id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return JobStatus{}, err
+	cleanup := func() {
+		if err := s.st.be.Delete(id); err != nil {
+			s.cfg.Logf("serve: job %s: cleaning up refused submission: %v", id, err)
+		}
 	}
-	cleanup := func() { os.RemoveAll(dir) }
 	// The dataset is persisted once at admission and runs/resumes always
-	// reload that file, so an inline upload need not travel in the spec.
-	// The persisted spec points at the file instead — absolute, so it
+	// reload it from the store, so an inline upload need not travel in the
+	// spec. The persisted spec points at the stored dataset instead, so it
 	// stays a valid one-source spec for the execution-time Options()
 	// bridge and names the true dataset even if a client round-trips it.
 	if spec.DatasetCSV != "" || spec.DatasetPath != "" {
-		abs, err := filepath.Abs(s.st.datasetPath(id))
-		if err != nil {
-			cleanup()
-			return JobStatus{}, err
-		}
 		spec.DatasetCSV = ""
-		spec.DatasetPath = abs
+		spec.DatasetPath = s.specDatasetPath(id)
 	}
-	if err := evoprot.SaveCSV(orig, s.st.datasetPath(id)); err != nil {
+	if err := s.st.saveCSV(id, datasetFileName, orig); err != nil {
 		cleanup()
 		return JobStatus{}, err
 	}
-	log, err := openEventLog(s.st.eventsPath(id))
+	log, err := openEventLog(s.st, id)
 	if err != nil {
 		cleanup()
 		return JobStatus{}, err
@@ -645,7 +679,7 @@ func (s *Server) submit(spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus,
 			Created: time.Now().UTC(),
 		},
 	}
-	if err := s.st.saveJSON(s.st.statusPath(id), j.status); err != nil {
+	if err := s.st.saveJSON(id, statusKey, j.status); err != nil {
 		log.finish()
 		cleanup()
 		return JobStatus{}, err
@@ -653,7 +687,7 @@ func (s *Server) submit(spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus,
 	s.mu.Lock()
 	s.jobs[id] = j
 	s.mu.Unlock()
-	if !s.queue.push(id) {
+	if !s.queue.Push(id) {
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
@@ -661,7 +695,7 @@ func (s *Server) submit(spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus,
 		cleanup()
 		return JobStatus{}, errQueueFull
 	}
-	s.cfg.Logf("serve: job %s accepted (queue depth %d)", id, s.queue.depth())
+	s.cfg.Logf("serve: job %s accepted (queue depth %d)", id, s.queue.Depth())
 	return j.snapshotStatus(), nil
 }
 

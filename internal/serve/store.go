@@ -1,27 +1,39 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
-	"fmt"
-	"os"
-	"path/filepath"
 	"time"
 
 	"evoprot"
+	"evoprot/internal/storage"
 )
 
-// The on-disk layout, one directory per job under <DataDir>/jobs/<id>/:
+// The persisted layout, one keyspace per job (a directory under
+// <root>/jobs/<id>/ on the filesystem store):
 //
 //	dataset.csv     the materialized original dataset
 //	status.json     the last persisted JobStatus (embeds the normalized spec)
 //	events.ndjson   the append-only event feed
-//	job.ckpt        the runner checkpoint (atomic tmp+rename writes)
+//	job.ckpt        the runner checkpoint (atomic Put writes)
 //	result.json     the JobResult, written when the job reaches a terminal state
 //	best.csv        the best protected dataset found
 //
-// status.json is written with the same tmp+rename discipline as
-// checkpoints, so a crash can leave a stale status but never a torn one;
-// recovery treats anything non-terminal as resumable work.
+// status.json is written through Store.Put — atomic and durable — so a
+// crash can leave a stale status but never a torn one; recovery treats
+// anything non-terminal as resumable work.
+
+// The per-job keys. datasetFileName doubles as the file name normalized
+// specs of CSV-sourced jobs carry in their DatasetPath on path-backed
+// stores.
+const (
+	datasetFileName = "dataset.csv"
+	statusKey       = "status.json"
+	eventsKey       = "events.ndjson"
+	checkpointKey   = "job.ckpt"
+	resultKey       = "result.json"
+	bestCSVKey      = "best.csv"
+)
 
 // jobState is a job's lifecycle state.
 type jobState string
@@ -106,75 +118,55 @@ type JobResult struct {
 	DatasetCSV string `json:"dataset_csv,omitempty"`
 }
 
-// store resolves the on-disk layout and persists JSON documents
-// atomically.
-type store struct{ root string }
+// store adapts the pluggable storage backend to the service's document
+// shapes: indented JSON for status/result, CSV for datasets. Every
+// persistence touch of the server goes through it (or through eventLog,
+// which shares the same backend) — no handler or worker opens files
+// directly, which is what lets a -store flag swap the whole persistence
+// layer.
+type store struct{ be storage.Store }
 
-func newStore(root string) (*store, error) {
-	st := &store{root: root}
-	if err := os.MkdirAll(st.jobsDir(), 0o755); err != nil {
-		return nil, fmt.Errorf("serve: creating data dir: %w", err)
-	}
-	return st, nil
-}
-
-// datasetFileName is the persisted original dataset; normalized specs of
-// CSV-sourced jobs carry it as their DatasetPath.
-const datasetFileName = "dataset.csv"
-
-func (st *store) jobsDir() string         { return filepath.Join(st.root, "jobs") }
-func (st *store) jobDir(id string) string { return filepath.Join(st.jobsDir(), id) }
-func (st *store) datasetPath(id string) string {
-	return filepath.Join(st.jobDir(id), datasetFileName)
-}
-func (st *store) statusPath(id string) string { return filepath.Join(st.jobDir(id), "status.json") }
-func (st *store) eventsPath(id string) string { return filepath.Join(st.jobDir(id), "events.ndjson") }
-func (st *store) checkpointPath(id string) string {
-	return filepath.Join(st.jobDir(id), "job.ckpt")
-}
-func (st *store) resultPath(id string) string  { return filepath.Join(st.jobDir(id), "result.json") }
-func (st *store) bestCSVPath(id string) string { return filepath.Join(st.jobDir(id), "best.csv") }
-
-// saveJSON writes v to path atomically: tmp file, clean close, rename.
-func (st *store) saveJSON(path string, v any) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
+// saveJSON persists v as indented JSON under the job's key, atomically
+// and durably (Store.Put's contract). The indentation matches the
+// historical on-disk format byte for byte.
+func (st *store) saveJSON(job, key string, v any) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		f.Close()
-		os.Remove(tmp)
 		return err
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return st.be.Put(job, key, buf.Bytes())
 }
 
-func (st *store) loadJSON(path string, v any) error {
-	buf, err := os.ReadFile(path)
+// loadJSON reads the job's key and unmarshals it into v. Errors pass
+// through untouched, so errors.Is(err, storage.ErrNotExist) keeps
+// working.
+func (st *store) loadJSON(job, key string, v any) error {
+	data, err := st.be.Get(job, key)
 	if err != nil {
 		return err
 	}
-	return json.Unmarshal(buf, v)
+	return json.Unmarshal(data, v)
 }
 
-// listJobIDs returns every persisted job id, in no particular order.
-func (st *store) listJobIDs() ([]string, error) {
-	entries, err := os.ReadDir(st.jobsDir())
+// saveCSV persists a dataset in CSV form under the job's key.
+func (st *store) saveCSV(job, key string, d *evoprot.Dataset) error {
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		return err
+	}
+	return st.be.Put(job, key, buf.Bytes())
+}
+
+// loadCSV reads a dataset persisted by saveCSV.
+func (st *store) loadCSV(job, key string) (*evoprot.Dataset, error) {
+	data, err := st.be.Get(job, key)
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]string, 0, len(entries))
-	for _, e := range entries {
-		if e.IsDir() {
-			ids = append(ids, e.Name())
-		}
-	}
-	return ids, nil
+	return evoprot.ReadCSV(bytes.NewReader(data))
 }
+
+// listJobIDs returns every persisted job id, sorted.
+func (st *store) listJobIDs() ([]string, error) { return st.be.List() }

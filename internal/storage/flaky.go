@@ -1,0 +1,77 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Flaky wraps a Store with deterministic fault injection: writes to
+// matching keys start failing after a configured count, and reads of
+// matching keys can come back torn (truncated mid-value). It exists for
+// tests proving the service degrades the way its contract promises —
+// checkpoint write failures surface as ErrCheckpoint, corrupt documents
+// are skipped during recovery without taking down neighboring jobs — and
+// for any other consumer that wants to rehearse storage failure.
+type Flaky struct {
+	// Store is the wrapped real store.
+	Store
+	// Key restricts the injected faults to keys containing this
+	// substring; empty matches every key.
+	Key string
+	// FailWritesAfter makes the Nth and every later matching Put or
+	// Append fail (1 fails them all); 0 disables write faults.
+	FailWritesAfter int
+	// TornReads makes Get of matching keys return only the first half of
+	// the value — a torn read — with a nil error.
+	TornReads bool
+
+	mu     sync.Mutex
+	writes int
+}
+
+// ErrInjected is the failure injected writes return, wrapped with the
+// job and key.
+var ErrInjected = fmt.Errorf("storage: injected write failure")
+
+func (f *Flaky) match(key string) bool {
+	return f.Key == "" || strings.Contains(key, f.Key)
+}
+
+// failWrite counts a matching write attempt and reports whether it must
+// fail.
+func (f *Flaky) failWrite(key string) bool {
+	if f.FailWritesAfter <= 0 || !f.match(key) {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	return f.writes >= f.FailWritesAfter
+}
+
+// Put fails matching writes past the threshold, else delegates.
+func (f *Flaky) Put(job, key string, data []byte) error {
+	if f.failWrite(key) {
+		return fmt.Errorf("%w: put %s/%s", ErrInjected, job, key)
+	}
+	return f.Store.Put(job, key, data)
+}
+
+// Append fails matching writes past the threshold, else delegates.
+func (f *Flaky) Append(job, key string, data []byte) error {
+	if f.failWrite(key) {
+		return fmt.Errorf("%w: append %s/%s", ErrInjected, job, key)
+	}
+	return f.Store.Append(job, key, data)
+}
+
+// Get returns a torn (half-length) value for matching keys when
+// TornReads is set, else delegates.
+func (f *Flaky) Get(job, key string) ([]byte, error) {
+	data, err := f.Store.Get(job, key)
+	if err == nil && f.TornReads && f.match(key) {
+		return data[:len(data)/2], nil
+	}
+	return data, err
+}

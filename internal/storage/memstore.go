@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Mem is the in-memory Store: ephemeral by nature, but honouring the
+// full contract — including tailing Opens that observe growth — so tests
+// and throwaway runs exercise exactly the code paths the filesystem
+// store does. A Mem value survives as long as the process holds it:
+// restarting a server over the same Mem reproduces the recovery path
+// without touching a disk.
+type Mem struct {
+	mu   sync.RWMutex
+	jobs map[string]map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{jobs: make(map[string]map[string][]byte)}
+}
+
+func (st *Mem) keyspace(job string) map[string][]byte {
+	ks := st.jobs[job]
+	if ks == nil {
+		ks = make(map[string][]byte)
+		st.jobs[job] = ks
+	}
+	return ks
+}
+
+// Put replaces the key's value with a copy of data.
+func (st *Mem) Put(job, key string, data []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.keyspace(job)[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get returns a copy of the key's value.
+func (st *Mem) Get(job, key string) ([]byte, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	data, ok := st.jobs[job][key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotExist, job, key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Append grows the key's value, creating it (even empty) as needed.
+func (st *Mem) Append(job, key string, data []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ks := st.keyspace(job)
+	if _, ok := ks[key]; !ok {
+		ks[key] = []byte{}
+	}
+	ks[key] = append(ks[key], data...)
+	return nil
+}
+
+// Open returns a reader whose position survives appends: reading at the
+// end yields io.EOF, and a later Read picks up bytes appended since.
+func (st *Mem) Open(job, key string) (io.ReadCloser, error) {
+	st.mu.RLock()
+	_, ok := st.jobs[job][key]
+	st.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotExist, job, key)
+	}
+	return &memReader{st: st, job: job, key: key}, nil
+}
+
+// memReader reads a Mem key at a remembered offset, re-consulting the
+// live value on every Read — the growth-observing contract.
+type memReader struct {
+	st     *Mem
+	job    string
+	key    string
+	off    int64
+	closed bool
+}
+
+func (r *memReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, fmt.Errorf("storage: read on closed reader %s/%s", r.job, r.key)
+	}
+	r.st.mu.RLock()
+	data, ok := r.st.jobs[r.job][r.key]
+	if !ok {
+		r.st.mu.RUnlock()
+		return 0, fmt.Errorf("%w: %s/%s", ErrNotExist, r.job, r.key)
+	}
+	if r.off >= int64(len(data)) {
+		r.st.mu.RUnlock()
+		return 0, io.EOF
+	}
+	n := copy(p, data[r.off:])
+	r.st.mu.RUnlock()
+	r.off += int64(n)
+	return n, nil
+}
+
+func (r *memReader) Close() error {
+	r.closed = true
+	return nil
+}
+
+// Truncate shrinks the key's value to size bytes.
+func (st *Mem) Truncate(job, key string, size int64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	data, ok := st.jobs[job][key]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotExist, job, key)
+	}
+	if size < int64(len(data)) {
+		st.jobs[job][key] = data[:size]
+	}
+	return nil
+}
+
+// List returns the job ids, sorted.
+func (st *Mem) List() ([]string, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	jobs := make([]string, 0, len(st.jobs))
+	for job := range st.jobs {
+		jobs = append(jobs, job)
+	}
+	sort.Strings(jobs)
+	return jobs, nil
+}
+
+// Delete drops the job's whole keyspace.
+func (st *Mem) Delete(job string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.jobs, job)
+	return nil
+}

@@ -1,0 +1,73 @@
+// Package storage is the job service's persistence seam: a Store holds
+// one keyspace per job and a handful of small documents (status, result),
+// datasets, append-only event logs and checkpoints under it. The
+// interface is deliberately narrow — atomic whole-value writes, durable
+// appends, tailing reads — so the filesystem layout the service has used
+// since it shipped (FS) and an ephemeral in-memory table (Mem) satisfy it
+// today, and an object store or SQL table can satisfy it tomorrow without
+// the service changing. Everything above this package addresses state as
+// (job, key) pairs and never touches os or path/filepath directly.
+//
+// The contract every implementation must honour:
+//
+//   - Put replaces a key's whole value atomically and durably: a crash
+//     during Put leaves either the old value or the new one, never a torn
+//     mix, and a Put that returned success survives a power loss.
+//   - Append is append-only and creates the key; a crash may tear the
+//     final append (the reader heals it), but never earlier ones.
+//   - Open returns a reader that observes growth: reading at the current
+//     end yields io.EOF, and a later Read on the same reader returns
+//     bytes appended in between — the tail-a-live-log primitive.
+//   - Get and Open report a missing key (or job) with an error that
+//     errors.Is-matches ErrNotExist.
+//   - Keys within one job are independent; Delete removes a job's whole
+//     keyspace at once.
+package storage
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrNotExist is the sentinel for a missing job or key; implementations
+// wrap it (or an error matching it) from Get, Open and Truncate. Test
+// with errors.Is.
+var ErrNotExist = errors.New("storage: key does not exist")
+
+// Store persists job-scoped state. Implementations must be safe for
+// concurrent use; writes to the same (job, key) are serialized by the
+// caller (the service owns one writer per key), but reads — including
+// tailing Opens — race writes freely.
+type Store interface {
+	// Put atomically and durably replaces key's value in job's keyspace,
+	// creating the job and key as needed.
+	Put(job, key string, data []byte) error
+	// Get returns key's whole value (a copy the caller may keep);
+	// ErrNotExist when the job or key is absent.
+	Get(job, key string) ([]byte, error)
+	// Append durably appends data to key, creating the job and key as
+	// needed. An empty data creates the key without growing it.
+	Append(job, key string, data []byte) error
+	// Open returns a reader over key's value that observes later growth:
+	// a Read at the end returns io.EOF, and re-reading after an Append
+	// yields the appended bytes. The caller closes it.
+	Open(job, key string) (io.ReadCloser, error)
+	// Truncate shrinks key's value to size bytes — the torn-append
+	// healing primitive. Growing a key through Truncate is not supported.
+	Truncate(job, key string, size int64) error
+	// List returns every job id with a keyspace, sorted ascending.
+	List() ([]string, error)
+	// Delete removes job's entire keyspace; deleting an absent job is a
+	// no-op.
+	Delete(job string) error
+}
+
+// Pather is optionally implemented by stores whose keys are real
+// filesystem paths (FS). Services use it to record true, stable paths in
+// persisted documents — e.g. the dataset path a normalized job spec
+// names — and fall back to an opaque scheme-prefixed name otherwise.
+type Pather interface {
+	// Path returns the absolute filesystem path backing (job, key). The
+	// file need not exist yet.
+	Path(job, key string) string
+}

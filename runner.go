@@ -8,6 +8,7 @@ package evoprot
 // Optimize entry point survives as a thin deprecated wrapper.
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -36,6 +37,12 @@ type (
 	// RunResult is the outcome of a Runner.Run: the best individual across
 	// islands plus every island's own Result.
 	RunResult = islands.Result
+	// EpochBarrier executes island epochs and rendezvouses them between
+	// migrations — the pluggable seam WithEpochBarrier installs. The
+	// default runs epochs on in-process goroutines; a distributed runner
+	// substitutes a barrier that dispatches them to remote workers. A
+	// conforming barrier never changes a run's trajectory.
+	EpochBarrier = islands.EpochBarrier
 	// StopReason records why a run ended.
 	StopReason = core.StopReason
 )
@@ -79,8 +86,10 @@ type runnerOptions struct {
 	disableDelta    bool
 	lazyPrepare     bool
 	checkpointPath  string
+	checkpointSink  func(snapshot []byte) error
 	checkpointEvery int
 	firstSeq        uint64
+	barrier         islands.EpochBarrier
 }
 
 // IslandConfig overrides engine knobs for one island of a heterogeneous
@@ -343,6 +352,26 @@ func WithCheckpoint(path string, every int) Option {
 	return func(o *runnerOptions) { o.checkpointPath, o.checkpointEvery = path, every }
 }
 
+// WithCheckpointSink is WithCheckpoint for runs whose checkpoints do not
+// live on a private filesystem path: every checkpoint the run would have
+// written to a file is instead serialized and handed to write, which owns
+// atomicity and durability (a storage.Store's Put, an object-store
+// upload, ...). The cadence contract matches WithCheckpoint: a write at
+// every migration barrier once `every` generations have passed since the
+// last one, plus a final write when the run ends. Overrides WithCheckpoint.
+func WithCheckpointSink(write func(snapshot []byte) error, every int) Option {
+	return func(o *runnerOptions) { o.checkpointSink, o.checkpointEvery = write, every }
+}
+
+// WithEpochBarrier substitutes the rendezvous that executes island epochs
+// between migrations (in-process goroutines by default). The barrier
+// decides where epochs run — this process, a worker pool, remote machines
+// — but never their outcome: any conforming barrier reproduces the
+// identical run bit for bit. See islands.EpochBarrier for the contract.
+func WithEpochBarrier(b EpochBarrier) Option {
+	return func(o *runnerOptions) { o.barrier = b }
+}
+
 // WithFirstEventSeq sets the sequence number of the run's first event —
 // the numbering origin of the Event feed. A service that resumes a
 // checkpointed run and has already delivered n events passes n, so the
@@ -461,8 +490,9 @@ func (r *Runner) islandsConfig() (islands.Config, error) {
 		OnEvent:  r.opts.onEvent,
 		Events:   r.opts.events,
 		FirstSeq: r.opts.firstSeq,
+		Barrier:  r.opts.barrier,
 	}
-	if r.opts.checkpointPath != "" {
+	if write := r.checkpointWriter(); write != nil {
 		every := r.opts.checkpointEvery
 		if every < 1 {
 			every = 1
@@ -473,8 +503,8 @@ func (r *Runner) islandsConfig() (islands.Config, error) {
 				// A mid-run checkpoint failure must not kill the run: it is
 				// surfaced live on the event feed, remembered for the final
 				// error join, and superseded by any later successful write
-				// (which makes the on-disk state fresh again).
-				if err := writeRunnerCheckpoint(ir, r.opts.checkpointPath); err != nil {
+				// (which makes the persisted state fresh again).
+				if err := write(ir); err != nil {
 					r.ckptErr = err
 					ir.Emit(islands.Event{Island: -1, Err: err.Error()})
 				} else {
@@ -484,6 +514,25 @@ func (r *Runner) islandsConfig() (islands.Config, error) {
 		}
 	}
 	return cfg, nil
+}
+
+// checkpointWriter resolves the configured checkpoint destination into a
+// writer over the islands runner: the byte sink when WithCheckpointSink
+// is set, the atomic path writer for WithCheckpoint, nil when neither.
+func (r *Runner) checkpointWriter() func(*islands.Runner) error {
+	if sink := r.opts.checkpointSink; sink != nil {
+		return func(ir *islands.Runner) error {
+			var buf bytes.Buffer
+			if err := ir.Snapshot(&buf); err != nil {
+				return err
+			}
+			return sink(buf.Bytes())
+		}
+	}
+	if path := r.opts.checkpointPath; path != "" {
+		return func(ir *islands.Runner) error { return writeRunnerCheckpoint(ir, path) }
+	}
+	return nil
 }
 
 // Run executes the optimization under ctx. Cancellation and deadlines are
@@ -512,10 +561,10 @@ func (r *Runner) Run(ctx context.Context) (*RunResult, error) {
 	// (which rebuilds the islands runner from this Runner's options) can
 	// never send on it again.
 	r.opts.events = nil
-	if res != nil && r.opts.checkpointPath != "" {
+	if write := r.checkpointWriter(); res != nil && write != nil {
 		// Persist the final state — best-so-far on interruption included —
 		// without letting a write failure vanish behind a cancellation.
-		if werr := r.WriteCheckpoint(r.opts.checkpointPath); werr != nil {
+		if werr := write(r.ir); werr != nil {
 			werr = fmt.Errorf("%w: %v", ErrCheckpoint, werr)
 			if err == nil {
 				err = werr
@@ -673,6 +722,13 @@ func writeRunnerCheckpoint(ir *islands.Runner, path string) error {
 		return err
 	}
 	if err := ir.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// fsync before the rename: a checkpoint that exists under its final
+	// name must survive power loss, not just process death.
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
