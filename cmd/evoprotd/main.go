@@ -16,7 +16,18 @@
 // "mem" keeps everything in process memory — nothing survives the
 // process, which suits throwaway benchmarking and demo daemons.
 //
-// See cmd/evoprotd/README.md for the job spec and endpoint reference.
+// The -role flag scales the service out horizontally:
+//
+//	evoprotd -role coordinator -addr :8080 -data /var/lib/evoprotd
+//	evoprotd -role worker -coordinator http://head:8080 -workers 4
+//
+// A coordinator owns admission, persistence and the public API but runs
+// no jobs itself; stateless workers lease queued jobs from it over HTTP
+// and persist through it. The default role, standalone, is the
+// single-process service above, byte-compatible with earlier releases.
+//
+// See cmd/evoprotd/README.md for the job spec, endpoint reference and
+// cluster topology.
 package main
 
 import (
@@ -34,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	"evoprot/internal/cluster"
 	"evoprot/internal/serve"
 	"evoprot/internal/storage"
 )
@@ -53,11 +65,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		addr       = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
 		dataDir    = fs.String("data", "evoprotd-data", "persistence root: specs, datasets, event logs, checkpoints")
 		storeSpec  = fs.String("store", "", `storage backend: "fs:<dir>" (durable, the default over -data) or "mem" (in-process, lost on exit)`)
-		workers    = fs.Int("workers", min(4, runtime.GOMAXPROCS(0)), "jobs evolving concurrently")
+		workers    = fs.Int("workers", min(4, runtime.GOMAXPROCS(0)), "jobs evolving concurrently (per process)")
 		queueDepth = fs.Int("queue", serve.DefaultQueueDepth, "accepted jobs that may wait for a worker")
 		ckptEvery  = fs.Int("checkpoint-every", serve.DefaultCheckpointEvery, "generations between periodic checkpoints (the most a crash can lose)")
 		allowPaths = fs.Bool("allow-dataset-paths", false, "let job specs name server-side CSV paths")
 		drain      = fs.Duration("drain", 30*time.Second, "shutdown grace for interrupting jobs and draining requests")
+		role       = fs.String("role", "standalone", `process role: "standalone" (serve and run jobs), "coordinator" (serve and lease jobs out) or "worker" (lease and run jobs)`)
+		coordURL   = fs.String("coordinator", "", "coordinator base URL, e.g. http://head:8080 (required with -role worker)")
+		leaseTTL   = fs.Duration("lease-ttl", cluster.DefaultLeaseTTL, "how long a worker lease survives missed heartbeats before its job is re-queued (coordinator)")
+		name       = fs.String("name", "", "worker name in leases and logs (worker; defaults to the hostname)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +85,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	where := *dataDir
 	switch {
 	case *storeSpec == "":
-		// serve.New builds the filesystem store over -data.
+		// serve.New builds the filesystem store over -data (the
+		// coordinator builds it below, since it must hold the handle).
 	case *storeSpec == "mem":
 		backend = storage.NewMem()
 		where = "in-memory (lost on exit)"
@@ -84,7 +101,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
-	srv, err := serve.New(serve.Config{
+	serveCfg := serve.Config{
 		DataDir:          *dataDir,
 		Store:            backend,
 		Workers:          *workers,
@@ -92,18 +109,84 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		CheckpointEvery:  *ckptEvery,
 		AllowDatasetPath: *allowPaths,
 		Logf:             logger.Printf,
-	})
-	if err != nil {
-		return err
 	}
-	srv.Start()
 
-	ln, err := net.Listen("tcp", *addr)
+	switch *role {
+	case "standalone":
+		if *coordURL != "" {
+			return fmt.Errorf("-coordinator only applies to -role worker")
+		}
+		srv, err := serve.New(serveCfg)
+		if err != nil {
+			return err
+		}
+		srv.Start()
+		banner := fmt.Sprintf("evoprotd listening on %%s (data: %s)", where)
+		return serveAndDrain(ctx, stdout, logger, *addr, banner, srv.Handler(), *drain, srv.Stop)
+
+	case "coordinator":
+		if *coordURL != "" {
+			return fmt.Errorf("-coordinator only applies to -role worker")
+		}
+		// The coordinator hands its store to remote workers, so it must
+		// hold the backend handle itself rather than let serve build one.
+		if serveCfg.Store == nil {
+			fsStore, err := storage.NewFS(*dataDir)
+			if err != nil {
+				return err
+			}
+			serveCfg.Store = fsStore
+		}
+		coord, err := cluster.NewCoordinator(cluster.Config{Serve: serveCfg, LeaseTTL: *leaseTTL})
+		if err != nil {
+			return err
+		}
+		coord.Start()
+		banner := fmt.Sprintf("evoprotd coordinator listening on %%s (data: %s)", where)
+		return serveAndDrain(ctx, stdout, logger, *addr, banner, coord.Handler(), *drain, coord.Stop)
+
+	case "worker":
+		if *coordURL == "" {
+			return fmt.Errorf("-role worker needs -coordinator, e.g. -coordinator http://head:8080")
+		}
+		if *name == "" {
+			host, err := os.Hostname()
+			if err != nil {
+				host = "worker"
+			}
+			*name = host
+		}
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Coordinator:     *coordURL,
+			Name:            *name,
+			Concurrency:     *workers,
+			CheckpointEvery: *ckptEvery,
+			Logf:            logger.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "evoprotd worker %q serving coordinator %s (%d concurrent jobs)\n", *name, *coordURL, *workers)
+		w.Run(ctx)
+		fmt.Fprintln(stdout, "shutting down; leased jobs handed back resumable")
+		return nil
+
+	default:
+		return fmt.Errorf(`unknown -role %q: want "standalone", "coordinator" or "worker"`, *role)
+	}
+}
+
+// serveAndDrain listens on addr, announces the bound address through
+// the banner (a format string with one %s for the address), serves
+// handler until ctx ends, then stops the service and drains requests
+// within the configured grace.
+func serveAndDrain(ctx context.Context, stdout io.Writer, logger *log.Logger, addr, banner string, handler http.Handler, drain time.Duration, stop func(context.Context) error) error {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(stdout, "evoprotd listening on %s (data: %s)\n", ln.Addr(), where)
+	httpSrv := &http.Server{Handler: handler}
+	fmt.Fprintf(stdout, banner+"\n", ln.Addr())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -119,10 +202,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// contract is that a restart continues them, so shutdown must not
 	// cancel them.
 	fmt.Fprintln(stdout, "shutting down; in-flight jobs stay resumable")
-	stopCtx, cancelStop := context.WithTimeout(context.Background(), *drain)
+	stopCtx, cancelStop := context.WithTimeout(context.Background(), drain)
 	defer cancelStop()
-	stopErr := srv.Stop(stopCtx)
-	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	stopErr := stop(stopCtx)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drain)
 	defer cancelDrain()
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("evoprotd: http shutdown: %v", err)

@@ -161,4 +161,149 @@ func TestDaemonBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-store", "fs:"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("-store fs: with no directory accepted")
 	}
+	if err := run(context.Background(), []string{"-role", "manager"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown -role accepted")
+	}
+	if err := run(context.Background(), []string{"-role", "worker"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-role worker without -coordinator accepted")
+	}
+	if err := run(context.Background(), []string{"-coordinator", "http://head:8080"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-coordinator on a standalone daemon accepted")
+	}
+	if err := run(context.Background(), []string{"-role", "coordinator", "-coordinator", "http://head:8080"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-coordinator on a coordinator accepted")
+	}
+}
+
+// TestDaemonClusterEndToEnd boots a coordinator process and a worker
+// process (as two run() invocations — the same code paths the two real
+// binaries would execute), drives a job through the coordinator's API,
+// and shuts both down gracefully. The coordinator runs no jobs itself:
+// everything the job produced flowed through a worker lease.
+func TestDaemonClusterEndToEnd(t *testing.T) {
+	coordCtx, stopCoord := context.WithCancel(context.Background())
+	defer stopCoord()
+	coordOut := &lockedBuffer{}
+	coordErr := make(chan error, 1)
+	go func() {
+		coordErr <- run(coordCtx, []string{
+			"-role", "coordinator",
+			"-addr", "127.0.0.1:0",
+			"-data", t.TempDir(),
+			"-checkpoint-every", "5",
+		}, coordOut)
+	}()
+
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if m := listenRE.FindStringSubmatch(coordOut.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-coordErr:
+			t.Fatalf("coordinator exited early: %v\n%s", err, coordOut.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no coordinator banner:\n%s", coordOut.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct{ Role string }
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Role != "coordinator" {
+		t.Fatalf("healthz role %q, want coordinator", health.Role)
+	}
+
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	workerOut := &lockedBuffer{}
+	workerErr := make(chan error, 1)
+	go func() {
+		workerErr <- run(workerCtx, []string{
+			"-role", "worker",
+			"-coordinator", base,
+			"-name", "w1",
+			"-workers", "1",
+			"-checkpoint-every", "5",
+		}, workerOut)
+	}()
+
+	spec := evoprot.JobSpec{Dataset: "flare", Rows: 60, Generations: 15, Islands: 2, MigrateEvery: 5, Seed: 3}
+	body, _ := json.Marshal(spec)
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: HTTP %s", resp.Status)
+	}
+	var status serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + status.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if status.State == serve.StateDone {
+			break
+		}
+		if status.State == serve.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("job state %s (error %q)", status.State, status.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", base, status.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var result serve.JobResult
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if result.Best.Score <= 0 || result.DatasetCSV == "" {
+		t.Fatalf("thin result: %+v", result.Best)
+	}
+
+	// Worker first, coordinator second — the order real deployments drain.
+	stopWorker()
+	select {
+	case err := <-workerErr:
+		if err != nil {
+			t.Fatalf("worker shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("worker did not shut down")
+	}
+	if !strings.Contains(workerOut.String(), "shutting down") {
+		t.Fatalf("no worker shutdown banner:\n%s", workerOut.String())
+	}
+	stopCoord()
+	select {
+	case err := <-coordErr:
+		if err != nil {
+			t.Fatalf("coordinator shutdown: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator did not shut down")
+	}
 }

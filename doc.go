@@ -137,6 +137,16 @@
 // seams a distributed deployment slots into without touching handler or
 // coordinator logic.
 //
+// The distributed deployment exists: evoprotd -role coordinator runs
+// admission, queue and store as one process, and evoprotd -role worker
+// processes lease queued jobs from it over HTTP (internal/cluster).
+// Leases carry a TTL and a fencing token; the coordinator re-exports
+// its Store over HTTP and rejects writes from any lease but the
+// current one, so a dead worker's job re-queues, resumes from its last
+// checkpoint on another worker, and still reproduces the single-node
+// run bit for bit — worker death costs at most one checkpoint
+// interval, exactly like a standalone hard crash.
+//
 // The pieces compose from this package: JobSpec.Materialize /
 // JobSpec.Options bridge specs to Runner options, WithFirstEventSeq keeps
 // event offsets contiguous across restarts, PeekCheckpoint sizes a

@@ -1,0 +1,105 @@
+package cluster
+
+import "sync"
+
+// leaseQueue is the coordinator's serve.JobQueue: the same bounded
+// FIFO contract as the in-process default, plus the non-blocking
+// TryPop the long-polling lease endpoint drains through (an HTTP
+// handler cannot park in a blocking Pop) and a Closed probe so
+// acquires answer 503 during shutdown instead of spinning.
+type leaseQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []string
+	bound  int
+	closed bool
+}
+
+// newLeaseQueue builds a lease queue admitting at most bound queued
+// jobs through Push (ForcePush, the recovery and requeue path, is
+// exempt — exactly like serve.NewFIFOQueue).
+func newLeaseQueue(bound int) *leaseQueue {
+	q := &leaseQueue{bound: bound}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends id in arrival order; false when full or closed.
+func (q *leaseQueue) Push(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items) >= q.bound {
+		return false
+	}
+	q.items = append(q.items, id)
+	q.cond.Signal()
+	return true
+}
+
+// ForcePush appends id regardless of the bound — recovery and lease
+// requeue. False only after Close.
+func (q *leaseQueue) ForcePush(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, id)
+	q.cond.Signal()
+	return true
+}
+
+// Pop blocks until an item arrives or the queue closes. The
+// coordinator itself never calls it (leases drain through TryPop), but
+// the serve.JobQueue contract requires it and keeps the queue usable
+// by an in-process pool too.
+func (q *leaseQueue) Pop() (id string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return "", false
+	}
+	id = q.items[0]
+	q.items = q.items[1:]
+	return id, true
+}
+
+// TryPop pops the head without blocking; false when empty or closed.
+func (q *leaseQueue) TryPop() (id string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items) == 0 {
+		return "", false
+	}
+	id = q.items[0]
+	q.items = q.items[1:]
+	return id, true
+}
+
+// Close wakes every blocked Pop and refuses further pushes.
+func (q *leaseQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Closed reports whether Close has been called.
+func (q *leaseQueue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Depth returns the number of queued ids.
+func (q *leaseQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Cap returns the admission bound.
+func (q *leaseQueue) Cap() int { return q.bound }

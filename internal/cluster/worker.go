@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"evoprot/internal/serve"
+	"evoprot/internal/storage"
+)
+
+// Worker defaults.
+const (
+	// DefaultAcquireWait is how long an acquire long-polls the
+	// coordinator before coming back empty and re-polling.
+	DefaultAcquireWait = 2 * time.Second
+	// acquireBackoff is the pause after a failed acquire (coordinator
+	// unreachable or shutting down) before retrying.
+	acquireBackoff = 500 * time.Millisecond
+	// releaseTimeout bounds the complete/fail call that releases a
+	// lease — it must finish even when the worker's context is done.
+	releaseTimeout = 5 * time.Second
+)
+
+// errLeaseLost is a renewal's 409: the lease expired or the job was
+// re-leased; the run must stop (its writes are fenced anyway).
+var errLeaseLost = errors.New("cluster: lease lost")
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://head:8080".
+	Coordinator string
+	// Name identifies this worker in leases and logs; defaults to
+	// "worker".
+	Name string
+	// Concurrency is how many jobs this worker leases and runs at once;
+	// 0 selects 1.
+	Concurrency int
+	// CheckpointEvery is the engine's checkpoint cadence — the most
+	// work a worker death can cost; 0 selects the serve default.
+	CheckpointEvery int
+	// Wait is the acquire long-poll duration; 0 selects
+	// DefaultAcquireWait.
+	Wait time.Duration
+	// Client overrides the HTTP client (lease calls and the remote
+	// store); nil selects http.DefaultClient.
+	Client *http.Client
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Worker is a stateless execution node: it owns no durable state, only
+// leases. Each leased job runs through the identical engine the
+// single-node server uses, persisting through the coordinator's store —
+// kill a worker at any instant and the job resumes elsewhere from its
+// last checkpoint, bit-for-bit equal to an uninterrupted run.
+type Worker struct {
+	cfg    WorkerConfig
+	base   string
+	client *http.Client
+	exec   *serve.Executor
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	tokens map[string]string // job id -> fencing token while leased
+}
+
+// NewWorker builds a worker against the coordinator at
+// cfg.Coordinator. It performs no I/O; Run does.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("cluster: WorkerConfig.Coordinator is required")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Wait <= 0 {
+		cfg.Wait = DefaultAcquireWait
+	}
+	w := &Worker{
+		cfg:    cfg,
+		base:   strings.TrimSuffix(cfg.Coordinator, "/"),
+		client: cfg.Client,
+		tokens: make(map[string]string),
+	}
+	if w.client == nil {
+		w.client = http.DefaultClient
+	}
+	w.logf = cfg.Logf
+	if w.logf == nil {
+		w.logf = func(string, ...any) {}
+	}
+	remote := storage.NewRemote(w.base+"/v1/store",
+		storage.RemoteWithClient(w.client),
+		storage.RemoteWithToken(w.token))
+	w.exec = serve.NewExecutor(remote, cfg.CheckpointEvery, w.logf)
+	return w, nil
+}
+
+// token returns job's current fencing token ("" when not leased here).
+func (w *Worker) token(job string) string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tokens[job]
+}
+
+func (w *Worker) setToken(job, token string) {
+	w.mu.Lock()
+	w.tokens[job] = token
+	w.mu.Unlock()
+}
+
+func (w *Worker) clearToken(job string) {
+	w.mu.Lock()
+	delete(w.tokens, job)
+	w.mu.Unlock()
+}
+
+// Run leases and executes jobs until ctx is cancelled, then returns
+// once in-flight jobs have wound down (interrupted resumable — the
+// worker half of a graceful shutdown). Each of Concurrency loops works
+// one job at a time.
+func (w *Worker) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := 0; i < w.cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.loop(ctx)
+		}()
+	}
+	wg.Wait()
+}
+
+func (w *Worker) loop(ctx context.Context) {
+	for ctx.Err() == nil {
+		l, err := w.acquire(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.logf("cluster: worker %s: acquiring lease: %v", w.cfg.Name, err)
+			sleep(ctx, acquireBackoff)
+			continue
+		}
+		if l == nil {
+			continue // nothing queued within the long-poll window
+		}
+		w.serve(ctx, l)
+	}
+}
+
+// acquire asks the coordinator for a lease, long-polling cfg.Wait. A
+// nil lease with nil error means nothing was queued.
+func (w *Worker) acquire(ctx context.Context) (*Lease, error) {
+	body, err := json.Marshal(leaseRequest{Worker: w.cfg.Name, WaitMillis: w.cfg.Wait.Milliseconds()})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/lease", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var l Lease
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			return nil, fmt.Errorf("decoding lease: %w", err)
+		}
+		return &l, nil
+	case http.StatusNoContent:
+		return nil, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("lease refused: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}
+
+// serve runs one leased job to its next stopping point and releases the
+// lease accordingly.
+func (w *Worker) serve(ctx context.Context, l *Lease) {
+	w.setToken(l.Job, l.Token)
+	defer w.clearToken(l.Job)
+
+	// The run context is deliberately NOT a child of ctx: worker shutdown
+	// must interrupt the run with the cause that leaves the job resumable,
+	// not a bare cancellation the engine would treat as a failure.
+	runCtx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	done := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		w.watch(ctx, l, cancel, done)
+	}()
+
+	w.logf("cluster: worker %s: running job %s", w.cfg.Name, l.Job)
+	status, err := w.exec.Execute(runCtx, l.Job)
+	close(done)
+	watch.Wait()
+
+	switch {
+	case err != nil:
+		// Infrastructure failure before/around the run itself; the engine
+		// never recorded an outcome, so the coordinator does.
+		w.logf("cluster: worker %s: job %s: %v", w.cfg.Name, l.Job, err)
+		w.release(l, "fail", &failRequest{Error: err.Error()})
+	case status.State.Terminal():
+		w.release(l, "complete", nil)
+	default:
+		// Interrupted (shutdown or lost lease): resumable, back to the
+		// queue for the next worker.
+		w.release(l, "fail", &failRequest{Error: "worker interrupted", Requeue: true})
+	}
+}
+
+// watch is the lease heartbeat: it renews at TTL/3, forwards a pending
+// client cancel into the run, interrupts the run when the worker's
+// context ends (while still renewing, so the final resumable persist
+// passes fencing), and interrupts it too when the lease is lost or
+// renewals starve past a full TTL.
+func (w *Worker) watch(ctx context.Context, l *Lease, cancel context.CancelCauseFunc, done <-chan struct{}) {
+	ttl := time.Duration(l.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	interval := ttl / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	ctxDone := ctx.Done()
+	lastOK := time.Now()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ctxDone:
+			cancel(serve.ErrInterrupted)
+			ctxDone = nil // keep renewing until the run winds down
+		case <-tick.C:
+			reply, err := w.renew(l)
+			switch {
+			case err == nil:
+				lastOK = time.Now()
+				if reply.Cancel {
+					cancel(serve.ErrCancelled)
+				}
+			case errors.Is(err, errLeaseLost):
+				// Re-leased or expired: our writes are fenced; stop now and
+				// let the new leaseholder resume from the checkpoint.
+				w.logf("cluster: worker %s: job %s: %v", w.cfg.Name, l.Job, err)
+				cancel(serve.ErrInterrupted)
+				return
+			default:
+				w.logf("cluster: worker %s: job %s: renewing lease: %v", w.cfg.Name, l.Job, err)
+				if time.Since(lastOK) > ttl {
+					// The coordinator has certainly expired us by now.
+					cancel(serve.ErrInterrupted)
+					return
+				}
+			}
+		}
+	}
+}
+
+// renew heartbeats the lease; errLeaseLost on 409.
+func (w *Worker) renew(l *Lease) (renewReply, error) {
+	req, err := http.NewRequest(http.MethodPost, w.leaseURL(l.Job, "renew"), nil)
+	if err != nil {
+		return renewReply{}, err
+	}
+	req.Header.Set(storage.LeaseHeader, l.Token)
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return renewReply{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var reply renewReply
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			return renewReply{}, fmt.Errorf("decoding renewal: %w", err)
+		}
+		return reply, nil
+	case http.StatusConflict:
+		return renewReply{}, errLeaseLost
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return renewReply{}, fmt.Errorf("renewal refused: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}
+
+// release reports the job's outcome (verb "complete" or "fail") and
+// drops the lease. Best effort: a 409 just means the lease was already
+// reaped — the coordinator has moved on, and so can we.
+func (w *Worker) release(l *Lease, verb string, body *failRequest) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			w.logf("cluster: worker %s: job %s: encoding %s: %v", w.cfg.Name, l.Job, verb, err)
+			return
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = strings.NewReader("{}")
+	}
+	ctx, cancelTO := context.WithTimeout(context.Background(), releaseTimeout)
+	defer cancelTO()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.leaseURL(l.Job, verb), rd)
+	if err != nil {
+		w.logf("cluster: worker %s: job %s: releasing lease: %v", w.cfg.Name, l.Job, err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(storage.LeaseHeader, l.Token)
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.logf("cluster: worker %s: job %s: releasing lease (%s): %v", w.cfg.Name, l.Job, verb, err)
+		return
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 300 && resp.StatusCode != http.StatusConflict {
+		w.logf("cluster: worker %s: job %s: releasing lease (%s): HTTP %d", w.cfg.Name, l.Job, verb, resp.StatusCode)
+	}
+}
+
+// leaseURL is the lease endpoint URL for job and verb.
+func (w *Worker) leaseURL(job, verb string) string {
+	return w.base + "/v1/lease/" + url.PathEscape(job) + "/" + verb
+}
+
+// sleep pauses for d or until ctx ends, whichever first.
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

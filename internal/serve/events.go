@@ -23,6 +23,7 @@ type eventLog struct {
 
 	mu       sync.Mutex
 	count    uint64 // events persisted
+	bytes    int64  // feed length in bytes; tracks count for checkpoint markers
 	terminal bool   // no further appends will ever happen
 	failed   error  // first append failure; latches the log read-only
 	updated  chan struct{}
@@ -57,6 +58,7 @@ func openEventLog(st *store, job string) (*eventLog, error) {
 		st:      st,
 		job:     job,
 		count:   uint64(bytes.Count(data, []byte{'\n'})),
+		bytes:   int64(len(data)),
 		updated: make(chan struct{}),
 	}, nil
 }
@@ -86,6 +88,68 @@ func (l *eventLog) append(ev evoprot.Event) error {
 		return err
 	}
 	l.count++
+	l.bytes += int64(len(buf))
+	l.signal()
+	return nil
+}
+
+// position reports the feed's current length in events and bytes — the
+// pair a checkpoint's feed marker records.
+func (l *eventLog) position() (count uint64, size int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count, l.bytes
+}
+
+// rewindTo truncates the feed back to a checkpoint marker's position and
+// reports how many events were trimmed. A marker matching the current
+// position (a graceful interruption's final checkpoint) is a no-op; a
+// marker ahead of the feed means the two documents disagree — the feed
+// was shortened some other way — and is refused rather than guessed at.
+func (l *eventLog) rewindTo(count uint64, size int64) (trimmed uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if count == l.count && size == l.bytes {
+		return 0, nil
+	}
+	if count > l.count || size > l.bytes {
+		return 0, fmt.Errorf("serve: feed marker (%d events, %d bytes) is past the feed (%d events, %d bytes)",
+			count, size, l.count, l.bytes)
+	}
+	if err := l.st.be.Truncate(l.job, eventsKey, size); err != nil {
+		return 0, err
+	}
+	trimmed = l.count - count
+	l.count = count
+	l.bytes = size
+	return trimmed, nil
+}
+
+// noteRemote folds writes that bypassed this process — a cluster
+// worker's appends arriving through the coordinator's store handler —
+// into the live counters and wakes streamers, which read the grown feed
+// straight from the shared store.
+func (l *eventLog) noteRemote(events uint64, size int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count += events
+	l.bytes += size
+	if events > 0 {
+		l.signal()
+	}
+}
+
+// resync reloads the counters from the store after an external truncate
+// (a re-leased worker healing the feed through the seam).
+func (l *eventLog) resync() error {
+	data, err := l.st.be.Get(l.job, eventsKey)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count = uint64(bytes.Count(data, []byte{'\n'}))
+	l.bytes = int64(len(data))
 	l.signal()
 	return nil
 }

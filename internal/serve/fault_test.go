@@ -49,7 +49,7 @@ func TestCheckpointWriteFailureFailsJob(t *testing.T) {
 	_, ts := testServer(t, Config{Store: flaky, Workers: 1, CheckpointEvery: 5})
 	status := postJob(t, ts.URL, smallSpec())
 	done := waitFor(t, ts.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 	if done.State != StateFailed {
 		t.Fatalf("job with a failing checkpoint store finished as %s, want %s", done.State, StateFailed)
@@ -71,7 +71,7 @@ func TestEventLogWriteFailureRecordedNotFatal(t *testing.T) {
 	_, ts := testServer(t, Config{Store: flaky, Workers: 1})
 	status := postJob(t, ts.URL, smallSpec())
 	done := waitFor(t, ts.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 	if done.State != StateDone {
 		t.Fatalf("job with a failing event feed finished as %s, want %s", done.State, StateDone)
@@ -189,7 +189,7 @@ func TestRecoveredBacklogCountsAgainstAdmission(t *testing.T) {
 	// Drain: once the recovered jobs finish, admission reopens.
 	s2.Start()
 	for _, id := range ids {
-		waitFor(t, ts2, id, 120*time.Second, func(s JobStatus) bool { return s.State.terminal() })
+		waitFor(t, ts2, id, 120*time.Second, func(s JobStatus) bool { return s.State.Terminal() })
 	}
 	if code := postJobCode(t, ts2, smallSpec()); code != http.StatusCreated {
 		t.Fatalf("submission after the backlog drained: HTTP %d, want 201", code)
@@ -221,7 +221,7 @@ func TestStoresBitIdentical(t *testing.T) {
 		_, ts := testServer(t, Config{Store: be, Workers: 1})
 		status := postJob(t, ts.URL, smallSpec())
 		waitFor(t, ts.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
-			return s.State.terminal()
+			return s.State.Terminal()
 		})
 		results[name] = fetchResult(t, ts.URL, status.ID)
 	}

@@ -16,6 +16,9 @@ import (
 // it).
 const maxSpecBytes = 64 << 20
 
+// retryAfterSeconds is the Retry-After hint sent with queue-full 503s.
+const retryAfterSeconds = 15
+
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs            submit a JobSpec, 201 + status
@@ -55,9 +58,12 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Depth and capacity together let a load balancer prefer drained
+	// servers; depth can exceed capacity while a recovered backlog drains.
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"queued": s.queue.Depth(),
+		"status":         "ok",
+		"queued":         s.queue.Depth(),
+		"queue_capacity": s.queue.Cap(),
 	})
 }
 
@@ -99,6 +105,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	status, err := s.submit(spec, orig)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
+			// Retry-After gives backoff loops and load balancers a concrete
+			// hint; queue drain time is workload-dependent, so this is a
+			// floor, not a promise.
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 			writeError(w, http.StatusServiceUnavailable, "job queue is full, retry later")
 			return
 		}
@@ -208,7 +218,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status := j.snapshotStatus()
-	if !status.State.terminal() {
+	if !status.State.Terminal() {
 		writeError(w, http.StatusConflict, "job %s is %s; the result exists once it is done, cancelled or failed", j.id, status.State)
 		return
 	}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The methods below are the coordinator surface: a cluster coordinator
+// runs a Server for admission, recovery, the job table and the public
+// API, but never Start()s the in-process pool — remote workers execute
+// leased jobs and persist through the coordinator's store handler
+// instead. These hooks fold those out-of-process writes back into the
+// live state (status cache, event counters, streamer wakeups) and expose
+// the two queue-side operations a lease layer needs: returning an
+// expired lease's job to the queue and reporting a pending DELETE so the
+// holder can cancel instead of finishing doomed work.
+
+// JobSnapshot returns the live status of job id, false when unknown.
+func (s *Server) JobSnapshot(id string) (JobStatus, bool) {
+	j := s.job(id)
+	if j == nil {
+		return JobStatus{}, false
+	}
+	return j.snapshotStatus(), true
+}
+
+// CancelRequested reports whether a client DELETE arrived for job id —
+// the signal a coordinator forwards on lease renewals so the worker
+// cancels the run and finalizes the partial result.
+func (s *Server) CancelRequested(id string) bool {
+	j := s.job(id)
+	return j != nil && j.clientCancelled()
+}
+
+// RequeueJob returns a non-terminal job to the queue: the lease-expiry
+// and worker-handoff path, mirroring boot recovery. A job caught running
+// counts a resumption (its next leaseholder resumes from the last
+// checkpoint); a job that reached a terminal state in the meantime — the
+// worker finished just before its lease was reaped — is left alone.
+func (s *Server) RequeueJob(id string) error {
+	j := s.job(id)
+	if j == nil {
+		return fmt.Errorf("serve: unknown job %s", id)
+	}
+	j.mu.Lock()
+	if j.status.State.Terminal() {
+		j.mu.Unlock()
+		return nil
+	}
+	if j.status.State == StateRunning {
+		j.status.Resumes++
+	}
+	j.status.State = StateQueued
+	s.persistStatusLocked(j)
+	gen := j.status.Generation
+	j.mu.Unlock()
+	if !s.queue.ForcePush(id) {
+		return fmt.Errorf("serve: job %s: queue refused requeue (closed)", id)
+	}
+	s.cfg.Logf("serve: job %s requeued at generation %d", id, gen)
+	return nil
+}
+
+// SyncJobStatus replaces job id's cached status with a status document a
+// remote worker just persisted through the storage seam — the worker's
+// engine is authoritative for a leased job's lifecycle. Unparseable
+// documents are logged and dropped; the cache then lags until the next
+// good write, the same failure mode as a missed poll.
+func (s *Server) SyncJobStatus(id string, raw []byte) {
+	j := s.job(id)
+	if j == nil {
+		return
+	}
+	var status JobStatus
+	if err := json.Unmarshal(raw, &status); err != nil {
+		s.cfg.Logf("serve: job %s: unreadable remote status: %v", id, err)
+		return
+	}
+	j.mu.Lock()
+	j.status = status
+	j.mu.Unlock()
+	if status.State.Terminal() {
+		j.log.finish()
+	}
+}
+
+// NoteJobEvents advances job id's live event counters by a remote append
+// of events lines totalling size bytes, waking any attached streamers —
+// they read the grown feed straight from the shared store.
+func (s *Server) NoteJobEvents(id string, events uint64, size int64) {
+	if j := s.job(id); j != nil {
+		j.log.noteRemote(events, size)
+	}
+}
+
+// ResyncJobEvents recounts job id's feed from the store after a remote
+// truncate (a re-leased worker rewinding uncheckpointed events).
+func (s *Server) ResyncJobEvents(id string) {
+	j := s.job(id)
+	if j == nil {
+		return
+	}
+	if err := j.log.resync(); err != nil {
+		s.cfg.Logf("serve: job %s: recounting event feed: %v", id, err)
+	}
+}

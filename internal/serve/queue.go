@@ -24,12 +24,15 @@ import "sync"
 //     workers exit promptly on shutdown.
 //   - Close wakes every blocked Pop and refuses further pushes.
 //   - Depth reports how many ids are queued right now.
+//   - Cap reports the admission bound Push enforces. Depth may exceed it
+//     while a recovered (ForcePushed) backlog drains.
 type JobQueue interface {
 	Push(id string) bool
 	ForcePush(id string) bool
 	Pop() (id string, ok bool)
 	Close()
 	Depth() int
+	Cap() int
 }
 
 // fifoQueue is the default JobQueue: a bounded in-memory FIFO.
@@ -109,3 +112,6 @@ func (q *fifoQueue) Depth() int {
 	defer q.mu.Unlock()
 	return len(q.items)
 }
+
+// Cap returns the admission bound.
+func (q *fifoQueue) Cap() int { return q.bound }

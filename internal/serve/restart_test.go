@@ -61,7 +61,7 @@ func killAndRestartResumes(t *testing.T, be storage.Store) {
 	interrupted := waitFor(t, ts1.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
 		return s.Generation >= 40
 	})
-	if interrupted.State.terminal() {
+	if interrupted.State.Terminal() {
 		t.Fatalf("job finished (%s) before the test could interrupt it; slow the spec down", interrupted.State)
 	}
 	ts1.Close()
@@ -78,7 +78,7 @@ func killAndRestartResumes(t *testing.T, be storage.Store) {
 	if err := st.loadJSON(status.ID, statusKey, &diskStatus); err != nil {
 		t.Fatal(err)
 	}
-	if diskStatus.State.terminal() {
+	if diskStatus.State.Terminal() {
 		t.Fatalf("interrupted job persisted as terminal %s", diskStatus.State)
 	}
 	ckpt, err := be.Get(status.ID, checkpointKey)
@@ -112,7 +112,7 @@ func killAndRestartResumes(t *testing.T, be storage.Store) {
 	}()
 
 	done := waitFor(t, ts2.URL, status.ID, 120*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 	if done.State != StateDone {
 		t.Fatalf("resumed job finished as %s (error %q)", done.State, done.Error)
@@ -152,7 +152,7 @@ func killAndRestartResumes(t *testing.T, be storage.Store) {
 	// checkpoint resume continues the exact stochastic trajectory.
 	ref := postJob(t, ts2.URL, spec)
 	refDone := waitFor(t, ts2.URL, ref.ID, 120*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 	if refDone.State != StateDone {
 		t.Fatalf("reference job finished as %s", refDone.State)
@@ -225,7 +225,7 @@ func killAndRestartHeterogeneous(t *testing.T, be storage.Store) {
 	interrupted := waitFor(t, ts1.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
 		return s.Generation >= 40
 	})
-	if interrupted.State.terminal() {
+	if interrupted.State.Terminal() {
 		t.Fatalf("job finished (%s) before the test could interrupt it; slow the spec down", interrupted.State)
 	}
 	ts1.Close()
@@ -263,7 +263,7 @@ func killAndRestartHeterogeneous(t *testing.T, be storage.Store) {
 		}
 	}()
 	done := waitFor(t, ts2.URL, status.ID, 120*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 	if done.State != StateDone {
 		t.Fatalf("resumed heterogeneous job finished as %s (error %q)", done.State, done.Error)
@@ -360,7 +360,7 @@ func TestRestartRecoversQueuedJobs(t *testing.T) {
 		}
 	}()
 	done := waitFor(t, ts2.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 	if done.State != StateDone || done.Resumes != 0 {
 		t.Fatalf("recovered queued job: state %s, resumes %d", done.State, done.Resumes)

@@ -23,7 +23,6 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -164,10 +163,11 @@ func (j *job) snapshotStatus() JobStatus {
 
 // Server owns the job table, the queue and the worker pool. Build with
 // New (which also recovers persisted jobs), install Handler somewhere,
-// call Start, and Stop on the way out.
+// call Start, and Stop on the way out. The embedded engine is the
+// execution half — shared, via Executor, with cluster workers.
 type Server struct {
+	*engine
 	cfg   Config
-	st    *store
 	queue JobQueue
 
 	ctx      context.Context
@@ -207,8 +207,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
+		engine:   &engine{st: &store{be: be}, ckptEvery: c.CheckpointEvery, logf: c.Logf},
 		cfg:      c,
-		st:       &store{be: be},
 		queue:    queue,
 		ctx:      ctx,
 		shutdown: cancel,
@@ -244,7 +244,7 @@ func (s *Server) recover() error {
 			continue
 		}
 		j := &job{id: id, log: log, agg: jobAggregator(status.Spec), status: status}
-		if status.State.terminal() {
+		if status.State.Terminal() {
 			log.finish()
 		} else {
 			// Interrupted mid-run or never started: back to the queue. The
@@ -310,7 +310,7 @@ func (s *Server) worker() {
 		if j == nil || !s.claim(j) {
 			continue // cancelled while queued, or gone
 		}
-		s.runJob(j)
+		s.runJob(s.ctx, j)
 	}
 }
 
@@ -335,293 +335,6 @@ func (s *Server) listJobs() []JobStatus {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Created.After(out[b].Created) })
 	return out
-}
-
-// claim moves a queued job to running; false means it was cancelled (or
-// otherwise left the queued state) while waiting.
-func (s *Server) claim(j *job) bool {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.status.State != StateQueued {
-		return false
-	}
-	j.status.State = StateRunning
-	j.status.Started = time.Now().UTC()
-	s.persistStatusLocked(j)
-	return true
-}
-
-// persistStatusLocked writes j.status to the store; callers hold j.mu.
-func (s *Server) persistStatusLocked(j *job) {
-	count, _, _ := j.log.state()
-	j.status.Events = count
-	if err := s.st.saveJSON(j.id, statusKey, j.status); err != nil {
-		s.cfg.Logf("serve: job %s: persisting status: %v", j.id, err)
-	}
-}
-
-// runJob executes one claimed job end to end and routes the outcome:
-// shutdown interruption keeps it resumable, everything else finalizes.
-func (s *Server) runJob(j *job) {
-	ctx, cancel := context.WithCancelCause(s.ctx)
-	j.mu.Lock()
-	j.cancel = cancel
-	j.mu.Unlock()
-	defer func() {
-		cancel(nil)
-		j.mu.Lock()
-		j.cancel = nil
-		j.mu.Unlock()
-	}()
-
-	res, runErr := s.executeJob(ctx, j)
-	cause := context.Cause(ctx)
-	switch {
-	case runErr == nil:
-		// A clean completion wins even when a shutdown or cancel raced the
-		// last generation — the work is done, so finalize it.
-		s.finalize(j, res, StateDone, "")
-	case errors.Is(cause, errShutdown) && !j.clientCancelled():
-		// Interrupted, not over: the runner's final checkpoint write has
-		// already persisted the exact stopping point. Record progress and
-		// leave the state non-terminal so the next boot resumes it.
-		j.mu.Lock()
-		j.status.State = StateRunning
-		s.persistStatusLocked(j)
-		j.mu.Unlock()
-		s.cfg.Logf("serve: job %s interrupted at generation %d, resumable", j.id, j.status.Generation)
-	case errors.Is(cause, errCancelled) || j.clientCancelled():
-		// The second clause catches a DELETE racing a shutdown: the parent
-		// context's errShutdown cause wins the context race, but the client
-		// was told 202, so the cancellation must still be honoured. Keep
-		// non-context failures visible (e.g. a failed final checkpoint
-		// write joined onto the cancellation).
-		errMsg := ""
-		if errors.Is(runErr, evoprot.ErrCheckpoint) {
-			errMsg = runErr.Error()
-		}
-		s.finalize(j, res, StateCancelled, errMsg)
-	default:
-		s.finalize(j, res, StateFailed, runErr.Error())
-	}
-}
-
-// executeJob rebuilds the runner a job spec describes — resuming from the
-// persisted checkpoint when one exists — and runs it under ctx.
-func (s *Server) executeJob(ctx context.Context, j *job) (*evoprot.RunResult, error) {
-	j.mu.Lock()
-	spec := j.status.Spec
-	j.mu.Unlock()
-
-	orig, err := s.st.loadCSV(j.id, datasetFileName)
-	if err != nil {
-		return nil, fmt.Errorf("loading original dataset: %w", err)
-	}
-	opts, err := spec.Options()
-	if err != nil {
-		return nil, err
-	}
-
-	ckpt, err := s.st.be.Get(j.id, checkpointKey)
-	if err != nil && !isNotExist(err) {
-		return nil, fmt.Errorf("reading checkpoint: %w", err)
-	}
-	resumeFrom := 0
-	if err == nil {
-		meta, err := evoprot.PeekCheckpoint(bytes.NewReader(ckpt))
-		if err != nil {
-			return nil, fmt.Errorf("reading checkpoint: %w", err)
-		}
-		// Budget from the laggard island: a cancellation-point checkpoint
-		// can catch islands mid-epoch at unequal generations, and the
-		// per-Run budget applies to every island alike. Counting from the
-		// minimum guarantees no island ends short of the spec's budget
-		// (islands ahead may run a few generations past it). Under early
-		// stopping the laggard is usually a stagnated island that should
-		// NOT be topped up — its stagnation window does not persist — so
-		// there the leader's generation bounds the budget instead.
-		if spec.EarlyStop > 0 {
-			resumeFrom = meta.Generation
-		} else {
-			resumeFrom = meta.MinGeneration
-		}
-	}
-
-	count, _, _ := j.log.state()
-	opts = append(opts,
-		// Checkpoints route through the store, not a private file path —
-		// Put's atomicity and durability replace the facade's tmp+rename.
-		evoprot.WithCheckpointSink(func(snapshot []byte) error {
-			return s.st.be.Put(j.id, checkpointKey, snapshot)
-		}, s.cfg.CheckpointEvery),
-		evoprot.WithFirstEventSeq(count),
-		evoprot.WithProgress(func(ev evoprot.Event) { s.onEvent(j, ev) }),
-	)
-	remaining := spec.Budget() - resumeFrom
-	if resumeFrom > 0 && remaining > 0 {
-		// WithGenerations is the per-Run budget; a resumed runner gets only
-		// what the interrupted run left. Appended last, it overrides the
-		// spec's own generations option.
-		opts = append(opts, evoprot.WithGenerations(remaining))
-	}
-
-	runner, err := evoprot.NewRunner(orig, spec.Attributes, opts...)
-	if err != nil {
-		return nil, err
-	}
-	if resumeFrom > 0 {
-		if err := runner.Resume(bytes.NewReader(ckpt)); err != nil {
-			return nil, fmt.Errorf("resuming checkpoint: %w", err)
-		}
-		s.cfg.Logf("serve: job %s resuming at generation %d (%d remaining)", j.id, resumeFrom, remaining)
-		if remaining <= 0 {
-			// The crash happened after the final checkpoint but before
-			// finalization: the work is complete, only the paperwork is
-			// missing. Synthesize the result from the resumed state.
-			return s.resultFromRunner(runner), nil
-		}
-	}
-	return runner.Run(ctx)
-}
-
-// resultFromRunner builds a RunResult for a job whose budget was already
-// exhausted when resumed (a crash landed between the final checkpoint and
-// finalization). Only what the quiescent runner exposes is available:
-// best individual, island count and the generation marker. Evaluation
-// counts and per-island histories of the pre-crash legs are gone with
-// the process; the durable event log remains the trajectory of record.
-func (s *Server) resultFromRunner(r *evoprot.Runner) *evoprot.RunResult {
-	return &evoprot.RunResult{
-		Best:        r.Best(),
-		Generations: r.Generation(),
-		StopReason:  evoprot.StopCompleted,
-	}
-}
-
-// onEvent is the runner's progress callback: append to the durable feed,
-// fold the event into the live status, and persist the status every so
-// often so a hard crash recovers a recent generation marker.
-func (s *Server) onEvent(j *job, ev evoprot.Event) {
-	if err := j.log.append(ev); err != nil {
-		j.mu.Lock()
-		if j.logErr == nil {
-			j.logErr = err
-			j.status.Error = fmt.Sprintf("event log: %v", err)
-		}
-		j.mu.Unlock()
-		s.cfg.Logf("serve: job %s: event log append: %v", j.id, err)
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if ev.Err != "" && j.status.Error == "" {
-		j.status.Error = ev.Err // e.g. a failed mid-run checkpoint write
-	}
-	if ev.Island >= 0 {
-		if ev.Stats.Gen > j.status.Generation {
-			j.status.Generation = ev.Stats.Gen
-		}
-		// Judge island bests under the job's shared aggregation: islands
-		// running per-island aggregators report Stats on their own scales,
-		// and for homogeneous jobs the re-combination reproduces Stats.Min
-		// bit for bit.
-		if !ev.Done {
-			score := j.agg.Combine(ev.Stats.BestIL, ev.Stats.BestDR)
-			if j.status.Best == nil || score < j.status.Best.Score {
-				j.status.Best = &BestSummary{
-					Score:  score,
-					IL:     ev.Stats.BestIL,
-					DR:     ev.Stats.BestDR,
-					Island: ev.Island,
-				}
-			}
-		}
-	}
-	j.sincePers++
-	if j.sincePers >= 64 {
-		j.sincePers = 0
-		s.persistStatusLocked(j)
-	}
-}
-
-// finalize records a terminal outcome: result.json and best.csv when a
-// result exists, then the status flip and the feed close.
-func (s *Server) finalize(j *job, res *evoprot.RunResult, state jobState, errMsg string) {
-	var stop string
-	if res != nil && res.Best != nil {
-		stop = string(res.StopReason)
-		snap := j.snapshotStatus()
-		// res.Generations counts only the leg since the last resume; the
-		// status tracks absolute generation numbers across restarts.
-		generations := res.Generations
-		if snap.Generation > generations {
-			generations = snap.Generation
-		}
-		// res.Islands is empty on the finalize-from-checkpoint path; the
-		// spec still knows the run's shape (a per_island spec without an
-		// explicit count runs one island per override).
-		islands := len(res.Islands)
-		if islands == 0 {
-			if islands = snap.Spec.Islands; islands < 1 {
-				if islands = len(snap.Spec.PerIsland); islands < 1 {
-					islands = 1
-				}
-			}
-		}
-		result := JobResult{
-			ID:          j.id,
-			State:       state,
-			StopReason:  stop,
-			Generations: generations,
-			Evaluations: res.Evaluations,
-			Migrations:  res.Migrations,
-			Islands:     islands,
-			BestIsland:  res.BestIsland,
-			Best: BestSummary{
-				Score:  res.Best.Eval.Score,
-				IL:     res.Best.Eval.IL,
-				DR:     res.Best.Eval.DR,
-				Island: res.BestIsland,
-				Origin: res.Best.Origin,
-			},
-		}
-		if len(res.Islands) > 0 {
-			result.History = res.Islands[res.BestIsland].History
-		}
-		if err := s.st.saveJSON(j.id, resultKey, result); err != nil {
-			s.cfg.Logf("serve: job %s: persisting result: %v", j.id, err)
-		}
-		if err := s.st.saveCSV(j.id, bestCSVKey, res.Best.Data); err != nil {
-			s.cfg.Logf("serve: job %s: persisting best dataset: %v", j.id, err)
-		}
-	}
-	j.mu.Lock()
-	j.status.State = state
-	j.status.Finished = time.Now().UTC()
-	j.status.StopReason = stop
-	if errMsg != "" {
-		j.status.Error = errMsg
-	} else if state != StateFailed && j.logErr == nil {
-		// The run outlived any transient mid-run warning (say, one failed
-		// periodic checkpoint superseded by later writes); a terminal
-		// success must not read like a failure.
-		j.status.Error = ""
-	}
-	if res != nil && res.Best != nil {
-		j.status.Best = &BestSummary{
-			Score:  res.Best.Eval.Score,
-			IL:     res.Best.Eval.IL,
-			DR:     res.Best.Eval.DR,
-			Island: res.BestIsland,
-			Origin: res.Best.Origin,
-		}
-		if res.Generations > j.status.Generation {
-			j.status.Generation = res.Generations
-		}
-	}
-	s.persistStatusLocked(j)
-	j.mu.Unlock()
-	j.log.finish()
-	s.cfg.Logf("serve: job %s %s (stop: %s)", j.id, state, stop)
 }
 
 // specDatasetPath is the DatasetPath recorded in a persisted spec whose

@@ -154,7 +154,7 @@ func TestJobLifecycleAndEvents(t *testing.T) {
 	}
 
 	done := waitFor(t, ts.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 	if done.State != StateDone {
 		t.Fatalf("job finished as %s (error %q)", done.State, done.Error)
@@ -317,7 +317,7 @@ func TestInlineCSVJobRuns(t *testing.T) {
 		t.Fatal("inline dataset leaked into the persisted spec")
 	}
 	done := waitFor(t, ts.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 	if done.State != StateDone {
 		t.Fatalf("inline-CSV job finished as %s (error %q)", done.State, done.Error)
@@ -393,7 +393,7 @@ func TestCancelRunningJob(t *testing.T) {
 	}
 
 	done := waitFor(t, ts.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 	if done.State != StateCancelled {
 		t.Fatalf("cancelled job finished as %s", done.State)
@@ -470,7 +470,7 @@ func TestQueueAdmissionControl(t *testing.T) {
 		resp.Body.Close()
 	}
 	done2 := waitFor(t, ts.URL, j2.ID, 60*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 	if done2.State != StateCancelled || done2.Generation != 0 {
 		t.Fatalf("queued job cancelled as %s at generation %d", done2.State, done2.Generation)
@@ -485,7 +485,7 @@ func TestQueueAdmissionControl(t *testing.T) {
 		t.Fatalf("result of never-run job: HTTP %d, want 404", resp2.StatusCode)
 	}
 	waitFor(t, ts.URL, j1.ID, 60*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 }
 
@@ -509,6 +509,6 @@ func TestResultBeforeTerminalConflicts(t *testing.T) {
 	}
 	resp2.Body.Close()
 	waitFor(t, ts.URL, status.ID, 60*time.Second, func(s JobStatus) bool {
-		return s.State.terminal()
+		return s.State.Terminal()
 	})
 }

@@ -31,9 +31,34 @@ const (
 	statusKey       = "status.json"
 	eventsKey       = "events.ndjson"
 	checkpointKey   = "job.ckpt"
+	ckptMetaKey     = "job.ckpt.meta"
 	resultKey       = "result.json"
 	bestCSVKey      = "best.csv"
 )
+
+// Exported key names of the persisted layout, for coordinators that
+// observe remote workers' writes arriving through the storage seam
+// (internal/cluster folds status.json and events.ndjson traffic back
+// into its live job table).
+const (
+	StatusKey = statusKey
+	EventsKey = eventsKey
+)
+
+// ckptMeta is the checkpoint's companion feed marker (job.ckpt.meta):
+// the durable event feed's length — in events and in bytes — at the
+// moment the tagged checkpoint was written. All of a generation's events
+// are flushed before the checkpoint sink runs at its quiescent barrier,
+// so a resume whose checkpoint carries a matching Generation tag can
+// rewind the feed to this marker and re-emit the rewound suffix exactly
+// once instead of duplicating it. Written non-atomically after the
+// checkpoint itself: a crash between the two leaves a stale marker whose
+// Generation no longer matches, which resumes detect and ignore.
+type ckptMeta struct {
+	Events     uint64 `json:"events"`
+	Bytes      int64  `json:"bytes"`
+	Generation int    `json:"generation"`
+}
 
 // jobState is a job's lifecycle state.
 type jobState string
@@ -52,8 +77,8 @@ const (
 	StateFailed jobState = "failed"
 )
 
-// terminal reports whether no further work will happen on the job.
-func (s jobState) terminal() bool {
+// Terminal reports whether no further work will happen on the job.
+func (s jobState) Terminal() bool {
 	return s == StateDone || s == StateCancelled || s == StateFailed
 }
 

@@ -2,8 +2,11 @@ package storage
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Flaky wraps a Store with deterministic fault injection: writes to
@@ -74,4 +77,83 @@ func (f *Flaky) Get(job, key string) ([]byte, error) {
 		return data[:len(data)/2], nil
 	}
 	return data, err
+}
+
+// FlakyTransport is Flaky's network-path sibling: an http.RoundTripper
+// that injects the faults a Remote client actually meets on a wire —
+// responses that never arrive (the request may or may not have been
+// applied), deliveries duplicated by a retrying middlebox, and added
+// latency. Wrap a Remote's client Transport with it in tests proving the
+// remote store maps network failure onto the same service guarantees the
+// local fault suite pins down.
+type FlakyTransport struct {
+	// Base performs the real exchanges; nil means
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Key restricts the injected faults to requests whose URL path
+	// contains this substring; empty matches every request.
+	Key string
+	// DropResponsesAfter makes the Nth and every later matching exchange
+	// lose its response: the request is delivered and applied, but the
+	// caller gets ErrInjected instead of an answer — the
+	// write-landed-but-looks-failed case. 0 disables.
+	DropResponsesAfter int
+	// Duplicate delivers every matching request twice (same body, same
+	// headers — a replay, not a retry) and returns the second response.
+	Duplicate bool
+	// Delay sleeps before each matching exchange.
+	Delay time.Duration
+
+	mu    sync.Mutex
+	calls int
+}
+
+// dropResponse counts a matching exchange and reports whether its
+// response must be lost.
+func (t *FlakyTransport) dropResponse() bool {
+	if t.DropResponsesAfter <= 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.calls++
+	return t.calls >= t.DropResponsesAfter
+}
+
+// RoundTrip applies the configured faults to matching requests.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.Key != "" && !strings.Contains(req.URL.Path, t.Key) {
+		return base.RoundTrip(req)
+	}
+	if t.Delay > 0 {
+		time.Sleep(t.Delay)
+	}
+	if t.Duplicate && req.GetBody != nil {
+		first, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		_, _ = io.Copy(io.Discard, first.Body)
+		first.Body.Close()
+		replay := req.Clone(req.Context())
+		if replay.Body, err = req.GetBody(); err != nil {
+			return nil, err
+		}
+		req = replay
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.dropResponse() {
+		// The server handled the request; only the answer is lost.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: response dropped for %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	return resp, nil
 }

@@ -12,14 +12,16 @@ import (
 )
 
 // stores builds one instance of every Store implementation over fresh
-// state; the contract tests below run against each.
+// state; the contract tests below run against each — including the
+// remote client speaking HTTP to its handler over a fresh Mem backend,
+// so the network store honours the identical contract.
 func stores(t *testing.T) map[string]Store {
 	t.Helper()
 	fs, err := NewFS(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]Store{"fs": fs, "mem": NewMem()}
+	return map[string]Store{"fs": fs, "mem": NewMem(), "remote": newTestRemote(t, NewMem(), RemoteHooks{})}
 }
 
 func TestStoreContract(t *testing.T) {
