@@ -16,11 +16,18 @@ import (
 type options struct {
 	// Threshold is the failing regression size in percent.
 	Threshold float64
-	// Metrics is the comma-separated list of benchmark units to compare.
+	// Metrics is the comma-separated list of benchmark units to compare
+	// (JSON mode: flattened dotted keys, e.g. "submit_latency_ms.p99").
 	Metrics string
 	// MinNs suppresses ns/op comparisons whose baseline is below this
 	// value: single-iteration timings of fast benchmarks are noise.
 	MinNs float64
+	// JSON switches to generic JSON-metrics mode: OLD and NEW are JSON
+	// documents, flattened to dotted keys, compared on Metrics.
+	JSON bool
+	// Invert lists metrics where higher is better (comma-separated):
+	// for those a decrease past the threshold is the regression.
+	Invert string
 }
 
 // benchSet maps "package/BenchmarkName" to that benchmark's metrics by
@@ -111,6 +118,51 @@ func parseBenchLine(out string) (string, map[string]float64, bool) {
 	return name, metrics, true
 }
 
+// parseJSONMetricsFile reads a generic JSON document (e.g. a loadgen
+// artifact) and flattens its numeric leaves to dotted keys under the
+// single pseudo-benchmark "metrics": {"submit_latency_ms":{"p99":42}}
+// becomes "submit_latency_ms.p99" = 42. Array elements flatten under
+// their index. Non-numeric leaves are skipped.
+func parseJSONMetricsFile(path string) (benchSet, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	flat := map[string]float64{}
+	flattenJSON("", doc, flat)
+	if len(flat) == 0 {
+		return benchSet{}, nil
+	}
+	return benchSet{"metrics": flat}, nil
+}
+
+// flattenJSON walks doc depth-first, recording numeric leaves in flat
+// under prefix-dotted keys.
+func flattenJSON(prefix string, doc any, flat map[string]float64) {
+	join := func(k string) string {
+		if prefix == "" {
+			return k
+		}
+		return prefix + "." + k
+	}
+	switch v := doc.(type) {
+	case map[string]any:
+		for k, child := range v {
+			flattenJSON(join(k), child, flat)
+		}
+	case []any:
+		for i, child := range v {
+			flattenJSON(join(strconv.Itoa(i)), child, flat)
+		}
+	case float64:
+		flat[prefix] = v
+	}
+}
+
 // delta is one (benchmark, metric) comparison.
 type delta struct {
 	key, metric string
@@ -121,21 +173,33 @@ type delta struct {
 // run diffs two artifacts and renders the report, returning the number of
 // regressions past the threshold.
 func run(oldPath, newPath string, opts options) (report string, regressions int, err error) {
-	oldSet, err := parseBenchFile(oldPath)
+	parse := parseBenchFile
+	what := "benchmark results"
+	if opts.JSON {
+		parse = parseJSONMetricsFile
+		what = "numeric JSON metrics"
+	}
+	oldSet, err := parse(oldPath)
 	if err != nil {
 		return "", 0, err
 	}
-	newSet, err := parseBenchFile(newPath)
+	newSet, err := parse(newPath)
 	if err != nil {
 		return "", 0, err
 	}
 	if len(oldSet) == 0 {
-		return "", 0, fmt.Errorf("%s contains no benchmark results", oldPath)
+		return "", 0, fmt.Errorf("%s contains no %s", oldPath, what)
 	}
 	if len(newSet) == 0 {
-		return "", 0, fmt.Errorf("%s contains no benchmark results", newPath)
+		return "", 0, fmt.Errorf("%s contains no %s", newPath, what)
 	}
 	metrics := strings.Split(opts.Metrics, ",")
+	inverted := map[string]bool{}
+	for _, m := range strings.Split(opts.Invert, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			inverted[m] = true
+		}
+	}
 	var regressed, improved []delta
 	onlyOld, onlyNew := 0, 0
 	for key := range oldSet {
@@ -166,19 +230,30 @@ func run(oldPath, newPath string, opts options) (report string, regressions int,
 				continue
 			}
 			if oldV == 0 {
-				// A zero baseline growing is an unbounded regression —
-				// exactly an allocation-free path starting to allocate.
+				// A zero baseline growing is an unbounded change — a
+				// regression for lower-is-better metrics (an allocation-free
+				// path starting to allocate), an improvement for inverted
+				// ones (throughput appearing from nothing).
 				if newV > 0 {
-					regressed = append(regressed, delta{key: key, metric: metric, oldV: oldV, newV: newV, pct: math.Inf(1)})
+					d := delta{key: key, metric: metric, oldV: oldV, newV: newV, pct: math.Inf(1)}
+					if inverted[metric] {
+						improved = append(improved, d)
+					} else {
+						regressed = append(regressed, d)
+					}
 				}
 				continue
 			}
 			pct := (newV - oldV) / oldV * 100
 			d := delta{key: key, metric: metric, oldV: oldV, newV: newV, pct: pct}
+			bad, good := pct > opts.Threshold, pct < -opts.Threshold
+			if inverted[metric] {
+				bad, good = good, bad
+			}
 			switch {
-			case pct > opts.Threshold:
+			case bad:
 				regressed = append(regressed, d)
-			case pct < -opts.Threshold:
+			case good:
 				improved = append(improved, d)
 			}
 		}

@@ -18,6 +18,17 @@
 // dominated by scheduling noise, so ns/op comparisons are skipped when the
 // baseline is below -min-ns (default 100µs); allocs/op is deterministic
 // and always compared.
+//
+// With -json, OLD and NEW are instead generic JSON metric documents —
+// the LOAD_<sha>.json artifacts the loadtest CI job publishes, or any
+// other JSON with numeric leaves. Documents are flattened to dotted
+// keys ({"submit_latency_ms":{"p99":42}} -> submit_latency_ms.p99) and
+// -metrics selects which keys gate. Metrics listed in -invert are
+// higher-is-better (throughput): for those a *decrease* past the
+// threshold is the regression.
+//
+//	benchdiff -json -metrics submit_latency_ms.p99 -threshold 25 OLD.json NEW.json
+//	benchdiff -json -metrics jobs_per_minute -invert jobs_per_minute OLD.json NEW.json
 package main
 
 import (
@@ -31,6 +42,8 @@ func main() {
 	flag.Float64Var(&opts.Threshold, "threshold", 15, "regression threshold in percent")
 	flag.StringVar(&opts.Metrics, "metrics", "ns/op,allocs/op", "comma-separated metrics to compare")
 	flag.Float64Var(&opts.MinNs, "min-ns", 100_000, "skip ns/op comparison when the baseline is below this many ns/op")
+	flag.BoolVar(&opts.JSON, "json", false, "compare generic JSON metric documents (flattened to dotted keys) instead of go test -bench output")
+	flag.StringVar(&opts.Invert, "invert", "", "comma-separated higher-is-better metrics: a decrease past the threshold regresses")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD NEW\n")
 		flag.PrintDefaults()

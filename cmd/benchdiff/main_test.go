@@ -176,3 +176,89 @@ func keysOf(set benchSet) []string {
 	}
 	return out
 }
+
+const oldLoadJSON = `{
+  "jobs_per_minute": 600,
+  "submit_latency_ms": {"p50": 10, "p99": 40, "max": 55.5},
+  "event_lag_ms": {"p50": 100, "p99": 300},
+  "per_tenant": {"alpha": {"completed": 4}},
+  "mix": "smoke"
+}`
+
+func jsonOpts() options {
+	return options{Threshold: 25, Metrics: "submit_latency_ms.p99,jobs_per_minute", Invert: "jobs_per_minute", JSON: true}
+}
+
+func TestJSONMetricsFlatten(t *testing.T) {
+	path := writeArtifact(t, "load.json", oldLoadJSON)
+	set, err := parseJSONMetricsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, ok := set["metrics"]
+	if !ok {
+		t.Fatalf("no metrics pseudo-benchmark; keys: %v", keysOf(set))
+	}
+	want := map[string]float64{
+		"jobs_per_minute":            600,
+		"submit_latency_ms.p50":      10,
+		"submit_latency_ms.p99":      40,
+		"submit_latency_ms.max":      55.5,
+		"event_lag_ms.p50":           100,
+		"event_lag_ms.p99":           300,
+		"per_tenant.alpha.completed": 4,
+	}
+	for k, v := range want {
+		if flat[k] != v {
+			t.Fatalf("flat[%q] = %g, want %g (all: %v)", k, flat[k], v, flat)
+		}
+	}
+	if _, ok := flat["mix"]; ok {
+		t.Fatal("non-numeric leaf flattened")
+	}
+}
+
+func TestJSONDiffLatencyRegression(t *testing.T) {
+	oldPath := writeArtifact(t, "old.json", oldLoadJSON)
+	newPath := writeArtifact(t, "new.json", `{"jobs_per_minute": 610, "submit_latency_ms": {"p50": 11, "p99": 60}}`)
+	report, regressions, err := run(oldPath, newPath, jsonOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p99 40 -> 60 is +50%, past the 25% gate; throughput moved within it.
+	if regressions != 1 || !strings.Contains(report, "submit_latency_ms.p99: 40 -> 60") {
+		t.Fatalf("latency regression not flagged (regressions=%d):\n%s", regressions, report)
+	}
+}
+
+func TestJSONDiffInvertedThroughput(t *testing.T) {
+	oldPath := writeArtifact(t, "old.json", oldLoadJSON)
+
+	// Throughput collapsing is the regression for an inverted metric...
+	dropPath := writeArtifact(t, "drop.json", `{"jobs_per_minute": 300, "submit_latency_ms": {"p99": 40}}`)
+	report, regressions, err := run(oldPath, dropPath, jsonOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 || !strings.Contains(report, "jobs_per_minute: 600 -> 300") {
+		t.Fatalf("throughput drop not flagged (regressions=%d):\n%s", regressions, report)
+	}
+
+	// ...and throughput growing is an improvement, never a failure.
+	growPath := writeArtifact(t, "grow.json", `{"jobs_per_minute": 1200, "submit_latency_ms": {"p99": 40}}`)
+	report, regressions, err = run(oldPath, growPath, jsonOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 || !strings.Contains(report, "improvements") {
+		t.Fatalf("throughput growth misreported (regressions=%d):\n%s", regressions, report)
+	}
+}
+
+func TestJSONDiffEmptyDocumentErrors(t *testing.T) {
+	oldPath := writeArtifact(t, "old.json", oldLoadJSON)
+	empty := writeArtifact(t, "empty.json", `{"mix": "smoke"}`)
+	if _, _, err := run(oldPath, empty, jsonOpts()); err == nil {
+		t.Fatal("JSON document without numeric leaves accepted")
+	}
+}

@@ -26,8 +26,22 @@
 // and persist through it. The default role, standalone, is the
 // single-process service above, byte-compatible with earlier releases.
 //
-// See cmd/evoprotd/README.md for the job spec, endpoint reference and
-// cluster topology.
+// Multi-tenant hardening is opt-in via -auth and friends:
+//
+//	evoprotd -addr :8080 -auth keys.txt -rate 5 -max-active 32 -ttl 72h
+//
+// -auth names a static API-key file (one "<api-key> <tenant>" per
+// line) putting every /v1 route behind a key; jobs then belong to their
+// submitting tenant and other tenants cannot see them. -rate/-burst
+// token-bucket each tenant's submissions and -max-active caps its
+// queued+running jobs (breaches answer 429 + Retry-After). Specs may
+// carry "priority" 0..9; a high-priority submission against a full
+// worker pool preempts the lowest-priority running job — checkpoint,
+// requeue, resume — without changing its eventual result. -ttl
+// garbage-collects finished jobs' persisted data after a grace period.
+//
+// See cmd/evoprotd/README.md for the job spec, endpoint reference,
+// multi-tenant operation and cluster topology.
 package main
 
 import (
@@ -74,6 +88,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		coordURL   = fs.String("coordinator", "", "coordinator base URL, e.g. http://head:8080 (required with -role worker)")
 		leaseTTL   = fs.Duration("lease-ttl", cluster.DefaultLeaseTTL, "how long a worker lease survives missed heartbeats before its job is re-queued (coordinator)")
 		name       = fs.String("name", "", "worker name in leases and logs (worker; defaults to the hostname)")
+		authFile   = fs.String("auth", "", `API-key file enabling multi-tenant auth: one "<api-key> <tenant>" per line (empty keeps the open anonymous mode)`)
+		rate       = fs.Float64("rate", 0, "per-tenant submission rate limit in jobs/second; 0 disables (breaches answer 429)")
+		burst      = fs.Int("burst", 0, "rate limiter burst capacity; 0 derives it from -rate")
+		maxActive  = fs.Int("max-active", 0, "per-tenant cap on queued+running jobs; 0 disables (breaches answer 429)")
+		ttl        = fs.Duration("ttl", 0, "garbage-collect finished jobs' data this long after they end; 0 keeps them forever")
+		gcEvery    = fs.Duration("gc-every", 0, "garbage-collection sweep interval; 0 derives it from -ttl")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +120,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return fmt.Errorf(`unknown -store %q: want "fs:<dir>" or "mem"`, *storeSpec)
 	}
 
+	var keyring *serve.Keyring
+	if *authFile != "" {
+		k, err := serve.LoadKeyring(*authFile)
+		if err != nil {
+			return fmt.Errorf("-auth: %w", err)
+		}
+		keyring = k
+	}
+
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	serveCfg := serve.Config{
 		DataDir:          *dataDir,
@@ -108,6 +137,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		QueueDepth:       *queueDepth,
 		CheckpointEvery:  *ckptEvery,
 		AllowDatasetPath: *allowPaths,
+		Keyring:          keyring,
+		TenantRate:       *rate,
+		TenantBurst:      *burst,
+		TenantMaxActive:  *maxActive,
+		TTL:              *ttl,
+		GCEvery:          *gcEvery,
 		Logf:             logger.Printf,
 	}
 

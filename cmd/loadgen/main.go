@@ -1,0 +1,431 @@
+// Command loadgen replays a multi-tenant mix of job specs against a
+// running evoprotd and reports service-level metrics as a JSON
+// artifact — the load-test half of the service's CI gate.
+//
+//	loadgen -addr http://127.0.0.1:8080 -jobs 12 -concurrency 4 -out load.json
+//	loadgen -addr http://head:8080 -auth keys.txt -mix paper -jobs 40
+//
+// The mix mirrors the paper's experimental workload: many independent
+// fixed-seed optimization jobs over the same built-in dataset, differing
+// in masking grid, island count and priority — exactly what a crowd of
+// mutually-untrusting tenants outsourcing optimization would submit.
+// With -auth, submissions rotate over the key file's tenants
+// (the same "<api-key> <tenant>" format evoprotd's -auth reads);
+// without it the daemon is exercised in anonymous mode.
+//
+// The artifact records, per run: p50/p99/max submit latency, p50/p99
+// event-stream lag (submission to the first streamed event — the time a
+// subscriber waits before the feed goes live), completed jobs per
+// minute, and per-tenant acceptance/rejection counts. 429s are counted,
+// not retried: back-pressure is a measured outcome, not an error.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// tenant is one simulated client: a label and the API key it presents
+// ("" in anonymous mode).
+type tenant struct {
+	name string
+	key  string
+}
+
+// jobOutcome is one submission's measured life.
+type jobOutcome struct {
+	tenant      string
+	submitMS    float64
+	eventLagMS  float64
+	code        int
+	completed   bool
+	failed      bool
+	streamError string
+}
+
+// quantiles summarizes a latency distribution in milliseconds.
+type quantiles struct {
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// tenantReport is one tenant's slice of the run.
+type tenantReport struct {
+	Submitted int `json:"submitted"`
+	Accepted  int `json:"accepted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+}
+
+// report is the JSON artifact.
+type report struct {
+	Addr          string                  `json:"addr"`
+	Mix           string                  `json:"mix"`
+	Jobs          int                     `json:"jobs"`
+	Concurrency   int                     `json:"concurrency"`
+	DurationMS    float64                 `json:"duration_ms"`
+	Submitted     int                     `json:"submitted"`
+	Accepted      int                     `json:"accepted"`
+	Rejected429   int                     `json:"rejected_429"`
+	RejectedOther int                     `json:"rejected_other"`
+	Completed     int                     `json:"completed"`
+	Failed        int                     `json:"failed"`
+	SubmitLatency quantiles               `json:"submit_latency_ms"`
+	EventLag      quantiles               `json:"event_lag_ms"`
+	JobsPerMinute float64                 `json:"jobs_per_minute"`
+	PerTenant     map[string]tenantReport `json:"per_tenant"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "evoprotd base URL")
+		jobs    = fs.Int("jobs", 12, "total jobs to submit")
+		conc    = fs.Int("concurrency", 4, "submissions in flight at once")
+		mix     = fs.String("mix", "smoke", `spec mix: "smoke" (tiny, CI-sized) or "paper" (paper-scale grid-search jobs)`)
+		auth    = fs.String("auth", "", `API-key file ("<api-key> <tenant>" per line); submissions rotate over its tenants`)
+		out     = fs.String("out", "", "write the JSON artifact here (default stdout)")
+		timeout = fs.Duration("timeout", 10*time.Minute, "overall deadline for the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobs < 1 || *conc < 1 {
+		return fmt.Errorf("-jobs and -concurrency must be positive")
+	}
+	specs, err := mixSpecs(*mix)
+	if err != nil {
+		return err
+	}
+	tenants, err := loadTenants(*auth)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	client := &http.Client{}
+
+	var (
+		mu       sync.Mutex
+		outcomes []jobOutcome
+	)
+	sem := make(chan struct{}, *conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *jobs; i++ {
+		spec := specs[i%len(specs)]
+		ten := tenants[i%len(tenants)]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			o := runOne(ctx, client, *addr, ten, spec)
+			mu.Lock()
+			outcomes = append(outcomes, o)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(*addr, *mix, *jobs, *conc, elapsed, outcomes)
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, err = stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loadgen: %d submitted, %d completed, %.1f jobs/min, submit p99 %.1fms -> %s\n",
+		rep.Submitted, rep.Completed, rep.JobsPerMinute, rep.SubmitLatency.P99, *out)
+	return nil
+}
+
+// loadTenants parses the key file into the rotation; without one the
+// run uses a single anonymous tenant.
+func loadTenants(path string) ([]tenant, error) {
+	if path == "" {
+		return []tenant{{name: "anonymous"}}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tenants []tenant
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s: want \"<api-key> <tenant>\" per line, got %q", path, text)
+		}
+		tenants = append(tenants, tenant{name: fields[1], key: fields[0]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("%s: no keys", path)
+	}
+	sort.Slice(tenants, func(a, b int) bool { return tenants[a].name < tenants[b].name })
+	return tenants, nil
+}
+
+// mixSpecs returns the named mix's job specs as raw JSON bodies. Every
+// spec is fixed-seed over the same built-in dataset — the paper's
+// many-independent-grid-searches workload — varying grid, islands and
+// priority so the daemon's scheduler, quota and preemption paths all see
+// traffic.
+func mixSpecs(name string) ([][]byte, error) {
+	type spec map[string]any
+	base := func(gens, islands, seed, pri int) []byte {
+		s := spec{
+			"dataset":     "flare",
+			"rows":        80,
+			"generations": gens,
+			"islands":     islands,
+			"seed":        seed,
+			"workers":     1,
+		}
+		if islands > 1 {
+			s["migrate_every"] = 5
+		}
+		if pri > 0 {
+			s["priority"] = pri
+		}
+		buf, _ := json.Marshal(s)
+		return buf
+	}
+	switch name {
+	case "smoke":
+		return [][]byte{
+			base(12, 1, 7, 0),
+			base(12, 2, 11, 0),
+			base(16, 1, 13, 3),
+			base(10, 1, 17, 0),
+		}, nil
+	case "paper":
+		specs := make([][]byte, 0, 6)
+		for i := 0; i < 6; i++ {
+			pri := 0
+			if i%3 == 2 {
+				pri = 5
+			}
+			specs = append(specs, base(60+10*i, 1+i%3, 100+i, pri))
+		}
+		return specs, nil
+	default:
+		return nil, fmt.Errorf(`unknown -mix %q: want "smoke" or "paper"`, name)
+	}
+}
+
+// runOne submits one spec as ten and follows it to a terminal state,
+// measuring submit latency and the lag before its event stream delivers.
+func runOne(ctx context.Context, client *http.Client, addr string, ten tenant, spec []byte) jobOutcome {
+	o := jobOutcome{tenant: ten.name, eventLagMS: math.NaN()}
+	submitStart := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/jobs", bytes.NewReader(spec))
+	if err != nil {
+		o.code = -1
+		return o
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ten.key != "" {
+		req.Header.Set("X-API-Key", ten.key)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		o.code = -1
+		return o
+	}
+	o.submitMS = float64(time.Since(submitStart)) / float64(time.Millisecond)
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	o.code = resp.StatusCode
+	if resp.StatusCode != http.StatusCreated {
+		return o
+	}
+	var status struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &status); err != nil || status.ID == "" {
+		o.streamError = "unparseable submit response"
+		return o
+	}
+
+	// Event-stream lag: how long after the accepted submission the job's
+	// feed delivers its first event to a subscriber.
+	firstEvent := make(chan time.Time, 1)
+	streamCtx, stopStream := context.WithCancel(ctx)
+	defer stopStream()
+	go streamFirstEvent(streamCtx, client, addr, ten, status.ID, firstEvent)
+
+	state, err := waitTerminal(ctx, client, addr, ten, status.ID)
+	if err != nil {
+		o.streamError = err.Error()
+		return o
+	}
+	o.completed = state == "done"
+	o.failed = !o.completed
+	select {
+	case at := <-firstEvent:
+		o.eventLagMS = float64(at.Sub(submitStart)) / float64(time.Millisecond)
+	case <-time.After(2 * time.Second):
+		// Feed never went live (e.g. the job failed before any event).
+	}
+	return o
+}
+
+// streamFirstEvent tails the job's NDJSON feed and reports the arrival
+// time of its first event.
+func streamFirstEvent(ctx context.Context, client *http.Client, addr string, ten tenant, id string, first chan<- time.Time) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return
+	}
+	if ten.key != "" {
+		req.Header.Set("X-API-Key", ten.key)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadBytes('\n'); err != nil {
+		return
+	}
+	first <- time.Now()
+}
+
+// waitTerminal polls the job's status until done/cancelled/failed.
+func waitTerminal(ctx context.Context, client *http.Client, addr string, ten tenant, id string) (string, error) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return "", err
+		}
+		if ten.key != "" {
+			req.Header.Set("X-API-Key", ten.key)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", err
+		}
+		var status struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch status.State {
+		case "done", "cancelled", "failed":
+			return status.State, nil
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// summarize folds the outcomes into the artifact.
+func summarize(addr, mix string, jobs, conc int, elapsed time.Duration, outcomes []jobOutcome) report {
+	rep := report{
+		Addr:        addr,
+		Mix:         mix,
+		Jobs:        jobs,
+		Concurrency: conc,
+		DurationMS:  float64(elapsed) / float64(time.Millisecond),
+		PerTenant:   make(map[string]tenantReport),
+	}
+	var submits, lags []float64
+	for _, o := range outcomes {
+		t := rep.PerTenant[o.tenant]
+		t.Submitted++
+		rep.Submitted++
+		switch {
+		case o.code == http.StatusCreated:
+			t.Accepted++
+			rep.Accepted++
+			submits = append(submits, o.submitMS)
+		case o.code == http.StatusTooManyRequests:
+			t.Rejected++
+			rep.Rejected429++
+		default:
+			t.Rejected++
+			rep.RejectedOther++
+		}
+		if o.completed {
+			t.Completed++
+			rep.Completed++
+		}
+		if o.failed {
+			rep.Failed++
+		}
+		if !math.IsNaN(o.eventLagMS) {
+			lags = append(lags, o.eventLagMS)
+		}
+		rep.PerTenant[o.tenant] = t
+	}
+	rep.SubmitLatency = summarizeQuantiles(submits)
+	rep.EventLag = summarizeQuantiles(lags)
+	if elapsed > 0 {
+		rep.JobsPerMinute = float64(rep.Completed) / elapsed.Minutes()
+	}
+	return rep
+}
+
+// summarizeQuantiles computes p50/p99/max over samples (zeros when
+// empty — an empty run gates as a regression, not a crash).
+func summarizeQuantiles(samples []float64) quantiles {
+	if len(samples) == 0 {
+		return quantiles{}
+	}
+	sort.Float64s(samples)
+	pick := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(samples)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	return quantiles{P50: pick(0.50), P99: pick(0.99), Max: samples[len(samples)-1]}
+}

@@ -69,12 +69,16 @@ type Config struct {
 }
 
 // lease is one granted lease: the fencing token authorizing job's
-// mutations until deadline.
+// mutations until deadline. pri and seq feed the preemption policy —
+// the job's submission priority and the grant order (higher seq = newer
+// lease = less sunk work to throw away on a tie).
 type lease struct {
 	job      string
 	token    string
 	worker   string
 	deadline time.Time
+	pri      int
+	seq      int64
 }
 
 // Coordinator is the cluster's head: admission, recovery, the job table
@@ -211,6 +215,12 @@ type renewReply struct {
 	// Cancel reports a pending client DELETE: the worker should cancel
 	// the run and finalize the partial result.
 	Cancel bool `json:"cancel"`
+	// Preempt asks the worker to yield: a higher-priority job is queued
+	// with no free worker, and this lease holds the cluster's
+	// lowest-priority running job. The worker checkpoints, persists the
+	// job queued and releases with requeue=true; the job resumes
+	// bit-identically once capacity frees up.
+	Preempt bool `json:"preempt"`
 }
 
 // failRequest is POST /v1/lease/{job}/fail's body.
@@ -237,13 +247,13 @@ func (c *Coordinator) handleAcquire(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "coordinator shutting down", http.StatusServiceUnavailable)
 			return
 		}
-		if id, ok := c.queue.TryPop(); ok {
+		if id, pri, ok := c.queue.TryPop(); ok {
 			// A job cancelled while queued is finalized but still in the
 			// queue; skip it like the in-process pool's claim does.
 			if st, known := c.srv.JobSnapshot(id); !known || st.State != serve.StateQueued {
 				continue
 			}
-			l := c.grant(id, req.Worker)
+			l := c.grant(id, req.Worker, pri)
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(Lease{Job: l.job, Token: l.token, TTLMillis: c.cfg.LeaseTTL.Milliseconds()})
 			return
@@ -263,8 +273,8 @@ func (c *Coordinator) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// grant records a fresh lease on job for worker.
-func (c *Coordinator) grant(job, worker string) *lease {
+// grant records a fresh lease on job for worker at priority pri.
+func (c *Coordinator) grant(job, worker string, pri int) *lease {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++
@@ -273,6 +283,8 @@ func (c *Coordinator) grant(job, worker string) *lease {
 		token:    fmt.Sprintf("%d-%s", c.seq, randHex(8)),
 		worker:   worker,
 		deadline: time.Now().Add(c.cfg.LeaseTTL),
+		pri:      pri,
+		seq:      c.seq,
 	}
 	c.leases[job] = l
 	c.logf("cluster: job %s leased to worker %q (lease %s)", job, worker, l.token)
@@ -376,12 +388,35 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	l.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	preempt := c.shouldPreemptLocked(l)
 	c.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(renewReply{
 		TTLMillis: c.cfg.LeaseTTL.Milliseconds(),
 		Cancel:    c.srv.CancelRequested(job),
+		Preempt:   preempt,
 	})
+}
+
+// shouldPreemptLocked decides, at renew time, whether l's worker must
+// yield: a strictly higher-priority job waits in the queue AND l is the
+// preemption victim — the lowest-priority active lease, ties broken
+// toward the newest grant (the least sunk work). Piggybacking the
+// decision on heartbeats makes it self-healing: no coordinator state
+// tracks "pending preemptions"; as long as the queue head outranks the
+// victim, every renewal re-derives the same answer. Callers hold c.mu.
+func (c *Coordinator) shouldPreemptLocked(l *lease) bool {
+	maxPri, ok := c.queue.MaxPriority()
+	if !ok || maxPri <= l.pri {
+		return false
+	}
+	victim := l
+	for _, o := range c.leases {
+		if o.pri < victim.pri || (o.pri == victim.pri && o.seq > victim.seq) {
+			victim = o
+		}
+	}
+	return victim == l
 }
 
 // handleComplete releases a lease after the worker persisted a terminal

@@ -405,34 +405,45 @@ func TestLeaseQueueAccounting(t *testing.T) {
 	if q.Cap() != 2 {
 		t.Fatalf("Cap() = %d", q.Cap())
 	}
-	if !q.Push("a") || !q.Push("b") {
+	if !q.Push("a", 0) || !q.Push("b", 0) {
 		t.Fatal("push under the bound refused")
 	}
-	if q.Push("c") {
+	if q.Push("c", 0) {
 		t.Fatal("push over the bound admitted")
 	}
-	if !q.ForcePush("c") {
+	if !q.ForcePush("c", 0) {
 		t.Fatal("ForcePush refused")
 	}
 	if q.Depth() != 3 {
 		t.Fatalf("Depth() = %d", q.Depth())
 	}
-	for _, want := range []string{"a", "b", "c"} {
-		if id, ok := q.TryPop(); !ok || id != want {
-			t.Fatalf("TryPop = %q, %v; want %q", id, ok, want)
+	// A late high-priority submission outranks the FIFO backlog, and
+	// MaxPriority reports it while queued.
+	if !q.ForcePush("urgent", 7) {
+		t.Fatal("ForcePush refused")
+	}
+	if pri, ok := q.MaxPriority(); !ok || pri != 7 {
+		t.Fatalf("MaxPriority = %d, %v; want 7, true", pri, ok)
+	}
+	for _, want := range []struct {
+		id  string
+		pri int
+	}{{"urgent", 7}, {"a", 0}, {"b", 0}, {"c", 0}} {
+		if id, pri, ok := q.TryPop(); !ok || id != want.id || pri != want.pri {
+			t.Fatalf("TryPop = %q, %d, %v; want %q, %d", id, pri, ok, want.id, want.pri)
 		}
 	}
-	if _, ok := q.TryPop(); ok {
+	if _, _, ok := q.TryPop(); ok {
 		t.Fatal("TryPop on an empty queue delivered")
 	}
 	if q.Closed() {
 		t.Fatal("queue reports closed before Close")
 	}
 	q.Close()
-	if !q.Closed() || q.Push("d") || q.ForcePush("d") {
+	if !q.Closed() || q.Push("d", 0) || q.ForcePush("d", 0) {
 		t.Fatal("closed queue still admitting")
 	}
-	if _, ok := q.TryPop(); ok {
+	if _, _, ok := q.TryPop(); ok {
 		t.Fatal("TryPop on a closed queue delivered")
 	}
 }

@@ -2,15 +2,21 @@ package cluster
 
 import "sync"
 
+// qitem is one queued id with its submission priority.
+type qitem struct {
+	id  string
+	pri int
+}
+
 // leaseQueue is the coordinator's serve.JobQueue: the same bounded
-// FIFO contract as the in-process default, plus the non-blocking
-// TryPop the long-polling lease endpoint drains through (an HTTP
-// handler cannot park in a blocking Pop) and a Closed probe so
+// priority-queue contract as the in-process default, plus the
+// non-blocking TryPop the long-polling lease endpoint drains through
+// (an HTTP handler cannot park in a blocking Pop) and a Closed probe so
 // acquires answer 503 during shutdown instead of spinning.
 type leaseQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []string
+	items  []qitem // sorted: priority descending, arrival order within
 	bound  int
 	closed bool
 }
@@ -24,27 +30,40 @@ func newLeaseQueue(bound int) *leaseQueue {
 	return q
 }
 
-// Push appends id in arrival order; false when full or closed.
-func (q *leaseQueue) Push(id string) bool {
+// insert places it behind every queued item of equal or higher priority —
+// the slice stays sorted by (priority desc, arrival asc). Callers hold mu.
+func insert(items []qitem, it qitem) []qitem {
+	i := len(items)
+	for i > 0 && items[i-1].pri < it.pri {
+		i--
+	}
+	items = append(items, qitem{})
+	copy(items[i+1:], items[i:])
+	items[i] = it
+	return items
+}
+
+// Push admits id at priority pri; false when full or closed.
+func (q *leaseQueue) Push(id string, pri int) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed || len(q.items) >= q.bound {
 		return false
 	}
-	q.items = append(q.items, id)
+	q.items = insert(q.items, qitem{id: id, pri: pri})
 	q.cond.Signal()
 	return true
 }
 
-// ForcePush appends id regardless of the bound — recovery and lease
-// requeue. False only after Close.
-func (q *leaseQueue) ForcePush(id string) bool {
+// ForcePush enqueues id at priority pri regardless of the bound —
+// recovery, lease requeue and preemption. False only after Close.
+func (q *leaseQueue) ForcePush(id string, pri int) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return false
 	}
-	q.items = append(q.items, id)
+	q.items = insert(q.items, qitem{id: id, pri: pri})
 	q.cond.Signal()
 	return true
 }
@@ -62,21 +81,22 @@ func (q *leaseQueue) Pop() (id string, ok bool) {
 	if q.closed {
 		return "", false
 	}
-	id = q.items[0]
+	id = q.items[0].id
 	q.items = q.items[1:]
 	return id, true
 }
 
-// TryPop pops the head without blocking; false when empty or closed.
-func (q *leaseQueue) TryPop() (id string, ok bool) {
+// TryPop pops the highest-priority head without blocking, reporting its
+// priority alongside; false when empty or closed.
+func (q *leaseQueue) TryPop() (id string, pri int, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed || len(q.items) == 0 {
-		return "", false
+		return "", 0, false
 	}
-	id = q.items[0]
+	it := q.items[0]
 	q.items = q.items[1:]
-	return id, true
+	return it.id, it.pri, true
 }
 
 // Close wakes every blocked Pop and refuses further pushes.
@@ -103,3 +123,15 @@ func (q *leaseQueue) Depth() int {
 
 // Cap returns the admission bound.
 func (q *leaseQueue) Cap() int { return q.bound }
+
+// MaxPriority returns the highest queued priority; false when empty —
+// the probe the coordinator's preemption policy compares running leases
+// against.
+func (q *leaseQueue) MaxPriority() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].pri, true
+}

@@ -252,3 +252,76 @@ func TestClusterLeaseExpiryMatchesStandalone(t *testing.T) {
 		})
 	}
 }
+
+// TestClusterPreemptionMatchesStandalone: the priority-preemption half
+// of the determinism gate, through the lease protocol. A high-priority
+// submission against a saturated one-worker cluster rides the next
+// heartbeat: the coordinator's renew reply tells the worker to preempt,
+// the worker checkpoints and hands the job back requeued, runs the
+// urgent job first, then resumes the displaced one — and the displaced
+// job's feed and result must still be bit-identical to an uninterrupted
+// standalone run.
+func TestClusterPreemptionMatchesStandalone(t *testing.T) {
+	spec := evoprot.JobSpec{
+		Dataset:      "flare",
+		Rows:         120,
+		Generations:  400,
+		Islands:      1,
+		MigrateEvery: 10,
+		Seed:         17,
+	}
+	refEvents, refResult := runTopology(t, "standalone", storage.NewMem(), spec)
+
+	for name, be := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			// A short lease TTL keeps heartbeats (TTL/3) frequent, so the
+			// preempt signal reaches the worker within a few hundred ms.
+			_, ts := testCoordinator(t, be, Config{
+				Serve:    serve.Config{CheckpointEvery: 5},
+				LeaseTTL: 500 * time.Millisecond,
+			})
+			startWorker(t, ts.URL, "w1", 5)
+
+			low := postJob(t, ts.URL, spec)
+			mid := waitFor(t, ts.URL, low.ID, 60*time.Second, func(s serve.JobStatus) bool {
+				return s.Generation >= 60
+			})
+			if mid.State.Terminal() {
+				t.Fatalf("job finished (%s) before the test could preempt it; slow the spec down", mid.State)
+			}
+
+			urgent := smallSpec()
+			urgent.Priority = 9
+			urgentStatus := postJob(t, ts.URL, urgent)
+
+			urgentDone := waitFor(t, ts.URL, urgentStatus.ID, 60*time.Second, func(s serve.JobStatus) bool {
+				return s.State.Terminal()
+			})
+			if urgentDone.State != serve.StateDone {
+				t.Fatalf("urgent job finished as %s (error %q)", urgentDone.State, urgentDone.Error)
+			}
+			// One worker, serialized: the urgent job finishing first proves
+			// the preemption actually moved it ahead of the running job.
+			if got := getStatus(t, ts.URL, low.ID); got.State.Terminal() {
+				t.Fatalf("displaced job already %s when the urgent job finished", got.State)
+			}
+
+			done := waitFor(t, ts.URL, low.ID, 180*time.Second, func(s serve.JobStatus) bool {
+				return s.State.Terminal()
+			})
+			if done.State != serve.StateDone {
+				t.Fatalf("preempted job finished as %s (error %q)", done.State, done.Error)
+			}
+			if done.Generation != 400 {
+				t.Fatalf("preempted job executed %d generations, want 400", done.Generation)
+			}
+			if done.Preemptions != 1 || done.Resumes != 1 {
+				t.Fatalf("preemptions = %d, resumes = %d, want 1 and 1", done.Preemptions, done.Resumes)
+			}
+
+			events := fetchEvents(t, ts.URL, low.ID)
+			sameFeed(t, name, refEvents, events)
+			sameResult(t, name, refResult, fetchResult(t, ts.URL, low.ID))
+		})
+	}
+}

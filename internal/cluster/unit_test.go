@@ -32,7 +32,7 @@ func TestLeaseQueuePopBlocks(t *testing.T) {
 		got <- id
 	}()
 	time.Sleep(20 * time.Millisecond) // let Pop park
-	if !q.Push("j1") {
+	if !q.Push("j1", 0) {
 		t.Fatal("push refused")
 	}
 	select {

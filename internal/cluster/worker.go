@@ -264,6 +264,13 @@ func (w *Worker) watch(ctx context.Context, l *Lease, cancel context.CancelCause
 				lastOK = time.Now()
 				if reply.Cancel {
 					cancel(serve.ErrCancelled)
+				} else if reply.Preempt {
+					// Yield to a queued higher-priority job: the engine
+					// checkpoints, persists the job queued, and serve()
+					// releases with requeue=true — the coordinator hands the
+					// freed capacity to the queue head and this job resumes
+					// later, bit-identical to an unpreempted run.
+					cancel(serve.ErrPreempted)
 				}
 			case errors.Is(err, errLeaseLost):
 				// Re-leased or expired: our writes are fenced; stop now and

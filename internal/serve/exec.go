@@ -15,10 +15,13 @@ import (
 // cancelling a run context with ErrInterrupted leaves the job resumable
 // in the store — the lease-expiry / worker-shutdown path — while
 // ErrCancelled finalizes it as cancelled with its partial result kept,
-// exactly like a client DELETE.
+// exactly like a client DELETE. ErrPreempted checkpoints the job and
+// persists it queued so it can yield its worker to higher-priority work
+// and later resume bit-identically.
 var (
 	ErrInterrupted = errShutdown
 	ErrCancelled   = errCancelled
+	ErrPreempted   = errPreempted
 )
 
 // engine is the execution half of the service: everything between
@@ -30,6 +33,11 @@ type engine struct {
 	st        *store
 	ckptEvery int
 	logf      func(format string, args ...any)
+	// requeue, when non-nil, returns a just-preempted job to the local
+	// queue. Nil on the Executor path: a cluster worker's preempted job
+	// travels back through the coordinator's lease-release requeue
+	// instead.
+	requeue func(*job)
 }
 
 // claim moves a queued job to running; false means it was cancelled (or
@@ -74,9 +82,39 @@ func (e *engine) runJob(parent context.Context, j *job) {
 	cause := context.Cause(ctx)
 	switch {
 	case runErr == nil:
-		// A clean completion wins even when a shutdown or cancel raced the
-		// last generation — the work is done, so finalize it.
+		// A clean completion wins even when a shutdown, cancel or
+		// preemption raced the last generation — the work is done, so
+		// finalize it. Island-Done events held back by a racing preemption
+		// belong in the feed after all; they arrive last in an uninterrupted
+		// run too, so appending them here keeps the feed's order and its
+		// seq-equals-line-index invariant.
+		j.mu.Lock()
+		held := j.heldDone
+		j.heldDone = nil
+		j.mu.Unlock()
+		for _, ev := range held {
+			e.onEvent(context.Background(), j, ev)
+		}
 		e.finalize(j, res, StateDone, "")
+	case errors.Is(cause, errPreempted) && !j.clientCancelled():
+		// Preempted by a higher-priority submission: the runner's final
+		// checkpoint persisted the exact stopping point and the feed holds
+		// no interruption artifacts (onEvent held the Done markers back), so
+		// the eventual resume replays into a feed and result bit-identical
+		// to a run that was never preempted. Hand the job straight back to
+		// the queue at its own priority.
+		j.mu.Lock()
+		j.heldDone = nil
+		j.status.State = StateQueued
+		j.status.Resumes++
+		j.status.Preemptions++
+		e.persistStatusLocked(j)
+		gen := j.status.Generation
+		j.mu.Unlock()
+		e.logf("serve: job %s preempted at generation %d, requeued", j.id, gen)
+		if e.requeue != nil {
+			e.requeue(j)
+		}
 	case errors.Is(cause, errShutdown) && !j.clientCancelled():
 		// Interrupted, not over: the runner's final checkpoint write has
 		// already persisted the exact stopping point. Record progress and
@@ -157,7 +195,7 @@ func (e *engine) executeJob(ctx context.Context, j *job) (*evoprot.RunResult, er
 			return nil
 		}, e.ckptEvery),
 		evoprot.WithFirstEventSeq(count),
-		evoprot.WithProgress(func(ev evoprot.Event) { e.onEvent(j, ev) }),
+		evoprot.WithProgress(func(ev evoprot.Event) { e.onEvent(ctx, j, ev) }),
 	)
 	remaining := spec.Budget() - resumeFrom
 	if resumeFrom > 0 && remaining > 0 {
@@ -245,7 +283,20 @@ func (e *engine) resultFromRunner(r *evoprot.Runner) *evoprot.RunResult {
 // onEvent is the runner's progress callback: append to the durable feed,
 // fold the event into the live status, and persist the status every so
 // often so a hard crash recovers a recent generation marker.
-func (e *engine) onEvent(j *job, ev evoprot.Event) {
+//
+// Under a preemption the islands' Done events are held back instead of
+// appended: the resumed run re-emits the same sequence numbers with its
+// own trajectory, so writing the interruption's Done markers would make
+// a preempted-then-resumed feed diverge from an unpreempted run's. The
+// held events are dropped on the preempted exit path and appended after
+// all when a clean completion wins the race (see runJob).
+func (e *engine) onEvent(ctx context.Context, j *job, ev evoprot.Event) {
+	if ev.Done && errors.Is(context.Cause(ctx), errPreempted) {
+		j.mu.Lock()
+		j.heldDone = append(j.heldDone, ev)
+		j.mu.Unlock()
+		return
+	}
 	if err := j.log.append(ev); err != nil {
 		j.mu.Lock()
 		if j.logErr == nil {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"evoprot"
 )
@@ -16,8 +17,15 @@ import (
 // it).
 const maxSpecBytes = 64 << 20
 
-// retryAfterSeconds is the Retry-After hint sent with queue-full 503s.
+// retryAfterSeconds is the Retry-After hint sent with queue-full 503s
+// and quota 429s.
 const retryAfterSeconds = 15
+
+// errStreamStalled reports an event-stream subscriber that kept its
+// buffer full past the stall window; the connection is dropped so the
+// pump can serve live consumers (the durable feed makes reconnecting
+// lossless).
+var errStreamStalled = errors.New("serve: event-stream subscriber stalled")
 
 // Handler returns the service's HTTP API:
 //
@@ -28,16 +36,79 @@ const retryAfterSeconds = 15
 //	GET    /v1/jobs/{id}/events event feed from ?offset=N, NDJSON or SSE
 //	GET    /v1/jobs/{id}/result terminal result (+ dataset, ?format=csv)
 //	GET    /healthz             liveness
+//
+// With a Keyring configured, every /v1 route requires an API key
+// (Authorization: Bearer <key> or X-API-Key: <key>) resolving to a
+// tenant; jobs belong to their submitting tenant and other tenants see
+// 404s. /healthz stays open for load balancers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs", s.authed(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.authed(s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.authed(s.handleStatus))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.authed(s.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.authed(s.handleEvents))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.authed(s.handleResult))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
+}
+
+// authed wraps a handler with API-key authentication. Without a Keyring
+// the service stays in the historical anonymous mode and every request
+// passes through as the "" tenant; with one, requests lacking a known
+// key get 401 before the handler runs.
+func (s *Server) authed(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tenant := ""
+		if s.cfg.Keyring != nil {
+			key := r.Header.Get("X-API-Key")
+			if key == "" {
+				if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+					key = strings.TrimPrefix(auth, "Bearer ")
+				}
+			}
+			if key == "" {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="evoprot"`)
+				writeError(w, http.StatusUnauthorized, "missing API key")
+				return
+			}
+			t, ok := s.cfg.Keyring.Resolve(key)
+			if !ok {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="evoprot"`)
+				writeError(w, http.StatusUnauthorized, "unknown API key")
+				return
+			}
+			tenant = t
+		}
+		h(w, r, tenant)
+	}
+}
+
+// visibleJob resolves id for tenant. In authenticated mode a foreign
+// tenant's job answers exactly like an unknown id — a 404, leaking
+// nothing about other tenants' work.
+func (s *Server) visibleJob(id, tenant string) *job {
+	j := s.job(id)
+	if j == nil || s.cfg.Keyring == nil {
+		return j
+	}
+	j.mu.Lock()
+	owner := j.status.Tenant
+	j.mu.Unlock()
+	if owner != tenant {
+		return nil
+	}
+	return j
+}
+
+// retrySeconds renders a Retry-After hint: d rounded up to whole
+// seconds, at least 1.
+func retrySeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // apiError is the uniform error body.
@@ -67,7 +138,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenant string) {
+	// Admission control fires before the body is even read: rate and
+	// quota breaches are per-tenant 429s with a Retry-After hint, and a
+	// breaching tenant costs the server nothing beyond this check —
+	// other tenants' submissions and running jobs are untouched.
+	if ok, retry := s.limiter.allow(tenant); !ok {
+		secs := retrySeconds(retry)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "submission rate limit exceeded, retry in %ds", secs)
+		return
+	}
+	if max := s.cfg.TenantMaxActive; max > 0 {
+		if active := s.tenantActive(tenant); active >= max {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			writeError(w, http.StatusTooManyRequests, "tenant quota reached: %d jobs queued or running (limit %d)", active, max)
+			return
+		}
+	}
 	var spec evoprot.JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
@@ -102,7 +190,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	status, err := s.submit(spec, orig)
+	status, err := s.submit(tenant, spec, orig)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			// Retry-After gives backoff loops and load balancers a concrete
@@ -119,12 +207,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, status)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.listJobs()})
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, tenant string) {
+	jobs := s.listJobs()
+	if s.cfg.Keyring != nil {
+		mine := jobs[:0]
+		for _, st := range jobs {
+			if st.Tenant == tenant {
+				mine = append(mine, st)
+			}
+		}
+		jobs = mine
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, tenant string) {
+	j := s.visibleJob(r.PathValue("id"), tenant)
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
@@ -132,8 +230,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.snapshotStatus())
 }
 
-func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request, tenant string) {
+	j := s.visibleJob(r.PathValue("id"), tenant)
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
@@ -141,8 +239,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.cancelJob(j))
 }
 
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, tenant string) {
+	j := s.visibleJob(r.PathValue("id"), tenant)
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
@@ -188,22 +286,59 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-ctx.Done():
 		}
 	}()
+	// Bounded per-subscriber buffer: a pump goroutine tails the durable
+	// feed into lines and this handler drains them to the client. A
+	// consumer that keeps the buffer full past StreamStall is dropped —
+	// the feed is durable, so it reconnects at its offset and misses
+	// nothing — instead of pinning a feed reader open indefinitely.
+	lines := make(chan []byte, s.cfg.StreamBuffer)
+	pumped := make(chan error, 1)
+	go func() {
+		defer close(lines)
+		pumped <- j.log.stream(ctx.Done(), offset, func(line []byte) error {
+			buffered := append([]byte(nil), line...)
+			select {
+			case lines <- buffered:
+				return nil
+			default:
+			}
+			stall := time.NewTimer(s.cfg.StreamStall)
+			defer stall.Stop()
+			select {
+			case lines <- buffered:
+				return nil
+			case <-stall.C:
+				return errStreamStalled
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
 	seq := offset
-	err := j.log.stream(ctx.Done(), offset, func(line []byte) error {
-		var err error
+	for line := range lines {
+		var werr error
 		if sse {
-			_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", seq, line)
+			_, werr = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", seq, line)
 		} else {
-			_, err = fmt.Fprintf(w, "%s\n", line)
+			_, werr = fmt.Fprintf(w, "%s\n", line)
 		}
 		seq++
-		if err == nil && flusher != nil {
+		if werr != nil {
+			// Client gone mid-write: stop the pump and bail out.
+			cancelStream()
+			<-pumped
+			return
+		}
+		if flusher != nil {
 			flusher.Flush()
 		}
-		return err
-	})
-	if err != nil {
-		return // client gone or log unreadable; the stream just ends
+	}
+	if err := <-pumped; err != nil {
+		if errors.Is(err, errStreamStalled) {
+			s.cfg.Logf("serve: job %s: dropped stalled event-stream subscriber (buffer of %d full for %s)",
+				j.id, s.cfg.StreamBuffer, s.cfg.StreamStall)
+		}
+		return // stalled subscriber, gone client or unreadable log; the stream just ends
 	}
 	if sse {
 		// Tell well-behaved clients the feed is complete, not dropped.
@@ -211,8 +346,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, tenant string) {
+	j := s.visibleJob(r.PathValue("id"), tenant)
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return

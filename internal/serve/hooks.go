@@ -53,8 +53,9 @@ func (s *Server) RequeueJob(id string) error {
 	j.status.State = StateQueued
 	s.persistStatusLocked(j)
 	gen := j.status.Generation
+	pri := j.status.Spec.Priority
 	j.mu.Unlock()
-	if !s.queue.ForcePush(id) {
+	if !s.queue.ForcePush(id, pri) {
 		return fmt.Errorf("serve: job %s: queue refused requeue (closed)", id)
 	}
 	s.cfg.Logf("serve: job %s requeued at generation %d", id, gen)

@@ -6,45 +6,61 @@ import "sync"
 // pool: submissions enter through Push under the queue's admission
 // policy, recovery re-enqueues persisted work through ForcePush, and
 // workers drain through Pop. The default NewFIFOQueue is a bounded
-// in-memory FIFO; a distributed deployment can substitute a shared queue
-// without the server noticing.
+// in-memory priority queue; a distributed deployment can substitute a
+// shared queue without the server noticing.
 //
 // The contract:
 //
-//   - Push admits id in arrival order, or reports false when the queue
-//     refuses it (full or closed) — the HTTP layer's 503.
+//   - Push admits id at priority pri (higher pops first, FIFO within a
+//     priority), or reports false when the queue refuses it (full or
+//     closed) — the HTTP layer's 503.
 //   - ForcePush enqueues id regardless of the admission bound, so a
 //     restarted server never strands persisted jobs behind its own
 //     admission control. Force-pushed work still occupies queue
 //     capacity: while a recovered backlog keeps the queue at or over
 //     its bound, Push keeps refusing new submissions until workers
-//     drain it back under. False only after Close.
+//     drain it back under. False only after Close. Preempted jobs
+//     return through ForcePush too — they already passed admission
+//     once.
 //   - Pop blocks until an item arrives or the queue closes; ok reports
-//     whether an item was delivered. Close wins over queued items, so
-//     workers exit promptly on shutdown.
+//     whether an item was delivered. The highest-priority item pops
+//     first; equal priorities pop in arrival order. Close wins over
+//     queued items, so workers exit promptly on shutdown.
 //   - Close wakes every blocked Pop and refuses further pushes.
 //   - Depth reports how many ids are queued right now.
 //   - Cap reports the admission bound Push enforces. Depth may exceed it
 //     while a recovered (ForcePushed) backlog drains.
+//   - MaxPriority reports the highest priority currently queued, false
+//     when the queue is empty — the probe a preemption policy compares
+//     running work against.
 type JobQueue interface {
-	Push(id string) bool
-	ForcePush(id string) bool
+	Push(id string, pri int) bool
+	ForcePush(id string, pri int) bool
 	Pop() (id string, ok bool)
 	Close()
 	Depth() int
 	Cap() int
+	MaxPriority() (pri int, ok bool)
 }
 
-// fifoQueue is the default JobQueue: a bounded in-memory FIFO.
+// qitem is one queued id with its priority.
+type qitem struct {
+	id  string
+	pri int
+}
+
+// fifoQueue is the default JobQueue: a bounded in-memory priority queue,
+// FIFO within each priority (and plain FIFO when every submission uses
+// the default priority 0).
 type fifoQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []string
+	items  []qitem // sorted: priority descending, arrival order within
 	bound  int
 	closed bool
 }
 
-// NewFIFOQueue builds the default bounded FIFO admitting at most bound
+// NewFIFOQueue builds the default bounded queue admitting at most bound
 // queued jobs at a time.
 func NewFIFOQueue(bound int) JobQueue {
 	q := &fifoQueue{bound: bound}
@@ -52,30 +68,43 @@ func NewFIFOQueue(bound int) JobQueue {
 	return q
 }
 
-// Push appends id in arrival order; it reports false when the queue is
+// insert places it behind every queued item of equal or higher priority —
+// the slice stays sorted by (priority desc, arrival asc). Callers hold mu.
+func insert(items []qitem, it qitem) []qitem {
+	i := len(items)
+	for i > 0 && items[i-1].pri < it.pri {
+		i--
+	}
+	items = append(items, qitem{})
+	copy(items[i+1:], items[i:])
+	items[i] = it
+	return items
+}
+
+// Push admits id at priority pri; it reports false when the queue is
 // full or closed. Recovered jobs enqueued by ForcePush count toward the
 // fullness check: admission control sees the true backlog, not just the
 // part of it that arrived over HTTP.
-func (q *fifoQueue) Push(id string) bool {
+func (q *fifoQueue) Push(id string, pri int) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed || len(q.items) >= q.bound {
 		return false
 	}
-	q.items = append(q.items, id)
+	q.items = insert(q.items, qitem{id: id, pri: pri})
 	q.cond.Signal()
 	return true
 }
 
-// ForcePush appends id regardless of the bound — the recovery path.
-// Still refused after Close.
-func (q *fifoQueue) ForcePush(id string) bool {
+// ForcePush enqueues id at priority pri regardless of the bound — the
+// recovery and preemption-requeue path. Still refused after Close.
+func (q *fifoQueue) ForcePush(id string, pri int) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return false
 	}
-	q.items = append(q.items, id)
+	q.items = insert(q.items, qitem{id: id, pri: pri})
 	q.cond.Signal()
 	return true
 }
@@ -93,7 +122,7 @@ func (q *fifoQueue) Pop() (id string, ok bool) {
 	if q.closed {
 		return "", false
 	}
-	id = q.items[0]
+	id = q.items[0].id
 	q.items = q.items[1:]
 	return id, true
 }
@@ -115,3 +144,13 @@ func (q *fifoQueue) Depth() int {
 
 // Cap returns the admission bound.
 func (q *fifoQueue) Cap() int { return q.bound }
+
+// MaxPriority returns the highest queued priority; false when empty.
+func (q *fifoQueue) MaxPriority() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].pri, true
+}

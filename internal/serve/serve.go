@@ -12,6 +12,17 @@
 // conforming backend via Config.Store. No handler or worker touches the
 // filesystem directly.
 //
+// The service is multi-tenant under load: an optional Keyring puts the
+// API behind per-tenant keys (jobs are invisible across tenants),
+// token-bucket rate limits and active-job quotas answer per-tenant
+// breaches with 429 without touching other tenants, job priorities
+// preempt the lowest-priority running job through the crash-safe
+// checkpoint/requeue/resume path (provably without changing its
+// result), finished jobs' data is garbage-collected after a TTL, and
+// each event-stream subscriber is bounded by a buffer + stall window so
+// a stuck consumer cannot pin a feed reader. All of it is opt-in; the
+// zero Config is the historical single-tenant open service.
+//
 // Restart semantics: stopping the server does not cancel jobs, it
 // interrupts them. The runner's final checkpoint write on interruption
 // persists the exact cancellation-point state, the job stays non-terminal
@@ -42,6 +53,14 @@ const (
 	DefaultQueueDepth      = 64
 	DefaultCheckpointEvery = 25
 	DefaultMaxRows         = 1 << 20
+	// DefaultStreamBuffer is the per-subscriber event-stream buffer in
+	// events: how far a consumer may fall behind the feed pump before the
+	// stall clock starts against it.
+	DefaultStreamBuffer = 256
+	// DefaultStreamStall is how long a subscriber with a full buffer may
+	// block before the server drops the connection (the feed is durable —
+	// a dropped consumer reconnects at its offset and loses nothing).
+	DefaultStreamStall = 30 * time.Second
 )
 
 // Config parameterizes a Server. Zero values select the defaults above.
@@ -72,6 +91,35 @@ type Config struct {
 	// materializes the dataset synchronously, so an unbounded row count
 	// would let one request allocate arbitrary memory.
 	MaxRows int
+	// Keyring enables API-key auth: every /v1 request must present a key
+	// the ring resolves to a tenant id, jobs belong to the submitting
+	// tenant, and one tenant never sees another's jobs. Nil keeps the
+	// historical anonymous mode — no auth, one shared unlimited tenant.
+	Keyring *Keyring
+	// TenantRate rate-limits each tenant's submissions (token bucket, in
+	// submissions per second); breaches answer 429 + Retry-After.
+	// 0 disables rate limiting.
+	TenantRate float64
+	// TenantBurst is the rate limiter's bucket capacity; 0 derives it
+	// from TenantRate (at least 1).
+	TenantBurst int
+	// TenantMaxActive caps one tenant's queued + running jobs; breaches
+	// answer 429 + Retry-After. 0 disables the quota.
+	TenantMaxActive int
+	// TTL garbage-collects terminal jobs: once a job has been done,
+	// cancelled or failed for longer than TTL, the GC sweep deletes its
+	// whole data-dir entry through the storage seam and drops it from the
+	// job table. 0 keeps jobs forever (the historical behavior).
+	TTL time.Duration
+	// GCEvery is the garbage-collection sweep interval; 0 selects TTL/4
+	// (bounded below at one second). Ignored when TTL is 0.
+	GCEvery time.Duration
+	// StreamBuffer is the per-subscriber event-stream buffer in events;
+	// 0 selects DefaultStreamBuffer.
+	StreamBuffer int
+	// StreamStall is how long a subscriber whose buffer is full may stall
+	// the pump before being disconnected; 0 selects DefaultStreamStall.
+	StreamStall time.Duration
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +140,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxRows <= 0 {
 		c.MaxRows = DefaultMaxRows
 	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = DefaultStreamBuffer
+	}
+	if c.StreamStall <= 0 {
+		c.StreamStall = DefaultStreamStall
+	}
+	if c.TTL > 0 && c.GCEvery <= 0 {
+		c.GCEvery = c.TTL / 4
+		if c.GCEvery < time.Second {
+			c.GCEvery = time.Second
+		}
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -102,10 +162,13 @@ func (c Config) withDefaults() (Config, error) {
 func isNotExist(err error) bool { return errors.Is(err, storage.ErrNotExist) }
 
 // Cancellation causes, distinguished through context.Cause: a shutdown
-// leaves the job resumable in the store, a client cancel finalizes it.
+// leaves the job resumable in the store, a client cancel finalizes it,
+// and a preemption checkpoints the job back onto the queue so a
+// higher-priority submission can take its worker.
 var (
 	errShutdown  = errors.New("serve: server shutting down")
 	errCancelled = errors.New("serve: job cancelled by client")
+	errPreempted = errors.New("serve: job preempted by a higher-priority submission")
 )
 
 // job is the in-memory face of one persisted job.
@@ -120,6 +183,14 @@ type job struct {
 	clientCancel bool                    // DELETE arrived; wins over shutdown races
 	sincePers    int                     // events since the last status persist
 	logErr       error                   // first event-log append failure
+	heldDone     []evoprot.Event         // island-Done events held back under a preemption (see onEvent)
+}
+
+// priority returns the job's submission priority.
+func (j *job) priority() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status.Spec.Priority
 }
 
 // jobAggregator resolves the job's shared fitness aggregation — the
@@ -167,8 +238,9 @@ func (j *job) snapshotStatus() JobStatus {
 // execution half — shared, via Executor, with cluster workers.
 type Server struct {
 	*engine
-	cfg   Config
-	queue JobQueue
+	cfg     Config
+	queue   JobQueue
+	limiter *tenantLimiter
 
 	ctx      context.Context
 	shutdown context.CancelCauseFunc
@@ -210,10 +282,19 @@ func New(cfg Config) (*Server, error) {
 		engine:   &engine{st: &store{be: be}, ckptEvery: c.CheckpointEvery, logf: c.Logf},
 		cfg:      c,
 		queue:    queue,
+		limiter:  newTenantLimiter(c.TenantRate, c.TenantBurst),
 		ctx:      ctx,
 		shutdown: cancel,
 		stopping: make(chan struct{}),
 		jobs:     make(map[string]*job),
+	}
+	// A preempted job's worker hands it straight back to the queue at its
+	// own priority; the higher-priority submission that displaced it pops
+	// first.
+	s.engine.requeue = func(j *job) {
+		if !s.queue.ForcePush(j.id, j.priority()) {
+			s.cfg.Logf("serve: job %s: queue refused preemption requeue (closed)", j.id)
+		}
 	}
 	if err := s.recover(); err != nil {
 		cancel(errShutdown)
@@ -265,18 +346,75 @@ func (s *Server) recover() error {
 		return pending[a].status.Created.Before(pending[b].status.Created)
 	})
 	for _, j := range pending {
-		s.queue.ForcePush(j.id)
+		s.queue.ForcePush(j.id, j.status.Spec.Priority)
 		s.cfg.Logf("serve: recovered job %s at generation %d", j.id, j.status.Generation)
 	}
 	return nil
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool and, when a TTL is configured, the
+// garbage collector.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.cfg.TTL > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
+}
+
+// gcLoop sweeps expired terminal jobs every GCEvery until shutdown.
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.GCEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopping:
+			return
+		case <-t.C:
+			s.gcSweep(time.Now())
+		}
+	}
+}
+
+// gcSweep deletes every terminal job whose Finished timestamp is more
+// than TTL in the past: the store entry goes first (through the seam —
+// checkpoint, feed, result, dataset, all of it), then the job leaves the
+// in-memory table. A failed delete leaves the job listed so the next
+// sweep retries it.
+func (s *Server) gcSweep(now time.Time) (collected int) {
+	cutoff := now.Add(-s.cfg.TTL)
+	type victim struct {
+		id       string
+		state    jobState
+		finished time.Time
+	}
+	s.mu.Lock()
+	var expired []victim
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.status.State.Terminal() && !j.status.Finished.IsZero() && j.status.Finished.Before(cutoff) {
+			expired = append(expired, victim{id: j.id, state: j.status.State, finished: j.status.Finished})
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, v := range expired {
+		if err := s.st.be.Delete(v.id); err != nil {
+			s.cfg.Logf("serve: job %s: gc delete: %v", v.id, err)
+			continue
+		}
+		s.mu.Lock()
+		delete(s.jobs, v.id)
+		s.mu.Unlock()
+		collected++
+		s.cfg.Logf("serve: job %s garbage-collected (%s, finished %s ago)",
+			v.id, v.state, now.Sub(v.finished).Round(time.Second))
+	}
+	return collected
 }
 
 // Stop interrupts running jobs (leaving them resumable in the store),
@@ -351,9 +489,67 @@ func (s *Server) specDatasetPath(id string) string {
 	return "mem:" + id + "/" + datasetFileName
 }
 
+// tenantActive counts tenant's queued + running jobs — the quota the
+// TenantMaxActive cap is enforced against.
+func (s *Server) tenantActive(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.status.Tenant == tenant && !j.status.State.Terminal() {
+			active++
+		}
+		j.mu.Unlock()
+	}
+	return active
+}
+
+// maybePreempt checkpoints and requeues the lowest-priority running job
+// when a priority-pri submission would otherwise wait behind a full
+// worker pool. The victim's cancellation cause routes it through the
+// crash-safe resume machinery — final checkpoint, persisted queued,
+// ForcePush at its own priority — so its eventual completion is
+// bit-identical to a run that was never preempted. Nothing happens when
+// a worker is idle or no running job ranks strictly below pri.
+func (s *Server) maybePreempt(pri int) {
+	s.mu.Lock()
+	var running []*job
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.status.State == StateRunning && j.cancel != nil {
+			running = append(running, j)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if len(running) < s.cfg.Workers {
+		return
+	}
+	var victim *job
+	victimPri := 0
+	for _, j := range running {
+		if p := j.priority(); victim == nil || p < victimPri {
+			victim, victimPri = j, p
+		}
+	}
+	if victim == nil || victimPri >= pri {
+		return
+	}
+	victim.mu.Lock()
+	cancel := victim.cancel
+	victim.mu.Unlock()
+	if cancel != nil {
+		s.cfg.Logf("serve: preempting job %s (priority %d) for a priority-%d submission", victim.id, victimPri, pri)
+		cancel(errPreempted)
+	}
+}
+
 // submit persists and enqueues a validated spec whose dataset has already
-// been materialized; it returns the new job's status snapshot.
-func (s *Server) submit(spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus, error) {
+// been materialized; it returns the new job's status snapshot. tenant is
+// the authenticated submitter ("" in anonymous mode) — rate and quota
+// checks already passed in the handler.
+func (s *Server) submit(tenant string, spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus, error) {
 	id, err := newJobID()
 	if err != nil {
 		return JobStatus{}, err
@@ -390,6 +586,7 @@ func (s *Server) submit(spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus,
 			State:   StateQueued,
 			Spec:    spec,
 			Created: time.Now().UTC(),
+			Tenant:  tenant,
 		},
 	}
 	if err := s.st.saveJSON(id, statusKey, j.status); err != nil {
@@ -400,13 +597,16 @@ func (s *Server) submit(spec evoprot.JobSpec, orig *evoprot.Dataset) (JobStatus,
 	s.mu.Lock()
 	s.jobs[id] = j
 	s.mu.Unlock()
-	if !s.queue.Push(id) {
+	if !s.queue.Push(id, spec.Priority) {
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
 		log.finish()
 		cleanup()
 		return JobStatus{}, errQueueFull
+	}
+	if spec.Priority > 0 {
+		s.maybePreempt(spec.Priority)
 	}
 	s.cfg.Logf("serve: job %s accepted (queue depth %d)", id, s.queue.Depth())
 	return j.snapshotStatus(), nil

@@ -121,6 +121,11 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// Resumes counts checkpoint resumptions after server restarts.
 	Resumes int `json:"resumes"`
+	// Tenant is the submitting tenant's id; empty in anonymous mode.
+	Tenant string `json:"tenant,omitempty"`
+	// Preemptions counts how many times a higher-priority submission
+	// checkpointed and requeued this job.
+	Preemptions int `json:"preemptions,omitempty"`
 }
 
 // JobResult is the wire form of GET /v1/jobs/{id}/result and the

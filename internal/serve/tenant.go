@@ -1,0 +1,142 @@
+package serve
+
+// Multi-tenant admission: API keys resolving to tenant ids, per-tenant
+// token-bucket rate limits on submission, and per-tenant quotas on
+// in-flight (queued + running) jobs. All of it is opt-in — a server
+// without a Keyring runs in the historical anonymous mode, where every
+// client shares the unlimited "" tenant and nothing below fires.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Keyring maps static API keys to tenant ids — the auth backend behind
+// evoprotd's -auth flag. The file format is one grant per line:
+//
+//	<api-key> <tenant-id>
+//
+// separated by whitespace, with blank lines and #-comments ignored.
+// Several keys may name the same tenant (key rotation); one key naming
+// two tenants is a configuration error.
+type Keyring struct {
+	keys map[string]string // key -> tenant
+}
+
+// ParseKeyring reads the key-file format from r.
+func ParseKeyring(r io.Reader) (*Keyring, error) {
+	k := &Keyring{keys: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("serve: auth file line %d: want \"<api-key> <tenant>\", got %d fields", line, len(fields))
+		}
+		key, tenant := fields[0], fields[1]
+		if prev, dup := k.keys[key]; dup && prev != tenant {
+			return nil, fmt.Errorf("serve: auth file line %d: key already grants tenant %q", line, prev)
+		}
+		k.keys[key] = tenant
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(k.keys) == 0 {
+		return nil, fmt.Errorf("serve: auth file grants no keys")
+	}
+	return k, nil
+}
+
+// LoadKeyring reads an auth key file from disk.
+func LoadKeyring(path string) (*Keyring, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	k, err := ParseKeyring(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return k, nil
+}
+
+// Resolve maps an API key to its tenant id; ok is false for unknown keys.
+func (k *Keyring) Resolve(key string) (tenant string, ok bool) {
+	tenant, ok = k.keys[key]
+	return tenant, ok
+}
+
+// Len reports how many keys the ring grants.
+func (k *Keyring) Len() int { return len(k.keys) }
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// tenantLimiter rate-limits submissions per tenant with a classic token
+// bucket: rate tokens/second refill up to burst, one token per
+// submission. Zero rate disables it.
+type tenantLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// newTenantLimiter builds a limiter at rate submissions/second with the
+// given burst capacity (a burst below 1 is raised to 1 — a full bucket
+// must admit at least one submission). A rate of 0 returns a limiter
+// whose allow always grants.
+func newTenantLimiter(rate float64, burst int) *tenantLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &tenantLimiter{
+		rate:    rate,
+		burst:   b,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token from tenant's bucket. When the bucket is empty
+// it reports false and how long until the next token accrues — the
+// Retry-After hint.
+func (l *tenantLimiter) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, exists := l.buckets[tenant]
+	if !exists {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}

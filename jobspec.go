@@ -81,6 +81,11 @@ type JobSpec struct {
 	// LazyPrepare skips eager delta-preparation of the initial population —
 	// a memory-pressure knob; identical results.
 	LazyPrepare bool `json:"lazy_prepare,omitempty"`
+	// Priority orders service-side scheduling (0-9, higher runs first; 0
+	// is the default). It is a service concern, not an engine option: a
+	// high-priority submission may preempt lower-priority running work,
+	// and the result is unaffected either way.
+	Priority int `json:"priority,omitempty"`
 }
 
 // Validate checks the spec's internal consistency: exactly one dataset
@@ -118,6 +123,9 @@ func (s *JobSpec) Validate() error {
 	if s.Generations < 0 || s.Islands < 0 || s.Rows < 0 || s.Workers < 0 ||
 		s.EarlyStop < 0 || s.MigrateEvery < 0 || s.Migrants < 0 {
 		return fmt.Errorf("evoprot: job spec counts must be non-negative")
+	}
+	if s.Priority < 0 || s.Priority > 9 {
+		return fmt.Errorf("evoprot: job spec priority must be 0..9, got %d", s.Priority)
 	}
 	// Heterogeneity and adaptive migration are validated by building the
 	// exact island configuration the job would run — admission rejects

@@ -2,9 +2,13 @@
 # Two-process cluster smoke test: boot an evoprotd coordinator and an
 # evoprotd worker as separate OS processes, drive one small job through
 # the coordinator's public API with curl, and shut both down cleanly.
-# This is the cheapest end-to-end proof that the lease protocol works
-# across a real process boundary — everything finer-grained (fencing,
-# expiry, determinism) lives in go test.
+# The whole exercise runs twice — once over the durable filesystem store
+# and once over the in-memory store — so both persistence backends are
+# proven across a real process boundary. Everything finer-grained
+# (fencing, expiry, determinism) lives in go test.
+#
+# Every curl goes through the `api` helper, which fails the script with
+# the offending URL and body the moment any endpoint answers non-2xx.
 set -euo pipefail
 
 PORT="${PORT:-18080}"
@@ -13,61 +17,92 @@ WORKDIR="$(mktemp -d)"
 COORD_PID=""
 WORKER_PID=""
 
-cleanup() {
+stop_processes() {
   # Worker first, coordinator second — the order real deployments drain.
   [ -n "$WORKER_PID" ] && kill -INT "$WORKER_PID" 2>/dev/null && wait "$WORKER_PID" 2>/dev/null || true
   [ -n "$COORD_PID" ] && kill -INT "$COORD_PID" 2>/dev/null && wait "$COORD_PID" 2>/dev/null || true
+  WORKER_PID=""
+  COORD_PID=""
+}
+
+cleanup() {
+  stop_processes
   rm -rf "$WORKDIR"
 }
 trap cleanup EXIT
 
+# api METHOD PATH [JSON_BODY] — curl that prints the response body on
+# success and fails the script (non-2xx or transport error) with context.
+api() {
+  local method="$1" path="$2" body="${3:-}" out
+  local args=(-sS --fail-with-body -X "$method" "$BASE$path")
+  [ -n "$body" ] && args+=(-H 'Content-Type: application/json' -d "$body")
+  if ! out=$(curl "${args[@]}" 2>&1); then
+    echo "FAIL: $method $BASE$path answered non-2xx:" >&2
+    echo "$out" >&2
+    [ -f "$WORKDIR/coord.log" ] && { echo "-- coordinator log:" >&2; cat "$WORKDIR/coord.log" >&2; }
+    [ -f "$WORKDIR/worker.log" ] && { echo "-- worker log:" >&2; cat "$WORKDIR/worker.log" >&2; }
+    exit 1
+  fi
+  printf '%s' "$out"
+}
+
 echo "== building evoprotd"
 go build -o "$WORKDIR/evoprotd" ./cmd/evoprotd
 
-echo "== starting coordinator on :$PORT"
-"$WORKDIR/evoprotd" -role coordinator -addr "127.0.0.1:${PORT}" \
-  -data "$WORKDIR/data" -checkpoint-every 5 >"$WORKDIR/coord.log" 2>&1 &
-COORD_PID=$!
+run_smoke() {
+  local store="$1"
 
-for _ in $(seq 1 100); do
-  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
-  if ! kill -0 "$COORD_PID" 2>/dev/null; then
-    echo "coordinator died:"; cat "$WORKDIR/coord.log"; exit 1
-  fi
-  sleep 0.1
-done
-curl -sf "$BASE/healthz" | grep -q '"role":"coordinator"' || {
-  echo "healthz did not report the coordinator role"; exit 1
+  echo "== starting coordinator on :$PORT (store: $store)"
+  "$WORKDIR/evoprotd" -role coordinator -addr "127.0.0.1:${PORT}" \
+    -store "$store" -checkpoint-every 5 >"$WORKDIR/coord.log" 2>&1 &
+  COORD_PID=$!
+
+  for _ in $(seq 1 100); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$COORD_PID" 2>/dev/null; then
+      echo "coordinator died:"; cat "$WORKDIR/coord.log"; exit 1
+    fi
+    sleep 0.1
+  done
+  api GET /healthz | grep -q '"role":"coordinator"' || {
+    echo "healthz did not report the coordinator role"; exit 1
+  }
+
+  echo "== starting worker"
+  "$WORKDIR/evoprotd" -role worker -coordinator "$BASE" -name smoke-w1 \
+    -workers 1 -checkpoint-every 5 >"$WORKDIR/worker.log" 2>&1 &
+  WORKER_PID=$!
+
+  echo "== submitting job"
+  JOB=$(api POST /v1/jobs '{"dataset":"flare","rows":60,"generations":15,"islands":2,"migrate_every":5,"seed":3}')
+  ID=$(printf '%s' "$JOB" | sed -n 's/.*"id":[[:space:]]*"\([^"]*\)".*/\1/p')
+  [ -n "$ID" ] || { echo "no job id in response: $JOB"; exit 1; }
+  echo "   job $ID accepted"
+
+  echo "== waiting for completion"
+  STATE=""
+  for _ in $(seq 1 600); do
+    STATUS=$(api GET "/v1/jobs/$ID")
+    STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state":[[:space:]]*"\([^"]*\)".*/\1/p')
+    case "$STATE" in
+      done) break ;;
+      failed|cancelled) echo "job ended as $STATE: $STATUS"
+        cat "$WORKDIR/coord.log" "$WORKDIR/worker.log"; exit 1 ;;
+    esac
+    sleep 0.1
+  done
+  [ "$STATE" = "done" ] || { echo "job never finished (last state: $STATE)"; exit 1; }
+
+  api GET "/v1/jobs/$ID/result" | grep -q '"dataset_csv"' || {
+    echo "result is missing the protected dataset"; exit 1
+  }
+
+  stop_processes
+  echo "== store $store passed: job $ID ran through a worker lease across two processes"
 }
 
-echo "== starting worker"
-"$WORKDIR/evoprotd" -role worker -coordinator "$BASE" -name smoke-w1 \
-  -workers 1 -checkpoint-every 5 >"$WORKDIR/worker.log" 2>&1 &
-WORKER_PID=$!
+run_smoke "fs:$WORKDIR/data"
+run_smoke mem
 
-echo "== submitting job"
-JOB=$(curl -sf -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' \
-  -d '{"dataset":"flare","rows":60,"generations":15,"islands":2,"migrate_every":5,"seed":3}')
-ID=$(printf '%s' "$JOB" | sed -n 's/.*"id":[[:space:]]*"\([^"]*\)".*/\1/p')
-[ -n "$ID" ] || { echo "no job id in response: $JOB"; exit 1; }
-echo "   job $ID accepted"
-
-echo "== waiting for completion"
-STATE=""
-for _ in $(seq 1 600); do
-  STATUS=$(curl -sf "$BASE/v1/jobs/$ID")
-  STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state":[[:space:]]*"\([^"]*\)".*/\1/p')
-  case "$STATE" in
-    done) break ;;
-    failed|cancelled) echo "job ended as $STATE: $STATUS"
-      cat "$WORKDIR/coord.log" "$WORKDIR/worker.log"; exit 1 ;;
-  esac
-  sleep 0.1
-done
-[ "$STATE" = "done" ] || { echo "job never finished (last state: $STATE)"; exit 1; }
-
-curl -sf "$BASE/v1/jobs/$ID/result" | grep -q '"dataset_csv"' || {
-  echo "result is missing the protected dataset"; exit 1
-}
-
-echo "== smoke test passed: job $ID ran through a worker lease across two processes"
+echo "== smoke test passed: fs and mem stores both served a cluster job"
