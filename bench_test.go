@@ -499,6 +499,110 @@ func BenchmarkEvaluateDeltaSpeedup(b *testing.B) {
 	}
 }
 
+// --- Generation-batch evaluation: the apply/undo offspring pool ---
+//
+// The delta path above still clones the parent's whole incremental state
+// per offspring. EvaluateBatch scores a generation's offspring against
+// the shared parent states with apply/undo instead; compare allocs/op
+// with BenchmarkEvaluateDeltaPaperScale — the batch steady state
+// allocates nothing proportional to the file.
+
+// paperScaleBatchFixture shapes paperScaleDeltaFixture's parent into
+// nGroups batch groups of two narrow offspring each (a crossover-shaped
+// generation repeated); each group gets its own state clone, as groups
+// are the unit of parallelism.
+func paperScaleBatchFixture(b *testing.B, nGroups int) (*score.Evaluator, []score.BatchGroup) {
+	b.Helper()
+	eval, parentEval, state, child, changes := paperScaleDeltaFixture(b)
+	groups := make([]score.BatchGroup, nGroups)
+	for g := range groups {
+		st := state
+		if g > 0 {
+			st = state.Clone()
+		}
+		groups[g] = score.BatchGroup{
+			Parent: parentEval,
+			State:  st,
+			Offspring: []score.BatchOffspring{
+				{Child: child, Changes: changes},
+				{Child: child, Changes: changes},
+			},
+		}
+	}
+	return eval, groups
+}
+
+func BenchmarkEvaluateBatchPaperScale(b *testing.B) {
+	eval, groups := paperScaleBatchFixture(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eval.EvaluateBatch(groups, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateBatchParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	eval, groups := paperScaleBatchFixture(b, workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eval.EvaluateBatch(groups, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateBatchSpeedup reports the per-offspring-delta vs batch
+// ratio for one crossover-shaped generation (two narrow offspring of one
+// parent) directly as a custom metric.
+func BenchmarkEvaluateBatchSpeedup(b *testing.B) {
+	eval, parentEval, state, child, changes := paperScaleDeltaFixture(b)
+	groups := []score.BatchGroup{{
+		Parent: parentEval,
+		State:  state,
+		Offspring: []score.BatchOffspring{
+			{Child: child, Changes: changes},
+			{Child: child, Changes: changes},
+		},
+	}}
+	var delta, batch time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for k := 0; k < len(groups[0].Offspring); k++ {
+			if _, _, err := eval.EvaluateDelta(parentEval, state, child, changes); err != nil {
+				b.Fatal(err)
+			}
+		}
+		delta += time.Since(start)
+		start = time.Now()
+		if err := eval.EvaluateBatch(groups, 1); err != nil {
+			b.Fatal(err)
+		}
+		batch += time.Since(start)
+	}
+	if batch > 0 {
+		b.ReportMetric(float64(delta)/float64(batch), "delta/batch_ratio")
+	}
+}
+
+// BenchmarkEvaluateBatchGenerations reports end-to-end engine throughput
+// (gens/s) with the batch path on — the number the generation-timing
+// benches express per-step, as a rate.
+func BenchmarkEvaluateBatchGenerations(b *testing.B) {
+	eng := newBenchEngine(b, "crossover")
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+	if el := time.Since(start); el > 0 {
+		b.ReportMetric(float64(b.N)/el.Seconds(), "gens/s")
+	}
+}
+
 func BenchmarkBuildPopulation(b *testing.B) {
 	orig := datagen.MustByName("flare", benchRows, benchSeed)
 	names, _ := datagen.ProtectedAttrs("flare")

@@ -209,6 +209,29 @@
 // its BENCH_<sha>.json artifacts, which cmd/benchdiff compares across
 // pushes).
 //
+// On top of the per-offspring delta path sits generation-batch
+// evaluation, the engine's default: instead of cloning the parent's
+// whole state for every child, the engine stages a generation's
+// offspring, groups them by parent, and score.Evaluator.EvaluateBatch
+// scores each group against the parent's own state through the
+// measures' reversible capability (infoloss.Reversible /
+// risk.Reversible) — apply the change list, read the value, undo it by
+// inverse replay or bitset-diff journaling (stats.BitsetJournal), so
+// evaluating a losing offspring touches memory proportional to the edit
+// instead of the file. Independent parent groups shard across a worker
+// pool sized by core.Config.EvalWorkers (0 inherits InitWorkers;
+// WithEvalWorkers and JobSpec.EvalWorkers thread it through the stack),
+// and only the children that survive replacement are handed a state —
+// the evicted parent's advanced in place, a clone when the parent lives
+// on. Results are bit-identical to the per-offspring path at any worker
+// width — histories, event feeds and snapshots included, standalone and
+// across heterogeneous islands exchanging migrants (see the equivalence
+// and fuzz harnesses in internal/score and internal/core) — while a
+// paper-scale crossover generation costs ~2x less wall clock and ~50x
+// fewer allocated bytes than two per-offspring deltas
+// (BenchmarkEvaluateBatchSpeedup, BenchmarkEvaluateBatchPaperScale).
+// core.Config.DisableBatch restores the per-offspring path.
+//
 // Delta evaluation is bit-for-bit identical to a full Evaluate — the
 // states keep exact integer summaries and share their final value
 // arithmetic with the full paths — so trajectories, snapshots and resumed

@@ -1,0 +1,143 @@
+package core
+
+// Equivalence tests for generation-batch offspring evaluation: the batch
+// path (the default) must walk bit-identical trajectories to the
+// per-offspring clone-and-apply delta path and to full re-evaluation —
+// histories, event feeds and final populations — at every worker width,
+// under both crowding policies, and across heterogeneous engines
+// exchanging migrants.
+
+import (
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/dataset"
+)
+
+// TestBatchRunMatchesPerOffspringRun: same seed, three evaluation modes —
+// batch (default), DisableBatch (per-offspring delta), DisableDelta (full
+// re-evaluation) — at EvalWorkers 1 and 4. All histories, streamed
+// OnGeneration feeds and best individuals must agree bit for bit.
+func TestBatchRunMatchesPerOffspringRun(t *testing.T) {
+	for _, seed := range []uint64{7, 42, 1001} {
+		for _, workers := range []int{1, 4} {
+			var batchFeed, cloneFeed []GenStats
+			batch := mustRun(t, testEngine(t, Config{
+				Generations: 60, Seed: seed, EvalWorkers: workers,
+				OnGeneration: func(gs GenStats) { batchFeed = append(batchFeed, gs) },
+			}))
+			clone := mustRun(t, testEngine(t, Config{
+				Generations: 60, Seed: seed, DisableBatch: true,
+				OnGeneration: func(gs GenStats) { cloneFeed = append(cloneFeed, gs) },
+			}))
+			full := mustRun(t, testEngine(t, Config{Generations: 60, Seed: seed, DisableDelta: true}))
+			sameHistories(t, "batch vs per-offspring", batch.History, clone.History)
+			sameHistories(t, "batch vs full", batch.History, full.History)
+			sameHistories(t, "batch feed vs per-offspring feed", batchFeed, cloneFeed)
+			if !batch.Best.Data.Equal(clone.Best.Data) || !batch.Best.Data.Equal(full.Best.Data) {
+				t.Fatalf("seed %d workers %d: best individuals diverged", seed, workers)
+			}
+			if batch.AcceptedOffspring != clone.AcceptedOffspring {
+				t.Fatalf("seed %d workers %d: accepted %d vs %d", seed, workers,
+					batch.AcceptedOffspring, clone.AcceptedOffspring)
+			}
+		}
+	}
+}
+
+// TestBatchRunCrowdingSwapEquivalence drives the cross-parentage state
+// commit: under CrowdNearestParent a child can win a slot whose occupant
+// is not its biological parent, so the batch path must clone or transfer
+// the right parent's state. Forced crossover maximizes swap traffic.
+func TestBatchRunCrowdingSwapEquivalence(t *testing.T) {
+	for _, seed := range []uint64{11, 67} {
+		cfg := Config{Generations: 80, Seed: seed, ForceOp: "crossover", Crowding: CrowdNearestParent}
+		batchCfg, cloneCfg := cfg, cfg
+		cloneCfg.DisableBatch = true
+		batchCfg.EvalWorkers = 2
+		batch := mustRun(t, testEngine(t, batchCfg))
+		clone := mustRun(t, testEngine(t, cloneCfg))
+		sameHistories(t, "crowding batch vs per-offspring", batch.History, clone.History)
+		if !batch.Best.Data.Equal(clone.Best.Data) {
+			t.Fatalf("seed %d: crowding-swap runs diverged", seed)
+		}
+	}
+}
+
+// TestBatchStatesStayConsistent re-scores every individual from scratch
+// after a batch run: cached evaluations must match, and every carried
+// delta state must still describe its individual (a further delta
+// evaluation through it equals a fresh one).
+func TestBatchStatesStayConsistent(t *testing.T) {
+	e := testEngine(t, Config{Generations: 80, Seed: 55, EvalWorkers: 2})
+	mustRun(t, e)
+	for i, ind := range e.Population() {
+		want, err := e.eval.Evaluate(ind.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ind.Eval.Score != want.Score || ind.Eval.IL != want.IL || ind.Eval.DR != want.DR {
+			t.Fatalf("individual %d (%s): cached (IL=%v DR=%v) != fresh (IL=%v DR=%v)",
+				i, ind.Origin, ind.Eval.IL, ind.Eval.DR, want.IL, want.DR)
+		}
+		if ind.state == nil {
+			continue
+		}
+		child := ind.Data.Clone()
+		rng := rand.New(rand.NewPCG(9, uint64(i)))
+		changes := []dataset.CellChange{dataset.RandomChange(rng, child, e.attrs)}
+		got, _, err := e.eval.EvaluateDelta(ind.Eval, ind.state, child, changes)
+		if err != nil {
+			t.Fatalf("individual %d: carried state rejected a delta evaluation: %v", i, err)
+		}
+		fresh, err := e.eval.Evaluate(child)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != fresh.Score || got.IL != fresh.IL || got.DR != fresh.DR {
+			t.Fatalf("individual %d: carried state drifted: delta (IL=%v DR=%v) vs fresh (IL=%v DR=%v)",
+				i, got.IL, got.DR, fresh.IL, fresh.DR)
+		}
+	}
+}
+
+// TestBatchHeterogeneousEnginesEquivalence is the niched-islands
+// equivalence: heterogeneous engines (different aggregators, selection,
+// crossover and crowding policies) sharing one initial population, with
+// periodic migration between them, must be bit-identical with and
+// without batch evaluation.
+func TestBatchHeterogeneousEnginesEquivalence(t *testing.T) {
+	run := func(disableBatch bool) [][]GenStats {
+		eval, pop := testPopulation(t)
+		cfgs := []Config{
+			{Generations: 30, Seed: 31, Aggregator: "mean", EvalWorkers: 4, DisableBatch: disableBatch},
+			{Generations: 30, Seed: 32, Selection: SelectRank, CrossoverPoints: 3, DisableBatch: disableBatch},
+			{Generations: 30, Seed: 33, Crowding: CrowdNearestParent, ForceOp: "crossover", DisableBatch: disableBatch},
+		}
+		engines, err := NewEngines(context.Background(), eval, pop, cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < 30; g++ {
+			for _, e := range engines {
+				e.Step()
+			}
+			if g%10 == 9 {
+				// Ring migration, delta states cloned along (Emigrants).
+				for i, e := range engines {
+					engines[(i+1)%len(engines)].Immigrate(e.Emigrants(2))
+				}
+			}
+		}
+		out := make([][]GenStats, len(engines))
+		for i, e := range engines {
+			out[i] = e.History()
+		}
+		return out
+	}
+	batch, clone := run(false), run(true)
+	for i := range batch {
+		sameHistories(t, "hetero island", batch[i], clone[i])
+	}
+}

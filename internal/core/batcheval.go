@@ -1,0 +1,119 @@
+package core
+
+// Generation-batch offspring evaluation. The per-offspring delta path
+// (evaluateOffspring) clones the parent's full incremental state for
+// every child — a whole set of per-measure summary copies that is pure
+// garbage whenever the child loses its survival tournament, which is the
+// common case. The batch path instead stages the generation's offspring
+// first, groups them by parent, and scores each group against the
+// parent's own state through score.EvaluateBatch: the measures'
+// reversible (apply/undo) capability advances the state by the change
+// list, reads the value, and rolls back, touching memory proportional to
+// the edit instead of the file. Only the offspring that actually survive
+// replacement are handed a state afterwards — the evicted parent's own
+// state advanced in place when possible, a clone otherwise.
+//
+// A crossover generation's two parent groups are independent, so they
+// shard across Config.EvalWorkers workers. Results are bit-for-bit
+// identical to the per-offspring path at any width (see the equivalence
+// tests in batch_equiv_test.go); only allocations and wall-clock change.
+
+import (
+	"fmt"
+
+	"evoprot/internal/dataset"
+	"evoprot/internal/score"
+)
+
+// useBatch reports whether this generation's offspring go through
+// score.EvaluateBatch: delta evaluation on, batching not disabled, and
+// every measure reversible. Without the capability the engine stays on
+// the per-offspring path, which handles partly-incremental batteries.
+func (e *Engine) useBatch() bool {
+	return e.batchable && !e.cfg.DisableDelta && !e.cfg.DisableBatch
+}
+
+// ensureState lazily materializes an individual's delta state — shared
+// by the batch and per-offspring paths, so switching paths mid-run (or
+// resuming from a snapshot) rebuilds states transparently.
+func (e *Engine) ensureState(ind *Individual) {
+	if ind.state != nil {
+		return
+	}
+	st, err := e.eval.Prepare(ind.Data)
+	if err != nil {
+		panic(fmt.Sprintf("core: preparing delta state: %v", err))
+	}
+	ind.state = st
+}
+
+// batchEvaluateGeneration scores children[i] (derived from parents[i] by
+// changes[i]) in one score.EvaluateBatch call. Offspring of the same
+// parent — adjacent in the slices; a generation has at most two
+// offspring — share one group and therefore one state. Parents are
+// delta-prepared lazily, but only when one of their offspring actually
+// needs the state (narrow, non-empty edits); wide-edit offspring are
+// fully evaluated inside the batch without forcing a state build,
+// matching the per-offspring path's laziness. Evaluations land in the
+// children; no child receives a state here — commitBatchState hands
+// states to the survivors once the tournament has decided.
+func (e *Engine) batchEvaluateGeneration(parents, children []*Individual, changes [][]dataset.CellChange) {
+	offs := e.bOffs[:0]
+	for i, c := range children {
+		offs = append(offs, score.BatchOffspring{Child: c.Data, Changes: changes[i]})
+	}
+	groups := e.bGroups[:0]
+	for i := 0; i < len(children); {
+		j := i + 1
+		for j < len(children) && parents[j] == parents[i] {
+			j++
+		}
+		needState := false
+		for k := i; k < j; k++ {
+			if len(changes[k]) > 0 && !e.eval.WideEdit(changes[k]) {
+				needState = true
+			}
+		}
+		if needState {
+			e.ensureState(parents[i])
+		}
+		groups = append(groups, score.BatchGroup{
+			Parent:    parents[i].Eval,
+			State:     parents[i].state,
+			Offspring: offs[i:j],
+		})
+		i = j
+	}
+	if err := e.eval.EvaluateBatch(groups, e.cfg.EvalWorkers); err != nil {
+		// Offspring are derived from valid individuals by in-domain
+		// operators; batch evaluation can only fail on a programming error.
+		panic(fmt.Sprintf("core: batch-evaluating offspring: %v", err))
+	}
+	for i, c := range children {
+		c.Eval = offs[i].Eval
+	}
+	e.bOffs, e.bGroups = offs, groups // keep grown capacity for later steps
+}
+
+// commitBatchState hands a surviving child its delta state: the
+// biological parent's own state advanced in place when the parent was
+// evicted by this generation's replacement (a zero-allocation transfer),
+// or a clone of it when the parent lives on. Wide-edit children stay
+// state-less — the same nil-state contract as EvaluateDelta — and
+// rebuild lazily if they ever reproduce; so do children of state-less
+// parents.
+func (e *Engine) commitBatchState(child, parent *Individual, changes []dataset.CellChange, parentEvicted bool) {
+	if parent.state == nil || e.eval.WideEdit(changes) {
+		return
+	}
+	st := parent.state
+	if parentEvicted {
+		parent.state = nil // transferred; the evicted parent is garbage
+	} else {
+		st = st.Clone()
+	}
+	if err := e.eval.Advance(st, child.Data, changes); err != nil {
+		panic(fmt.Sprintf("core: committing %s offspring state: %v", child.Origin, err))
+	}
+	child.state = st
+}

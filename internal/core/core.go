@@ -228,11 +228,22 @@ type Config struct {
 	// InitWorkers sets the worker-pool width for evaluating the initial
 	// population. Zero means sequential.
 	InitWorkers int
+	// EvalWorkers sets the worker-pool width for generation-batch
+	// offspring evaluation: a crossover generation's two parent groups
+	// are scored concurrently when it is at least 2. Zero inherits
+	// InitWorkers; negative values force sequential batch evaluation.
+	// Results are identical at any width — only wall-clock changes.
+	EvalWorkers int
 	// DisableDelta turns off incremental (delta) offspring evaluation:
 	// every offspring is fully re-scored from scratch, the pre-delta
 	// behavior. Results are bit-identical either way — delta evaluation
 	// only changes speed — so this is a benchmarking and debugging knob.
 	DisableDelta bool
+	// DisableBatch turns off generation-batch (apply/undo) offspring
+	// evaluation, restoring the per-offspring clone-and-apply delta path.
+	// Results are bit-identical either way — batching only changes speed
+	// — so this is a benchmarking and debugging knob like DisableDelta.
+	DisableBatch bool
 	// LazyPrepare skips the eager delta-preparation of the initial
 	// population: states are then built lazily the first time each
 	// individual reproduces, the pre-Runner behavior. Trades slower first
@@ -283,6 +294,9 @@ func (c *Config) withDefaults() (Config, error) {
 			return out, err
 		}
 	}
+	if out.EvalWorkers == 0 {
+		out.EvalWorkers = out.InitWorkers
+	}
 	return out, nil
 }
 
@@ -331,8 +345,14 @@ func (c Config) Merged(o Config) Config {
 	if o.InitWorkers != 0 {
 		out.InitWorkers = o.InitWorkers
 	}
+	if o.EvalWorkers != 0 {
+		out.EvalWorkers = o.EvalWorkers
+	}
 	if o.DisableDelta {
 		out.DisableDelta = true
+	}
+	if o.DisableBatch {
+		out.DisableBatch = true
 	}
 	if o.LazyPrepare {
 		out.LazyPrepare = true
@@ -424,6 +444,21 @@ type Engine struct {
 	// cutBuf holds the k-point crossover's sorted cut positions, reused
 	// across generations (unused on the 2-point paper path).
 	cutBuf []int
+
+	// batchable caches whether every measure of the engine's evaluator
+	// supports reversible (apply/undo) delta evaluation — the capability
+	// gate of the generation-batch path; without it the engine stays on
+	// the per-offspring clone-and-apply path.
+	batchable bool
+	// bParents/bChildren/bChanges stage one generation's offspring for
+	// batch evaluation, and bOffs/bGroups are the score.EvaluateBatch
+	// buffers; all reused across Steps (a generation has at most two
+	// offspring).
+	bParents  [2]*Individual
+	bChildren [2]*Individual
+	bChanges  [2][]dataset.CellChange
+	bOffs     []score.BatchOffspring
+	bGroups   []score.BatchGroup
 
 	mu    sync.Mutex // guards onGen
 	onGen func(GenStats)
@@ -529,14 +564,15 @@ func NewEngines(ctx context.Context, eval *score.Evaluator, initial []*Individua
 		}
 		pcg := rand.NewPCG(c.Seed, 0x853c49e6748fea9b)
 		e := &Engine{
-			eval:    engEval,
-			cfg:     c,
-			rng:     rand.New(pcg),
-			pcg:     pcg,
-			pop:     pop,
-			attrs:   eval.Attrs(),
-			mutable: mutable,
-			onGen:   c.OnGeneration,
+			eval:      engEval,
+			cfg:       c,
+			rng:       rand.New(pcg),
+			pcg:       pcg,
+			pop:       pop,
+			attrs:     eval.Attrs(),
+			mutable:   mutable,
+			batchable: engEval.Batchable(),
+			onGen:     c.OnGeneration,
 		}
 		e.evals = len(pop)
 		e.sortPop()
@@ -783,8 +819,12 @@ func (e *Engine) Emigrants(k int) []*Individual {
 // engine's own aggregator, so heterogeneous islands judge arrivals on
 // their own fitness scale; with a shared aggregator the re-combination is
 // a pure recomputation of the identical value, so homogeneous runs are
-// bit-for-bit unchanged. The wrappers are copied so the caller may offer
-// the same slice to several engines.
+// bit-for-bit unchanged. The wrappers are copied, and any carried delta
+// state is cloned, so the caller may offer the same slice to several
+// engines: broadcast migration hands one migrant to every island, and the
+// batch evaluation path advances and rolls back states in place — a
+// shared state would be mutated concurrently by engines that accepted the
+// same migrant.
 func (e *Engine) Immigrate(migrants []*Individual) int {
 	accepted := 0
 	agg := e.eval.Aggregator()
@@ -796,7 +836,11 @@ func (e *Engine) Immigrate(migrants []*Individual) int {
 		ev.Score = agg.Combine(ev.IL, ev.DR)
 		worst := len(e.pop) - 1
 		if ev.Score < e.pop[worst].Eval.Score {
-			e.pop[worst] = &Individual{Data: m.Data, Eval: ev, Origin: m.Origin, state: m.state}
+			var st *score.DeltaState
+			if m.state != nil {
+				st = m.state.Clone()
+			}
+			e.pop[worst] = &Individual{Data: m.Data, Eval: ev, Origin: m.Origin, state: st}
 			e.sortPop()
 			accepted++
 		}
@@ -811,12 +855,21 @@ func (e *Engine) stepMutation() (evalTime time.Duration, accepted int) {
 	idx := e.selectIndex()
 	parent := e.pop[idx]
 	child, changes := e.mutate(parent)
+	batch := e.useBatch()
 	evalStart := time.Now()
-	e.evaluateOffspring(parent, child, changes)
+	if batch {
+		e.bParents[0], e.bChildren[0], e.bChanges[0] = parent, child, changes
+		e.batchEvaluateGeneration(e.bParents[:1], e.bChildren[:1], e.bChanges[:1])
+	} else {
+		e.evaluateOffspring(parent, child, changes)
+	}
 	evalTime = time.Since(evalStart)
 	if child.Eval.Score < parent.Eval.Score {
 		e.pop[idx] = child
 		accepted++
+		if batch {
+			e.commitBatchState(child, parent, changes, true)
+		}
 	}
 	return evalTime, accepted
 }
@@ -841,13 +894,7 @@ func (e *Engine) evaluateOffspring(parent, child *Individual, changes []dataset.
 		child.Eval = ev
 		return
 	}
-	if parent.state == nil {
-		st, err := e.eval.Prepare(parent.Data)
-		if err != nil {
-			panic(fmt.Sprintf("core: preparing delta state: %v", err))
-		}
-		parent.state = st
-	}
+	e.ensureState(parent)
 	ev, state, err := e.eval.EvaluateDelta(parent.Eval, parent.state, child.Data, changes)
 	if err != nil {
 		panic(fmt.Sprintf("core: delta-evaluating %s offspring: %v", child.Origin, err))
@@ -870,11 +917,22 @@ func (e *Engine) stepCrossover() (evalTime time.Duration, accepted int) {
 	p1, p2 := e.pop[i1], e.pop[i2]
 	c1, c2, ch1, ch2 := e.cross(p1, p2)
 
+	batch := e.useBatch()
 	evalStart := time.Now()
-	e.evaluateOffspring(p1, c1, ch1)
-	e.evaluateOffspring(p2, c2, ch2)
+	if batch {
+		e.bParents[0], e.bChildren[0], e.bChanges[0] = p1, c1, ch1
+		e.bParents[1], e.bChildren[1], e.bChanges[1] = p2, c2, ch2
+		e.batchEvaluateGeneration(e.bParents[:2], e.bChildren[:2], e.bChanges[:2])
+	} else {
+		e.evaluateOffspring(p1, c1, ch1)
+		e.evaluateOffspring(p2, c2, ch2)
+	}
 	evalTime = time.Since(evalStart)
 
+	// b1/b2 track each child's biological parent (and its change list)
+	// through the crowding swap: a survivor's delta state derives from the
+	// parent it was crossed from, not from the slot it competes for.
+	b1, b2 := p1, p2
 	if e.cfg.Crowding == CrowdNearestParent {
 		// Classic deterministic crowding: pair children with the parents
 		// they are genotypically closest to (minimal total distance).
@@ -884,16 +942,36 @@ func (e *Engine) stepCrossover() (evalTime time.Duration, accepted int) {
 		d22 := c2.Data.Mismatches(p2.Data, e.attrs)
 		if d11+d22 > d12+d21 {
 			c1, c2 = c2, c1
+			b1, b2 = b2, b1
+			ch1, ch2 = ch2, ch1
 		}
 	}
 	// Tournament: child k replaces parent k only when strictly better.
-	if c1.Eval.Score < p1.Eval.Score {
+	win1 := c1.Eval.Score < p1.Eval.Score
+	win2 := c2.Eval.Score < p2.Eval.Score
+	if win1 {
 		e.pop[i1] = c1
 		accepted++
 	}
-	if c2.Eval.Score < p2.Eval.Score {
+	if win2 {
 		e.pop[i2] = c2
 		accepted++
+	}
+	if batch {
+		// Hand the survivors their states. A biological parent is gone
+		// from the population when a winning child took its slot (with
+		// i1 == i2 both children fought the same occupant); its state can
+		// then transfer without a clone. Skip a child that won its
+		// tournament but was itself overwritten by the other child.
+		evicted := func(b *Individual) bool {
+			return (win1 && b == p1) || (win2 && b == p2)
+		}
+		if win1 && !(i1 == i2 && win2) {
+			e.commitBatchState(c1, b1, ch1, evicted(b1))
+		}
+		if win2 {
+			e.commitBatchState(c2, b2, ch2, evicted(b2))
+		}
 	}
 	return evalTime, accepted
 }

@@ -178,6 +178,7 @@ func Resume(eval *score.Evaluator, r io.Reader, cfg Config) (*Engine, error) {
 		pop:       pop,
 		attrs:     attrs,
 		mutable:   mutable,
+		batchable: engEval.Batchable(),
 		history:   snap.History,
 		evals:     snap.Evals,
 		gen:       snap.Gen,

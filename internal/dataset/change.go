@@ -20,6 +20,14 @@ type CellChange struct {
 	New int
 }
 
+// Inverted returns the change that undoes c: the same cell moved from
+// c.New back to c.Old. Replaying a change list's inversions in reverse
+// order restores the original dataset — the identity the reversible
+// (apply/undo) delta states are built on.
+func (c CellChange) Inverted() CellChange {
+	return CellChange{Row: c.Row, Col: c.Col, Old: c.New, New: c.Old}
+}
+
 // RandomChange draws one uniformly-random in-domain cell edit over the
 // given columns, applies it to d and returns the change record. The new
 // value always differs from the old one. It panics when no listed column

@@ -45,13 +45,51 @@ type Incremental interface {
 	Apply(state State, changes []dataset.CellChange) float64
 }
 
+// Reversible is the capability interface of Incremental measures whose
+// states can advance by a change list and then roll back exactly — the
+// primitive behind generation-batch evaluation (score.Evaluator
+// EvaluateBatch), which scores every offspring of a generation against
+// one shared parent state with undo instead of cloning the state per
+// offspring.
+//
+// All three info-loss states are pure functions of the masked columns
+// (given the shared original), so undo replays the change list's
+// inversions in reverse order through the same exact integer patches:
+// the restored state is bit-for-bit the pre-ApplyUndo state.
+type Reversible interface {
+	Incremental
+	// ApplyUndo is Apply with rollback armed: it advances state by
+	// changes, returns the measure's value for the edited file, and
+	// journals enough to restore the state exactly. At most one
+	// ApplyUndo may be pending per state; Undo (or a plain Apply,
+	// which commits the pending changes) must intervene before the next.
+	ApplyUndo(state State, changes []dataset.CellChange) float64
+	// Undo rolls back the pending ApplyUndo, restoring the state bit
+	// for bit. With no pending ApplyUndo it is a no-op.
+	Undo(state State)
+}
+
 // Compile-time capability checks: the whole default battery is
-// incremental.
+// incremental and reversible.
 var (
-	_ Incremental = (*CTBIL)(nil)
-	_ Incremental = (*DBIL)(nil)
-	_ Incremental = (*EBIL)(nil)
+	_ Reversible = (*CTBIL)(nil)
+	_ Reversible = (*DBIL)(nil)
+	_ Reversible = (*EBIL)(nil)
 )
+
+// undoLog is the shared journal of the info-loss states: a copy of the
+// pending change list, replayed inverted and in reverse by Undo. The
+// buffer is owned by the state and reused across generations.
+type undoLog struct {
+	changes []dataset.CellChange
+	active  bool
+}
+
+// arm records the pending change list. Apply without undo disarms.
+func (u *undoLog) arm(changes []dataset.CellChange) {
+	u.changes = append(u.changes[:0], changes...)
+	u.active = true
+}
 
 // --- CTBIL ---
 
@@ -74,6 +112,7 @@ type ctbilState struct {
 	byPos  [][]int // attr position -> indices of tables containing it
 	mc     [][]int // masked protected columns, by attr position; owned
 	l1     []int   // Apply scratch, lazily built, never shared by clones
+	undo   undoLog // pending ApplyUndo journal; never shared by clones
 }
 
 // CloneState implements State.
@@ -137,29 +176,38 @@ func (c *CTBIL) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
 	return st
 }
 
-// Apply implements Incremental.
+// patchOne advances the tables and masked columns by one cell change.
+// The patch is its own inverse under CellChange.Inverted: replaying
+// inversions in reverse restores the exact integer summaries.
+func (st *ctbilState) patchOne(ch dataset.CellChange) {
+	a0 := st.pos[ch.Col]
+	for _, ti := range st.byPos[a0] {
+		t := st.tables[ti]
+		var oldKey, newKey stats.ContingencyKey
+		for i, a := range t.rel {
+			v := st.mc[a][ch.Row]
+			if a == a0 {
+				v = ch.Old
+			}
+			oldKey = oldKey*stats.ContingencyKey(t.cards[i]) + stats.ContingencyKey(v)
+			if a == a0 {
+				v = ch.New
+			}
+			newKey = newKey*stats.ContingencyKey(t.cards[i]) + stats.ContingencyKey(v)
+		}
+		t.bump(oldKey, -1)
+		t.bump(newKey, +1)
+	}
+	st.mc[a0][ch.Row] = ch.New
+}
+
+// Apply implements Incremental. A plain Apply commits any pending
+// ApplyUndo: the journaled changes become permanent.
 func (c *CTBIL) Apply(state State, changes []dataset.CellChange) float64 {
 	st := state.(*ctbilState)
+	st.undo.active = false
 	for _, ch := range changes {
-		a0 := st.pos[ch.Col]
-		for _, ti := range st.byPos[a0] {
-			t := st.tables[ti]
-			var oldKey, newKey stats.ContingencyKey
-			for i, a := range t.rel {
-				v := st.mc[a][ch.Row]
-				if a == a0 {
-					v = ch.Old
-				}
-				oldKey = oldKey*stats.ContingencyKey(t.cards[i]) + stats.ContingencyKey(v)
-				if a == a0 {
-					v = ch.New
-				}
-				newKey = newKey*stats.ContingencyKey(t.cards[i]) + stats.ContingencyKey(v)
-			}
-			t.bump(oldKey, -1)
-			t.bump(newKey, +1)
-		}
-		st.mc[a0][ch.Row] = ch.New
+		st.patchOne(ch)
 	}
 	if st.l1 == nil {
 		st.l1 = make([]int, len(st.tables))
@@ -168,6 +216,25 @@ func (c *CTBIL) Apply(state State, changes []dataset.CellChange) float64 {
 		st.l1[i] = t.l1
 	}
 	return ctbilValue(st.l1, st.n)
+}
+
+// ApplyUndo implements Reversible.
+func (c *CTBIL) ApplyUndo(state State, changes []dataset.CellChange) float64 {
+	v := c.Apply(state, changes)
+	state.(*ctbilState).undo.arm(changes)
+	return v
+}
+
+// Undo implements Reversible.
+func (c *CTBIL) Undo(state State) {
+	st := state.(*ctbilState)
+	if !st.undo.active {
+		return
+	}
+	st.undo.active = false
+	for k := len(st.undo.changes) - 1; k >= 0; k-- {
+		st.patchOne(st.undo.changes[k].Inverted())
+	}
 }
 
 // bump adjusts one masked cell count by ±1, keeping the L1 distance to the
@@ -191,6 +258,7 @@ type dbilState struct {
 	attrs []int
 	pos   map[int]int
 	sums  []int64 // per attr position: rank-displacement sum or mismatch count
+	undo  undoLog // pending ApplyUndo journal; never shared by clones
 }
 
 // CloneState implements State.
@@ -225,25 +293,52 @@ func (d *DBIL) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
 	return st
 }
 
-// Apply implements Incremental.
-func (d *DBIL) Apply(state State, changes []dataset.CellChange) float64 {
-	st := state.(*dbilState)
-	for _, ch := range changes {
-		a := st.pos[ch.Col]
-		attr := st.orig.Schema().Attr(ch.Col)
-		o := st.orig.At(ch.Row, ch.Col)
-		if attr.Ordered() && attr.Cardinality() > 1 {
-			st.sums[a] += int64(stats.AbsInt(o-ch.New) - stats.AbsInt(o-ch.Old))
-		} else {
-			if o != ch.Old {
-				st.sums[a]--
-			}
-			if o != ch.New {
-				st.sums[a]++
-			}
+// patchOne adjusts one attribute sum by one cell change; exactly
+// self-inverse under CellChange.Inverted (integer arithmetic only).
+func (st *dbilState) patchOne(ch dataset.CellChange) {
+	a := st.pos[ch.Col]
+	attr := st.orig.Schema().Attr(ch.Col)
+	o := st.orig.At(ch.Row, ch.Col)
+	if attr.Ordered() && attr.Cardinality() > 1 {
+		st.sums[a] += int64(stats.AbsInt(o-ch.New) - stats.AbsInt(o-ch.Old))
+	} else {
+		if o != ch.Old {
+			st.sums[a]--
+		}
+		if o != ch.New {
+			st.sums[a]++
 		}
 	}
+}
+
+// Apply implements Incremental. A plain Apply commits any pending
+// ApplyUndo.
+func (d *DBIL) Apply(state State, changes []dataset.CellChange) float64 {
+	st := state.(*dbilState)
+	st.undo.active = false
+	for _, ch := range changes {
+		st.patchOne(ch)
+	}
 	return dbilValue(st.orig.Schema(), st.attrs, st.sums, st.n)
+}
+
+// ApplyUndo implements Reversible.
+func (d *DBIL) ApplyUndo(state State, changes []dataset.CellChange) float64 {
+	v := d.Apply(state, changes)
+	state.(*dbilState).undo.arm(changes)
+	return v
+}
+
+// Undo implements Reversible.
+func (d *DBIL) Undo(state State) {
+	st := state.(*dbilState)
+	if !st.undo.active {
+		return
+	}
+	st.undo.active = false
+	for k := len(st.undo.changes) - 1; k >= 0; k-- {
+		st.patchOne(st.undo.changes[k].Inverted())
+	}
 }
 
 // --- EBIL ---
@@ -256,6 +351,7 @@ type ebilState struct {
 	joint [][][]int // per attr position (nil when card < 2): card x card
 	terms []float64 // cached ebilTerm per attr position
 	dirty []bool    // Apply scratch, lazily built, never shared by clones
+	undo  undoLog   // pending ApplyUndo journal; never shared by clones
 }
 
 // CloneState implements State.
@@ -304,22 +400,25 @@ func (e *EBIL) Prepare(orig, masked *dataset.Dataset, attrs []int) State {
 	return st
 }
 
-// Apply implements Incremental.
-func (e *EBIL) Apply(state State, changes []dataset.CellChange) float64 {
-	st := state.(*ebilState)
-	if st.dirty == nil {
-		st.dirty = make([]bool, len(st.attrs))
+// patchOne adjusts one joint transition matrix by one cell change and
+// marks the attribute's cached term dirty; self-inverse under
+// CellChange.Inverted.
+func (st *ebilState) patchOne(ch dataset.CellChange) {
+	a := st.pos[ch.Col]
+	if st.joint[a] == nil {
+		return // constant attribute; cannot actually change value
 	}
-	for _, ch := range changes {
-		a := st.pos[ch.Col]
-		if st.joint[a] == nil {
-			continue // constant attribute; cannot actually change value
-		}
-		o := st.orig.At(ch.Row, ch.Col)
-		st.joint[a][o][ch.Old]--
-		st.joint[a][o][ch.New]++
-		st.dirty[a] = true
-	}
+	o := st.orig.At(ch.Row, ch.Col)
+	st.joint[a][o][ch.Old]--
+	st.joint[a][o][ch.New]++
+	st.dirty[a] = true
+}
+
+// refreshTerms recomputes the cached ebilTerm of every dirty attribute.
+// ebilTerm is a pure function of the (exact, integer) joint matrix, so
+// a refresh after undoing the matrix patches restores the pre-apply
+// term bit for bit.
+func (st *ebilState) refreshTerms() {
 	for a := range st.dirty {
 		if !st.dirty[a] {
 			continue
@@ -327,6 +426,20 @@ func (e *EBIL) Apply(state State, changes []dataset.CellChange) float64 {
 		st.dirty[a] = false
 		st.terms[a] = ebilTerm(st.joint[a], len(st.joint[a]), st.n)
 	}
+}
+
+// Apply implements Incremental. A plain Apply commits any pending
+// ApplyUndo.
+func (e *EBIL) Apply(state State, changes []dataset.CellChange) float64 {
+	st := state.(*ebilState)
+	st.undo.active = false
+	if st.dirty == nil {
+		st.dirty = make([]bool, len(st.attrs))
+	}
+	for _, ch := range changes {
+		st.patchOne(ch)
+	}
+	st.refreshTerms()
 	sum := 0.0
 	counted := 0
 	for a := range st.attrs {
@@ -340,4 +453,24 @@ func (e *EBIL) Apply(state State, changes []dataset.CellChange) float64 {
 		return 0
 	}
 	return 100 * sum / float64(counted)
+}
+
+// ApplyUndo implements Reversible.
+func (e *EBIL) ApplyUndo(state State, changes []dataset.CellChange) float64 {
+	v := e.Apply(state, changes)
+	state.(*ebilState).undo.arm(changes)
+	return v
+}
+
+// Undo implements Reversible.
+func (e *EBIL) Undo(state State) {
+	st := state.(*ebilState)
+	if !st.undo.active {
+		return
+	}
+	st.undo.active = false
+	for k := len(st.undo.changes) - 1; k >= 0; k-- {
+		st.patchOne(st.undo.changes[k].Inverted())
+	}
+	st.refreshTerms()
 }

@@ -113,3 +113,54 @@ func TestCTBILPrepareRespectsMaxDim(t *testing.T) {
 		}
 	}
 }
+
+// TestReversibleApplyUndo drives every reversible info-loss state through
+// speculative ApplyUndo/Undo rounds interleaved with committed Applies —
+// the exact access pattern of generation-batch evaluation — and demands
+// (a) each speculative value equals the full recompute of the edited
+// file, (b) the undone state still tracks the unedited file bit for bit,
+// and (c) a control state advanced only by committed Applies agrees at
+// every step.
+func TestReversibleApplyUndo(t *testing.T) {
+	d, attrs := testData(t)
+	for _, m := range Default() {
+		rev, ok := m.(Reversible)
+		if !ok {
+			t.Fatalf("%s lacks a reversible implementation", m.Name())
+		}
+		rng := rand.New(rand.NewPCG(13, 41))
+		work := scramble(d, attrs, 9)
+		st := rev.Prepare(d, work, attrs)
+		if st == nil {
+			t.Fatalf("%s: Prepare returned nil", m.Name())
+		}
+		control := st.CloneState()
+		for step := 0; step < 40; step++ {
+			// A speculative offspring: edits against a scratch copy.
+			spec := work.Clone()
+			changes := make([]dataset.CellChange, 1+rng.IntN(4))
+			for i := range changes {
+				changes[i] = dataset.RandomChange(rng, spec, attrs)
+			}
+			got := rev.ApplyUndo(st, changes)
+			if want := m.Loss(d, spec, attrs); got != want {
+				t.Fatalf("%s step %d: ApplyUndo %v != full %v", m.Name(), step, got, want)
+			}
+			rev.Undo(st)
+			if got, want := rev.Apply(st, nil), m.Loss(d, work, attrs); got != want {
+				t.Fatalf("%s step %d: state after Undo %v != full %v", m.Name(), step, got, want)
+			}
+			// Undo twice is a no-op.
+			rev.Undo(st)
+			// Every third round, commit the offspring for real.
+			if step%3 == 0 {
+				for _, ch := range changes {
+					work.Set(ch.Row, ch.Col, ch.New)
+				}
+				if got, want := rev.Apply(st, changes), rev.Apply(control, changes); got != want {
+					t.Fatalf("%s step %d: committed %v != control %v", m.Name(), step, got, want)
+				}
+			}
+		}
+	}
+}

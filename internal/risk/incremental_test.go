@@ -103,20 +103,139 @@ func TestIncrementalCloneIsolation(t *testing.T) {
 	}
 }
 
-// TestSampledLinkageHasNoIncrementalState checks the documented contract:
-// with intruder-side sampling configured the DBRL/PRL states are
-// unavailable and callers must use the full (sampled) recompute — while
-// the RSRL state handles stride sampling directly.
-func TestSampledLinkageHasNoIncrementalState(t *testing.T) {
+// TestSampledLinkageStatesAreStrideAware checks the updated contract:
+// intruder-side sampling (MaxRecords) no longer disables any linkage
+// state — DBRL and PRL maintain summaries for the deterministic sampled
+// record set directly, like RSRL always did, so the delta path has no
+// full-recompute fallback left.
+func TestSampledLinkageStatesAreStrideAware(t *testing.T) {
 	d, attrs := testData(t)
-	if st := (&DistanceLinkage{MaxRecords: 50}).Prepare(d, d.Clone(), attrs); st != nil {
-		t.Error("sampled DBRL returned an incremental state")
+	if st := (&DistanceLinkage{MaxRecords: 50}).Prepare(d, d.Clone(), attrs); st == nil {
+		t.Error("sampled DBRL returned no incremental state; stride sampling is patchable")
 	}
-	if st := (&ProbabilisticLinkage{MaxRecords: 50}).Prepare(d, d.Clone(), attrs); st != nil {
-		t.Error("sampled PRL returned an incremental state")
+	if st := (&ProbabilisticLinkage{MaxRecords: 50}).Prepare(d, d.Clone(), attrs); st == nil {
+		t.Error("sampled PRL returned no incremental state; stride sampling is patchable")
 	}
 	if st := (&RankIntervalLinkage{MaxRecords: 50}).Prepare(d, d.Clone(), attrs); st == nil {
 		t.Error("sampled RSRL returned no incremental state; stride sampling is patchable")
+	}
+}
+
+// TestSampledIncrementalMatchesFullRisk is the oracle for the
+// stride-aware DBRL/PRL states: under every sampling stride the
+// incremental chain must stay bit-identical to the sampled from-scratch
+// recompute at every step, exactly as the unsampled states do.
+func TestSampledIncrementalMatchesFullRisk(t *testing.T) {
+	d, attrs := testData(t)
+	for _, maxRecords := range []int{1, 7, 40, 70, 99, 100} {
+		measures := []Incremental{
+			&DistanceLinkage{MaxRecords: maxRecords},
+			&ProbabilisticLinkage{MaxRecords: maxRecords},
+			&RankIntervalLinkage{MaxRecords: maxRecords},
+		}
+		rng := rand.New(rand.NewPCG(uint64(maxRecords), 17))
+		for _, inc := range measures {
+			work := scramble(d, attrs, 29)
+			st := inc.Prepare(d, work, attrs)
+			if st == nil {
+				t.Fatalf("%s MaxRecords=%d: Prepare returned nil", inc.Name(), maxRecords)
+			}
+			if got, want := inc.Apply(st, nil), inc.Risk(d, work, attrs); got != want {
+				t.Fatalf("%s MaxRecords=%d: Apply(nil) = %v, full = %v", inc.Name(), maxRecords, got, want)
+			}
+			for step := 0; step < 40; step++ {
+				batch := 1 + rng.IntN(3)
+				changes := make([]dataset.CellChange, batch)
+				for i := range changes {
+					changes[i] = dataset.RandomChange(rng, work, attrs)
+				}
+				got := inc.Apply(st, changes)
+				want := inc.Risk(d, work, attrs)
+				if got != want {
+					t.Fatalf("%s MaxRecords=%d step %d: delta %v != full %v",
+						inc.Name(), maxRecords, step, got, want)
+				}
+			}
+		}
+	}
+}
+
+// reversibleBattery returns the reversible risk measures under test,
+// plain and sampled.
+func reversibleBattery(t *testing.T) []Reversible {
+	t.Helper()
+	var out []Reversible
+	for _, m := range Default() {
+		rev, ok := m.(Reversible)
+		if !ok {
+			t.Fatalf("%s lacks a reversible implementation", m.Name())
+		}
+		out = append(out, rev)
+	}
+	return append(out,
+		&DistanceLinkage{MaxRecords: 40},
+		&ProbabilisticLinkage{MaxRecords: 40},
+		&RankIntervalLinkage{MaxRecords: 40},
+	)
+}
+
+// TestReversibleApplyUndo drives every reversible risk state through
+// speculative ApplyUndo/Undo rounds interleaved with committed Applies —
+// the exact access pattern of generation-batch evaluation — and demands
+// (a) each speculative value equals the full recompute of the edited
+// file, (b) the undone state still tracks the unedited file bit for bit,
+// and (c) a control state advanced only by committed Applies agrees at
+// every step.
+func TestReversibleApplyUndo(t *testing.T) {
+	d, attrs := testData(t)
+	for _, rev := range reversibleBattery(t) {
+		rng := rand.New(rand.NewPCG(7, 31))
+		work := scramble(d, attrs, 3)
+		st := rev.Prepare(d, work, attrs)
+		if st == nil {
+			t.Fatalf("%s: Prepare returned nil", rev.Name())
+		}
+		control := st.CloneState()
+		for step := 0; step < 30; step++ {
+			// A speculative offspring: edits against a scratch copy.
+			spec := work.Clone()
+			changes := make([]dataset.CellChange, 1+rng.IntN(4))
+			for i := range changes {
+				changes[i] = dataset.RandomChange(rng, spec, attrs)
+			}
+			got := rev.ApplyUndo(st, changes)
+			if want := rev.Risk(d, spec, attrs); got != want {
+				t.Fatalf("%s step %d: ApplyUndo %v != full %v", rev.Name(), step, got, want)
+			}
+			rev.Undo(st)
+			if got, want := rev.Apply(st, nil), rev.Risk(d, work, attrs); got != want {
+				t.Fatalf("%s step %d: state after Undo %v != full %v", rev.Name(), step, got, want)
+			}
+			// Undo twice is a no-op.
+			rev.Undo(st)
+			// Every third round, commit the offspring for real.
+			if step%3 == 0 {
+				for _, ch := range changes {
+					work.Set(ch.Row, ch.Col, ch.New)
+				}
+				if got, want := rev.Apply(st, changes), rev.Apply(control, changes); got != want {
+					t.Fatalf("%s step %d: committed %v != control %v", rev.Name(), step, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReversibleUndoWithoutApplyIsNoOp pins the no-pending contract.
+func TestReversibleUndoWithoutApplyIsNoOp(t *testing.T) {
+	d, attrs := testData(t)
+	for _, rev := range reversibleBattery(t) {
+		work := scramble(d, attrs, 5)
+		st := rev.Prepare(d, work, attrs)
+		rev.Undo(st)
+		if got, want := rev.Apply(st, nil), rev.Risk(d, work, attrs); got != want {
+			t.Fatalf("%s: Undo on a fresh state corrupted it: %v != %v", rev.Name(), got, want)
+		}
 	}
 }
 

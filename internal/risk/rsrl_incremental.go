@@ -29,10 +29,18 @@ package risk
 // bit-for-bit identical to a full recompute — rsrlReference, the literal
 // O(n²) pairwise scan, property-tests the whole chain.
 //
-// Unlike the DBRL/PRL states, the RSRL state supports MaxRecords stride
-// sampling: the sampled record set is deterministic, so only sampled
-// records are grouped and the patched credit sum is exactly the sampled
-// full recompute.
+// Like the other linkage states, the RSRL state supports MaxRecords
+// stride sampling: the sampled record set is deterministic, so only
+// sampled records are grouped and the patched credit sum is exactly the
+// sampled full recompute.
+//
+// The state is also Reversible, through journaling rather than inverse
+// replay: ApplyUndo records word-level before-images of every byCat and
+// cand bitset mutation (stats.BitsetJournal), snapshots the scalar rows
+// (frequencies, mid-ranks, window bounds) of each touched attribute and
+// the counts/hit flags of each refreshed group, and Undo restores it
+// all directly — no rank sweeps, boundary patches or candidate
+// re-intersections on the way back.
 
 import (
 	"sort"
@@ -80,6 +88,22 @@ type rsrlState struct {
 	loNew, hiNew []int
 	dirty        []bool
 	dirtyList    []int32
+
+	// Undo journal, armed by ApplyUndo and consumed by Undo; owned
+	// reusable buffers, never shared between clones. The scalar rows of
+	// each touched attribute (undoFreq/undoRanks/undoLo/undoHi) are
+	// concatenated in first-touch order (undoAttrs); undoHits holds the
+	// refreshed groups' member flags concatenated in undoGroups order.
+	undoBits       stats.BitsetJournal
+	undoAttrs      []int32
+	undoMark       []bool
+	undoFreq       []int
+	undoLo, undoHi []int
+	undoRanks      []float64
+	undoGroups     []int32
+	undoCounts     []int32
+	undoHits       []bool
+	undoActive     bool
 }
 
 // Prepare implements Incremental. The state costs about one full Risk to
@@ -209,17 +233,28 @@ func (st *rsrlState) ensureScratch() {
 
 // refreshGroup recomputes one group's candidate intersection from the
 // current cand bitsets, updating its count and its members' hit flags.
+// The final attribute is folded in with the fused AndCount kernel — the
+// full intersection bitset is never materialized, saving one word pass
+// per refresh; membership tests check the two halves separately.
 func (st *rsrlState) refreshGroup(g int32) {
 	grp := &st.groups[g]
 	rep := int(grp.rep)
+	last := st.cand[len(st.oc)-1][st.oc[len(st.oc)-1][rep]]
+	if len(st.oc) == 1 {
+		grp.count = int32(last.Count())
+		for _, i := range grp.members {
+			st.recHit[i] = last.Test(int(i))
+		}
+		return
+	}
 	sc := st.scratch
 	sc.CopyFrom(st.cand[0][st.oc[0][rep]])
-	for a := 1; a < len(st.oc); a++ {
+	for a := 1; a < len(st.oc)-1; a++ {
 		sc.AndWith(st.cand[a][st.oc[a][rep]])
 	}
-	grp.count = int32(sc.Count())
+	grp.count = int32(sc.AndCount(last))
 	for _, i := range grp.members {
-		st.recHit[i] = sc.Test(int(i))
+		st.recHit[i] = sc.Test(int(i)) && last.Test(int(i))
 	}
 }
 
@@ -272,12 +307,15 @@ func cloneBitsets(in []*stats.Bitset) []*stats.Bitset {
 	return out
 }
 
-// Apply implements Incremental.
+// Apply implements Incremental. A plain Apply commits any pending
+// ApplyUndo: the journals are discarded and the changes become
+// permanent.
 func (rl *RankIntervalLinkage) Apply(state State, changes []dataset.CellChange) float64 {
 	st := state.(*rsrlState)
 	st.ensureScratch()
+	st.disarmUndo()
 	for _, ch := range changes {
-		st.applyOne(ch)
+		st.applyOne(ch, nil)
 	}
 	for _, g := range st.dirtyList {
 		st.refreshGroup(g)
@@ -287,15 +325,123 @@ func (rl *RankIntervalLinkage) Apply(state State, changes []dataset.CellChange) 
 	return st.value()
 }
 
+// ApplyUndo implements Reversible: Apply with every mutation journaled
+// so Undo can restore the state without recomputation.
+func (rl *RankIntervalLinkage) ApplyUndo(state State, changes []dataset.CellChange) float64 {
+	st := state.(*rsrlState)
+	st.ensureScratch()
+	st.ensureUndo()
+	st.disarmUndo()
+	st.undoActive = true
+	for _, ch := range changes {
+		st.applyOne(ch, &st.undoBits)
+	}
+	for _, g := range st.dirtyList {
+		grp := &st.groups[g]
+		st.undoGroups = append(st.undoGroups, g)
+		st.undoCounts = append(st.undoCounts, grp.count)
+		for _, i := range grp.members {
+			st.undoHits = append(st.undoHits, st.recHit[i])
+		}
+		st.refreshGroup(g)
+		st.dirty[g] = false
+	}
+	st.dirtyList = st.dirtyList[:0]
+	return st.value()
+}
+
+// Undo implements Reversible: restore the journaled before-images —
+// group counts and hit flags, scalar attribute rows, then the bitset
+// word diffs (newest first). No sweeps or intersections run.
+func (rl *RankIntervalLinkage) Undo(state State) {
+	st := state.(*rsrlState)
+	if !st.undoActive {
+		return
+	}
+	st.undoActive = false
+	hk := 0
+	for k, g := range st.undoGroups {
+		grp := &st.groups[g]
+		grp.count = st.undoCounts[k]
+		for _, i := range grp.members {
+			st.recHit[i] = st.undoHits[hk]
+			hk++
+		}
+	}
+	off := 0
+	for _, a32 := range st.undoAttrs {
+		a := int(a32)
+		card := st.cards[a]
+		copy(st.mFreq[a], st.undoFreq[off:off+card])
+		copy(st.mRanks[a], st.undoRanks[off:off+card])
+		copy(st.lo[a], st.undoLo[off:off+card])
+		copy(st.hi[a], st.undoHi[off:off+card])
+		off += card
+		st.undoMark[a] = false
+	}
+	st.undoBits.Revert()
+	st.undoAttrs = st.undoAttrs[:0]
+	st.undoFreq = st.undoFreq[:0]
+	st.undoRanks = st.undoRanks[:0]
+	st.undoLo = st.undoLo[:0]
+	st.undoHi = st.undoHi[:0]
+	st.undoGroups = st.undoGroups[:0]
+	st.undoCounts = st.undoCounts[:0]
+	st.undoHits = st.undoHits[:0]
+}
+
+// ensureUndo sizes the per-attribute first-touch marks.
+func (st *rsrlState) ensureUndo() {
+	if len(st.undoMark) < len(st.cards) {
+		st.undoMark = make([]bool, len(st.cards))
+	}
+}
+
+// disarmUndo discards a pending journal without restoring anything —
+// the commit half of the apply/undo protocol.
+func (st *rsrlState) disarmUndo() {
+	if !st.undoActive {
+		return
+	}
+	st.undoActive = false
+	st.undoBits.Reset()
+	for _, a := range st.undoAttrs {
+		st.undoMark[a] = false
+	}
+	st.undoAttrs = st.undoAttrs[:0]
+	st.undoFreq = st.undoFreq[:0]
+	st.undoRanks = st.undoRanks[:0]
+	st.undoLo = st.undoLo[:0]
+	st.undoHi = st.undoHi[:0]
+	st.undoGroups = st.undoGroups[:0]
+	st.undoCounts = st.undoCounts[:0]
+	st.undoHits = st.undoHits[:0]
+}
+
 // applyOne patches the state for one cell change: masked record ch.Row of
-// attribute ch.Col moves from category ch.Old to ch.New.
-func (st *rsrlState) applyOne(ch dataset.CellChange) {
+// attribute ch.Col moves from category ch.Old to ch.New. With a non-nil
+// journal every bitset mutation records its word before-images and the
+// touched attribute's scalar rows are snapshotted on first touch.
+func (st *rsrlState) applyOne(ch dataset.CellChange, jn *stats.BitsetJournal) {
 	if ch.Old == ch.New {
 		return
 	}
 	a := st.pos[ch.Col]
-	st.byCat[a][ch.Old].Clear(ch.Row)
-	st.byCat[a][ch.New].Set(ch.Row)
+	if jn != nil && !st.undoMark[a] {
+		st.undoMark[a] = true
+		st.undoAttrs = append(st.undoAttrs, int32(a))
+		st.undoFreq = append(st.undoFreq, st.mFreq[a]...)
+		st.undoRanks = append(st.undoRanks, st.mRanks[a]...)
+		st.undoLo = append(st.undoLo, st.lo[a]...)
+		st.undoHi = append(st.undoHi, st.hi[a]...)
+	}
+	if jn != nil {
+		st.byCat[a][ch.Old].ClearJ(ch.Row, jn)
+		st.byCat[a][ch.New].SetJ(ch.Row, jn)
+	} else {
+		st.byCat[a][ch.Old].Clear(ch.Row)
+		st.byCat[a][ch.New].Set(ch.Row)
+	}
 	stats.FreqShift(st.mFreq[a], ch.Old, ch.New)
 	stats.MidRanksInto(st.mRanks[a], st.mFreq[a])
 	card := st.cards[a]
@@ -311,9 +457,14 @@ func (st *rsrlState) applyOne(ch dataset.CellChange) {
 		wasIn := loO <= ch.Old && ch.Old <= hiO
 		nowIn := loO <= ch.New && ch.New <= hiO
 		if wasIn != nowIn {
-			if wasIn {
+			switch {
+			case wasIn && jn != nil:
+				cand.ClearJ(ch.Row, jn)
+			case wasIn:
 				cand.Clear(ch.Row)
-			} else {
+			case jn != nil:
+				cand.SetJ(ch.Row, jn)
+			default:
 				cand.Set(ch.Row)
 			}
 			changed = true
@@ -324,12 +475,20 @@ func (st *rsrlState) applyOne(ch dataset.CellChange) {
 		if loO != loN || hiO != hiN {
 			for v := loO; v <= hiO; v++ {
 				if v < loN || v > hiN {
-					cand.AndNotWith(st.byCat[a][v])
+					if jn != nil {
+						cand.AndNotWithJ(st.byCat[a][v], jn)
+					} else {
+						cand.AndNotWith(st.byCat[a][v])
+					}
 				}
 			}
 			for v := loN; v <= hiN; v++ {
 				if v < loO || v > hiO {
-					cand.OrWith(st.byCat[a][v])
+					if jn != nil {
+						cand.OrWithJ(st.byCat[a][v], jn)
+					} else {
+						cand.OrWith(st.byCat[a][v])
+					}
 				}
 			}
 			st.lo[a][u], st.hi[a][u] = loN, hiN

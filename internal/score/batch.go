@@ -1,0 +1,262 @@
+package score
+
+// Generation-batch delta evaluation. The engine's reproduction step
+// scores every offspring of a generation before any replacement
+// decision, so the offspring of one parent form a natural batch: they
+// all branch from the same delta state. EvaluateDelta serves that shape
+// by cloning the parent state once per offspring — one full set of
+// per-measure summary copies whose only purpose, for a losing offspring,
+// is to be garbage. EvaluateBatch removes those clones: it applies each
+// offspring's change list against the parent's own state through the
+// measures' reversible (apply/undo) capability and rolls the state back
+// before the next offspring, touching memory proportional to the edit
+// instead of to the file. Groups are independent (each owns its state),
+// so they shard across a worker pool.
+//
+// Results are bit-for-bit identical to the per-offspring EvaluateDelta
+// path: Undo restores states exactly (property-tested per measure), and
+// the accumulation below mirrors EvaluateDelta's battery order.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"evoprot/internal/dataset"
+	"evoprot/internal/infoloss"
+	"evoprot/internal/risk"
+)
+
+// BatchOffspring is one candidate dataset derived from a batch group's
+// parent by Changes. Eval is an output: EvaluateBatch fills it in.
+type BatchOffspring struct {
+	// Child is the offspring dataset — the parent's file with Changes
+	// applied, same contract as EvaluateDelta's child.
+	Child *dataset.Dataset
+	// Changes derives Child from the group's parent file, in order.
+	Changes []dataset.CellChange
+	// Eval receives the offspring's evaluation, bit-identical to what
+	// EvaluateDelta would return for the same (parent, changes) pair.
+	Eval Evaluation
+}
+
+// BatchGroup gathers one parent's offspring for a generation. State is
+// advanced and rolled back in place during EvaluateBatch but always
+// returned to its incoming value — the group's parent remains a valid
+// delta-evaluation ancestor afterwards.
+type BatchGroup struct {
+	// Parent is the parent's evaluation, returned verbatim for
+	// offspring with empty change lists (same as EvaluateDelta).
+	Parent Evaluation
+	// State is the parent's delta state; it must describe the file the
+	// offspring's Changes start from. Nil-slot measures are recomputed
+	// in full per offspring, exactly like EvaluateDelta. A nil State is
+	// allowed only when no offspring needs one — every change list empty
+	// or past the wide-edit break-even point (both are scored without
+	// touching the state).
+	State *DeltaState
+	// Offspring are the candidates to score.
+	Offspring []BatchOffspring
+}
+
+// Batchable reports whether every configured measure supports reversible
+// delta evaluation, i.e. whether EvaluateBatch runs allocation-free over
+// narrow edits. EvaluateBatch works either way — a measure without the
+// capability falls back to clone-and-apply or a full recompute — but a
+// caller choosing between the batch and per-offspring paths for
+// performance reasons wants the distinction.
+func (e *Evaluator) Batchable() bool {
+	for _, m := range e.cfg.IL {
+		if _, ok := m.(infoloss.Reversible); !ok {
+			return false
+		}
+	}
+	for _, m := range e.cfg.DR {
+		if _, ok := m.(risk.Reversible); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EvaluateBatch scores every offspring of every group, writing results
+// into the Offspring[k].Eval fields. Offspring within a group are
+// evaluated sequentially against the group's shared state (apply, read,
+// undo); distinct groups are independent and are sharded across workers
+// goroutines when workers > 1. Each evaluation is bit-for-bit identical
+// to EvaluateDelta over the same (parent, state, child, changes), and
+// every group's State is restored to its incoming value before return.
+//
+// On error the groups' states are still intact — the per-offspring
+// checks run before the state is touched — but Eval fields of offspring
+// processed after the failure point are unspecified.
+func (e *Evaluator) EvaluateBatch(groups []BatchGroup, workers int) error {
+	for g := range groups {
+		st := groups[g].State
+		if st == nil {
+			continue // checked per offspring: only narrow edits need a state
+		}
+		if len(st.il) != len(e.cfg.IL) || len(st.dr) != len(e.cfg.DR) {
+			return fmt.Errorf("score: batch group %d state has %d+%d measure slots, evaluator has %d+%d",
+				g, len(st.il), len(st.dr), len(e.cfg.IL), len(e.cfg.DR))
+		}
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 || len(groups) <= 1 {
+		for g := range groups {
+			if err := e.evaluateGroup(&groups[g]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		firstMu sync.Mutex
+		first   error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= len(groups) {
+					return
+				}
+				if err := e.evaluateGroup(&groups[g]); err != nil {
+					firstMu.Lock()
+					if first == nil {
+						first = err
+					}
+					firstMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// evaluateGroup scores one group's offspring against its shared state.
+func (e *Evaluator) evaluateGroup(grp *BatchGroup) error {
+	st := grp.State
+	for k := range grp.Offspring {
+		off := &grp.Offspring[k]
+		if off.Child == nil {
+			return fmt.Errorf("score: nil child dataset in batch offspring")
+		}
+		if off.Child.Rows() != e.orig.Rows() || off.Child.Cols() != e.orig.Cols() {
+			return fmt.Errorf("score: child dataset is %dx%d, original is %dx%d",
+				off.Child.Rows(), off.Child.Cols(), e.orig.Rows(), e.orig.Cols())
+		}
+		if err := e.validateChanges(off.Child, off.Changes); err != nil {
+			return err
+		}
+		if len(off.Changes) == 0 {
+			off.Eval = grp.Parent
+			continue
+		}
+		if e.WideEdit(off.Changes) {
+			ev, err := e.Evaluate(off.Child)
+			if err != nil {
+				return err
+			}
+			off.Eval = ev
+			continue
+		}
+		if st == nil {
+			return fmt.Errorf("score: batch group with a narrow-edit offspring has nil delta state")
+		}
+		ev := Evaluation{
+			ILParts: make(map[string]float64, len(e.cfg.IL)),
+			DRParts: make(map[string]float64, len(e.cfg.DR)),
+		}
+		// Accumulate in battery order, exactly like EvaluateDelta.
+		for i, m := range e.cfg.IL {
+			var v float64
+			switch {
+			case st.il[i] == nil:
+				v = m.Loss(e.orig, off.Child, e.attrs)
+			default:
+				if rev, ok := m.(infoloss.Reversible); ok {
+					v = rev.ApplyUndo(st.il[i], off.Changes)
+					rev.Undo(st.il[i])
+				} else {
+					// Incremental but not reversible: branch a throwaway
+					// copy, the per-offspring cost EvaluateDelta pays.
+					inc := m.(infoloss.Incremental)
+					v = inc.Apply(st.il[i].CloneState(), off.Changes)
+				}
+			}
+			ev.ILParts[m.Name()] = v
+			ev.IL += v
+		}
+		for i, m := range e.cfg.DR {
+			var v float64
+			switch {
+			case st.dr[i] == nil:
+				v = m.Risk(e.orig, off.Child, e.attrs)
+			default:
+				if rev, ok := m.(risk.Reversible); ok {
+					v = rev.ApplyUndo(st.dr[i], off.Changes)
+					rev.Undo(st.dr[i])
+				} else {
+					inc := m.(risk.Incremental)
+					v = inc.Apply(st.dr[i].CloneState(), off.Changes)
+				}
+			}
+			ev.DRParts[m.Name()] = v
+			ev.DR += v
+		}
+		ev.IL /= float64(len(e.cfg.IL))
+		ev.DR /= float64(len(e.cfg.DR))
+		ev.Score = e.cfg.Aggregator.Combine(ev.IL, ev.DR)
+		off.Eval = ev
+	}
+	return nil
+}
+
+// Advance commits changes into state in place: every incremental slot is
+// advanced by the change list (disarming any pending undo). It is the
+// zero-allocation way to promote a winning offspring's evaluation into a
+// reusable delta state when the parent's state is no longer needed —
+// where EvaluateDelta would have cloned. The same validation as
+// EvaluateDelta applies; child is the dataset the changes produce.
+//
+// Advance refuses wide edits: past the incremental break-even point
+// callers should drop the state and re-Prepare lazily, matching
+// EvaluateDelta's nil-state contract for wide offspring.
+func (e *Evaluator) Advance(state *DeltaState, child *dataset.Dataset, changes []dataset.CellChange) error {
+	if state == nil {
+		return fmt.Errorf("score: nil delta state")
+	}
+	if child == nil {
+		return fmt.Errorf("score: nil child dataset")
+	}
+	if len(state.il) != len(e.cfg.IL) || len(state.dr) != len(e.cfg.DR) {
+		return fmt.Errorf("score: delta state has %d+%d measure slots, evaluator has %d+%d",
+			len(state.il), len(state.dr), len(e.cfg.IL), len(e.cfg.DR))
+	}
+	if e.WideEdit(changes) {
+		return fmt.Errorf("score: Advance over a wide edit (%d changes); re-Prepare instead", len(changes))
+	}
+	if err := e.validateChanges(child, changes); err != nil {
+		return err
+	}
+	for i, m := range e.cfg.IL {
+		if inc, ok := m.(infoloss.Incremental); ok && state.il[i] != nil {
+			inc.Apply(state.il[i], changes)
+		}
+	}
+	for i, m := range e.cfg.DR {
+		if inc, ok := m.(risk.Incremental); ok && state.dr[i] != nil {
+			inc.Apply(state.dr[i], changes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package score
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/datagen"
+	"evoprot/internal/dataset"
+	"evoprot/internal/risk"
+)
+
+// buildBatch derives a random generation from parents: every parent gets
+// a group with a mix of offspring — ordinary narrow edits, the occasional
+// empty change list (a cloned survivor) and the occasional wide edit (a
+// crossover window past the rebuild break-even point). Returns the groups
+// ready for EvaluateBatch.
+func buildBatch(t *testing.T, eval *Evaluator, rng *rand.Rand, parents []*dataset.Dataset, attrs []int, offspringPer int) []BatchGroup {
+	t.Helper()
+	groups := make([]BatchGroup, len(parents))
+	for g, p := range parents {
+		pe, err := eval.Evaluate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[g] = BatchGroup{
+			Parent: pe,
+			State:  mustPrepare(t, eval, p),
+		}
+		for k := 0; k < offspringPer; k++ {
+			child := p.Clone()
+			var changes []dataset.CellChange
+			switch {
+			case k == 1:
+				// cloned survivor: no edits
+			case k == 2:
+				// wide edit: past the incremental break-even point
+				changes = applyRandomChanges(rng, child, attrs, eval.Orig().Rows()/2+1)
+			default:
+				changes = applyRandomChanges(rng, child, attrs, 1+rng.IntN(4))
+			}
+			groups[g].Offspring = append(groups[g].Offspring, BatchOffspring{
+				Child:   child,
+				Changes: changes,
+			})
+		}
+	}
+	return groups
+}
+
+// checkBatchAgainstDelta runs EvaluateBatch at the given worker width and
+// requires every offspring evaluation to equal the per-offspring
+// EvaluateDelta path bit for bit, and every group state to still be a
+// valid ancestor afterwards (a further delta evaluation from it must
+// match a from-scratch evaluation).
+func checkBatchAgainstDelta(t *testing.T, eval *Evaluator, groups []BatchGroup, workers int, context string) {
+	t.Helper()
+	if err := eval.EvaluateBatch(groups, workers); err != nil {
+		t.Fatalf("%s: EvaluateBatch: %v", context, err)
+	}
+	for g := range groups {
+		grp := &groups[g]
+		for k := range grp.Offspring {
+			off := &grp.Offspring[k]
+			want, _, err := eval.EvaluateDelta(grp.Parent, grp.State, off.Child, off.Changes)
+			if err != nil {
+				t.Fatalf("%s group %d offspring %d: EvaluateDelta: %v", context, g, k, err)
+			}
+			requireIdentical(t, context, off.Eval, want)
+		}
+	}
+}
+
+func TestEvaluateBatchMatchesEvaluateDelta(t *testing.T) {
+	eval, orig := deltaTestEvaluator(t)
+	names, _ := datagen.ProtectedAttrs("german")
+	attrs, _ := orig.Schema().Indices(names...)
+	for _, workers := range []int{1, 4} {
+		rng := rand.New(rand.NewPCG(97, uint64(workers)))
+		parents := make([]*dataset.Dataset, 5)
+		for i := range parents {
+			p := orig.Clone()
+			applyRandomChanges(rng, p, attrs, 10+rng.IntN(20))
+			parents[i] = p
+		}
+		groups := buildBatch(t, eval, rng, parents, attrs, 4)
+		checkBatchAgainstDelta(t, eval, groups, workers, "default battery")
+
+		// States stay valid ancestors after the batch: evaluate a fresh
+		// child per group through the (rolled-back) state and compare
+		// against a from-scratch evaluation.
+		for g := range groups {
+			child := parents[g].Clone()
+			changes := applyRandomChanges(rng, child, attrs, 3)
+			got, _, err := eval.EvaluateDelta(groups[g].Parent, groups[g].State, child, changes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := eval.Evaluate(child)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, "post-batch state reuse", got, want)
+		}
+	}
+}
+
+// TestEvaluateBatchSampledAndFallbackBatteries runs the equivalence over
+// a stride-sampling battery (every linkage state stride-aware) and over a
+// battery containing a measure with no incremental support at all (the
+// per-offspring full-recompute routing inside a batch).
+func TestEvaluateBatchSampledAndFallbackBatteries(t *testing.T) {
+	orig := datagen.MustByName("flare", 90, 11)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, err := orig.Schema().Indices(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"sampled", Config{DR: []risk.Measure{
+			&risk.IntervalDisclosure{MaxP: 10},
+			&risk.DistanceLinkage{MaxRecords: 30},
+			&risk.ProbabilisticLinkage{EMIters: 10, MaxRecords: 30},
+			&risk.RankIntervalLinkage{P: 15, MaxRecords: 30},
+		}}},
+		{"non-incremental", Config{DR: []risk.Measure{
+			&risk.IntervalDisclosure{MaxP: 10},
+			&RankOnly{},
+		}}},
+	}
+	for _, tc := range cfgs {
+		eval, err := NewEvaluator(orig, attrs, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(5, 23))
+		parents := make([]*dataset.Dataset, 3)
+		for i := range parents {
+			p := orig.Clone()
+			applyRandomChanges(rng, p, attrs, 15)
+			parents[i] = p
+		}
+		groups := buildBatch(t, eval, rng, parents, attrs, 3)
+		checkBatchAgainstDelta(t, eval, groups, 2, tc.name)
+	}
+}
+
+func TestBatchableCapability(t *testing.T) {
+	eval, orig := deltaTestEvaluator(t)
+	if !eval.Batchable() {
+		t.Error("default battery must be batchable")
+	}
+	names, _ := datagen.ProtectedAttrs("german")
+	attrs, _ := orig.Schema().Indices(names...)
+	nb, err := NewEvaluator(orig, attrs, Config{DR: []risk.Measure{&RankOnly{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Batchable() {
+		t.Error("battery with a non-reversible measure must not report batchable")
+	}
+}
+
+// TestEvaluateBatchNilState pins the nil-state contract: a stateless
+// group is fine as long as every offspring is scored without the state
+// (empty or wide change lists); a narrow edit then errors.
+func TestEvaluateBatchNilState(t *testing.T) {
+	eval, orig := deltaTestEvaluator(t)
+	names, _ := datagen.ProtectedAttrs("german")
+	attrs, _ := orig.Schema().Indices(names...)
+	pe, err := eval.Evaluate(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 9))
+	wideChild := orig.Clone()
+	wide := applyRandomChanges(rng, wideChild, attrs, orig.Rows()/2+1)
+	groups := []BatchGroup{{Parent: pe, Offspring: []BatchOffspring{
+		{Child: orig.Clone()},
+		{Child: wideChild, Changes: wide},
+	}}}
+	if err := eval.EvaluateBatch(groups, 1); err != nil {
+		t.Fatalf("stateless group with empty+wide offspring: %v", err)
+	}
+	requireIdentical(t, "empty offspring", groups[0].Offspring[0].Eval, pe)
+	wantWide, err := eval.Evaluate(wideChild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "wide offspring", groups[0].Offspring[1].Eval, wantWide)
+
+	narrowChild := orig.Clone()
+	narrow := applyRandomChanges(rng, narrowChild, attrs, 2)
+	groups[0].Offspring = append(groups[0].Offspring, BatchOffspring{Child: narrowChild, Changes: narrow})
+	if err := eval.EvaluateBatch(groups, 1); err == nil {
+		t.Error("EvaluateBatch accepted a narrow-edit offspring with a nil group state")
+	}
+}
+
+// TestAdvance pins the in-place winner commit: after Advance the state
+// describes the child, so further delta evaluations from it match
+// from-scratch evaluations; wide edits are refused.
+func TestAdvance(t *testing.T) {
+	eval, orig := deltaTestEvaluator(t)
+	names, _ := datagen.ProtectedAttrs("german")
+	attrs, _ := orig.Schema().Indices(names...)
+	rng := rand.New(rand.NewPCG(41, 2))
+
+	parent := orig.Clone()
+	applyRandomChanges(rng, parent, attrs, 12)
+	state := mustPrepare(t, eval, parent)
+
+	for step := 0; step < 5; step++ {
+		child := parent.Clone()
+		changes := applyRandomChanges(rng, child, attrs, 1+rng.IntN(4))
+		if err := eval.Advance(state, child, changes); err != nil {
+			t.Fatalf("step %d: Advance: %v", step, err)
+		}
+		// state now describes child; evaluate a grandchild through it.
+		grand := child.Clone()
+		gchanges := applyRandomChanges(rng, grand, attrs, 2)
+		ce, err := eval.Evaluate(child)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := eval.EvaluateDelta(ce, state, grand, gchanges)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want, err := eval.Evaluate(grand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, "advanced state", got, want)
+		parent = child
+	}
+
+	wideChild := parent.Clone()
+	wide := applyRandomChanges(rng, wideChild, attrs, orig.Rows()/2+1)
+	if err := eval.Advance(state, wideChild, wide); err == nil {
+		t.Error("Advance accepted a wide edit")
+	}
+	if err := eval.Advance(nil, parent, nil); err == nil {
+		t.Error("Advance accepted a nil state")
+	}
+}
+
+// FuzzEvaluateBatchGrouping fuzzes the change-list grouping: arbitrary
+// group/offspring shapes drawn from the fuzz inputs must keep the batch
+// path bit-identical to the per-offspring path at both worker widths.
+func FuzzEvaluateBatchGrouping(f *testing.F) {
+	f.Add(uint64(1), uint(3), uint(4))
+	f.Add(uint64(99), uint(1), uint(1))
+	f.Add(uint64(7), uint(6), uint(2))
+	orig := datagen.MustByName("flare", 80, 3)
+	names, _ := datagen.ProtectedAttrs("flare")
+	attrs, err := orig.Schema().Indices(names...)
+	if err != nil {
+		f.Fatal(err)
+	}
+	eval, err := NewEvaluator(orig, attrs, Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, nGroups, nOff uint) {
+		ng := int(nGroups%6) + 1
+		no := int(nOff%5) + 1
+		rng := rand.New(rand.NewPCG(seed, 13))
+		groups := make([]BatchGroup, ng)
+		for g := range groups {
+			p := orig.Clone()
+			applyRandomChanges(rng, p, attrs, 5+rng.IntN(10))
+			pe, err := eval.Evaluate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			groups[g] = BatchGroup{Parent: pe, State: mustPrepare(t, eval, p)}
+			for k := 0; k < no; k++ {
+				child := p.Clone()
+				var changes []dataset.CellChange
+				switch rng.IntN(5) {
+				case 0:
+					// empty — cloned survivor
+				case 1:
+					changes = applyRandomChanges(rng, child, attrs, orig.Rows()/2+1)
+				default:
+					changes = applyRandomChanges(rng, child, attrs, 1+rng.IntN(3))
+				}
+				groups[g].Offspring = append(groups[g].Offspring,
+					BatchOffspring{Child: child, Changes: changes})
+			}
+		}
+		for _, workers := range []int{1, 4} {
+			if err := eval.EvaluateBatch(groups, workers); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			for g := range groups {
+				for k := range groups[g].Offspring {
+					off := &groups[g].Offspring[k]
+					want, _, err := eval.EvaluateDelta(groups[g].Parent, groups[g].State, off.Child, off.Changes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireIdentical(t, "fuzz grouping", off.Eval, want)
+				}
+			}
+		}
+	})
+}

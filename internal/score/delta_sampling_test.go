@@ -1,14 +1,15 @@
 package score
 
-// The ROADMAP-noted gap: under intruder-side sampling (MaxRecords) the
-// DBRL and PRL measures cannot run incrementally — Prepare returns a nil
-// slot and EvaluateDelta falls back to a full sampled recompute of just
-// those measures. Unlike the RSRL and ID states, that fallback had no
-// dedicated oracle until now. The property: a delta-evaluation chain over
-// a sampling-configured battery is bit-identical to a from-scratch
-// evaluation of each intermediate dataset — every measure value, both
-// averages and the aggregated score — across random grids, strides and
-// change batches.
+// Intruder-side sampling (MaxRecords) used to knock the DBRL and PRL
+// measures out of the incremental path — Prepare returned a nil slot and
+// EvaluateDelta recomputed just those measures in full each step. The
+// linkage states are stride-aware now, so a sampling-configured battery
+// runs fully incrementally; this file keeps the end-to-end oracle that
+// guarded the old fallback, which is exactly as binding on the new path.
+// The property: a delta-evaluation chain over a sampling-configured
+// battery is bit-identical to a from-scratch evaluation of each
+// intermediate dataset — every measure value, both averages and the
+// aggregated score — across random grids, strides and change batches.
 
 import (
 	"math/rand/v2"
@@ -20,8 +21,8 @@ import (
 
 // TestSampledLinkageFallbackMatchesFromScratch is the property test: for
 // several datasets, MaxRecords strides and seeds, a chain of random
-// mutation batches evaluated through Prepare/EvaluateDelta (where DBRL
-// and PRL run the sampled full-recompute fallback each step) must equal
+// mutation batches evaluated through Prepare/EvaluateDelta (with every
+// linkage measure on its stride-aware incremental state) must equal
 // Evaluate-from-scratch bit for bit at every step.
 func TestSampledLinkageFallbackMatchesFromScratch(t *testing.T) {
 	grids := []struct {
@@ -88,11 +89,11 @@ func TestSampledLinkageFallbackMatchesFromScratch(t *testing.T) {
 	}
 }
 
-// TestSampledLinkagePrepareSlots pins the capability split the fallback
-// relies on: under active stride sampling DBRL and PRL must decline an
-// incremental state while ID and RSRL keep theirs — if a future change
-// made the linkage caches claim sampled support without implementing it,
-// the oracle above would be testing the wrong path.
+// TestSampledLinkagePrepareSlots pins the capability the oracle above
+// now exercises: under active stride sampling every default-battery
+// measure must offer an incremental state — a regression to nil-slot
+// Prepares would silently turn the chain test into a test of the full
+// recompute fallback.
 func TestSampledLinkagePrepareSlots(t *testing.T) {
 	orig := datagen.MustByName("flare", 90, 5)
 	names, _ := datagen.ProtectedAttrs("flare")
@@ -101,11 +102,11 @@ func TestSampledLinkagePrepareSlots(t *testing.T) {
 		t.Fatal(err)
 	}
 	masked := orig.Clone()
-	if st := (&risk.DistanceLinkage{MaxRecords: 30}).Prepare(orig, masked, attrs); st != nil {
-		t.Error("sampled DBRL claims incremental support")
+	if st := (&risk.DistanceLinkage{MaxRecords: 30}).Prepare(orig, masked, attrs); st == nil {
+		t.Error("sampled DBRL lost its incremental support")
 	}
-	if st := (&risk.ProbabilisticLinkage{MaxRecords: 30}).Prepare(orig, masked, attrs); st != nil {
-		t.Error("sampled PRL claims incremental support")
+	if st := (&risk.ProbabilisticLinkage{MaxRecords: 30}).Prepare(orig, masked, attrs); st == nil {
+		t.Error("sampled PRL lost its incremental support")
 	}
 	if st := (&risk.RankIntervalLinkage{MaxRecords: 30}).Prepare(orig, masked, attrs); st == nil {
 		t.Error("sampled RSRL lost its incremental support")

@@ -47,6 +47,10 @@ type JobSpec struct {
 	Seed uint64 `json:"seed"`
 	// Workers parallelizes initial-population evaluation (0 = sequential).
 	Workers int `json:"workers,omitempty"`
+	// EvalWorkers parallelizes generation-batch offspring evaluation (0
+	// inherits Workers, negative forces sequential). Identical results at
+	// any width.
+	EvalWorkers int `json:"eval_workers,omitempty"`
 	// EarlyStop stops an island after N stagnant generations (0 = off).
 	EarlyStop int `json:"early_stop,omitempty"`
 	// Selection names the reproduction-selection policy
@@ -160,6 +164,7 @@ func (s *JobSpec) islandsConfig() (islands.Config, error) {
 			Selection:           sel,
 			NoImprovementWindow: s.EarlyStop,
 			InitWorkers:         s.Workers,
+			EvalWorkers:         s.EvalWorkers,
 			DisableDelta:        s.DisableDelta,
 			LazyPrepare:         s.LazyPrepare,
 		},
@@ -246,6 +251,9 @@ func (s *JobSpec) Options() ([]Option, error) {
 	}
 	if s.Workers > 0 {
 		opts = append(opts, WithWorkers(s.Workers))
+	}
+	if s.EvalWorkers != 0 {
+		opts = append(opts, WithEvalWorkers(s.EvalWorkers))
 	}
 	if s.EarlyStop > 0 {
 		opts = append(opts, WithEarlyStop(s.EarlyStop))

@@ -72,6 +72,7 @@ type runnerOptions struct {
 	generations     int
 	seed            uint64
 	workers         int
+	evalWorkers     int
 	window          int
 	selection       string
 	islands         int
@@ -267,6 +268,12 @@ func WithSeed(seed uint64) Option { return func(o *runnerOptions) { o.seed = see
 
 // WithWorkers parallelizes initial-population evaluation (0 = sequential).
 func WithWorkers(n int) Option { return func(o *runnerOptions) { o.workers = n } }
+
+// WithEvalWorkers sets the worker-pool width for generation-batch
+// offspring evaluation (0 inherits WithWorkers, negative forces
+// sequential). Results are identical at any width — only wall-clock
+// changes.
+func WithEvalWorkers(n int) Option { return func(o *runnerOptions) { o.evalWorkers = n } }
 
 // WithEarlyStop stops an island after window stagnant generations
 // (0 = disabled).
@@ -482,6 +489,7 @@ func (r *Runner) islandsConfig() (islands.Config, error) {
 			Generations:         r.opts.generations,
 			Seed:                r.opts.seed,
 			InitWorkers:         r.opts.workers,
+			EvalWorkers:         r.opts.evalWorkers,
 			NoImprovementWindow: r.opts.window,
 			Selection:           sel,
 			DisableDelta:        r.opts.disableDelta,
