@@ -51,6 +51,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		grid      = fs.String("grid", "", "masking grid for -orig runs (defaults to -dataset, else flare)")
 		rows      = fs.Int("rows", 0, "records when generating (0 = paper scale)")
 		agg       = fs.String("agg", "max", "fitness aggregation: mean | max | euclidean | weighted:<w>")
+		objective = fs.String("objective", "", "selection objective: scalar (default) | pareto (NSGA-II over raw IL/DR)")
+		paretoRef = fs.String("pareto-ref", "", `hypervolume reference point for -objective pareto as "il,dr" (default 100,100)`)
+		mlTarget  = fs.String("ml-target", "", "append the ML-utility measure: naive Bayes accuracy drop predicting this attribute")
 		gens      = fs.Int("gens", 400, "generations per island")
 		seed      = fs.Uint64("seed", 42, "run seed")
 		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "initial-evaluation workers")
@@ -96,6 +99,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		evoprot.WithEarlyStop(*stall),
 		evoprot.WithMigration(*migEvery, *migrants),
 		evoprot.WithTopology(topo),
+	}
+	if *objective != "" {
+		options = append(options, evoprot.WithObjective(*objective))
+	}
+	if *mlTarget != "" {
+		options = append(options, evoprot.WithMLUtility(*mlTarget))
+	}
+	if *paretoRef != "" {
+		var il, dr float64
+		if _, err := fmt.Sscanf(*paretoRef, "%f,%f", &il, &dr); err != nil {
+			return fmt.Errorf(`parsing -pareto-ref: want "il,dr", got %q`, *paretoRef)
+		}
+		options = append(options, evoprot.WithParetoRef(il, dr))
 	}
 	if *nIslands != 0 {
 		// Left unset, -per-island implies one island per override (and a
@@ -215,6 +231,9 @@ func report(w io.Writer, res *evoprot.RunResult, plots bool) {
 	fmt.Fprintf(w, "  min score:  %7.2f -> %7.2f\n", first.Min, last.Min)
 	fmt.Fprintf(w, "best protection: origin=%s IL=%.2f DR=%.2f score=%.2f\n",
 		res.Best.Origin, res.Best.Eval.IL, res.Best.Eval.DR, res.Best.Eval.Score)
+	if front := last.Front; front != nil {
+		fmt.Fprintf(w, "pareto front: %d point(s), hypervolume %.2f\n", front.Size, front.Hypervolume)
+	}
 	if plots {
 		printPlots(w, lead)
 	}
@@ -264,4 +283,9 @@ func printPlots(w io.Writer, res *evoprot.Result) {
 	}
 	fmt.Fprintln(w, evoprot.RenderEvolution(maxS, meanS, minS, 72, 18))
 	fmt.Fprintln(w, evoprot.RenderDispersion(res.Population, 72, 18))
+	if len(res.History) > 0 {
+		if front := res.History[len(res.History)-1].Front; front != nil {
+			fmt.Fprintln(w, evoprot.RenderFront(res.Population, front.Pairs, 72, 18))
+		}
+	}
 }

@@ -96,6 +96,48 @@ func TestRunHeterogeneousIslands(t *testing.T) {
 	}
 }
 
+// TestRunParetoObjective: -objective pareto reports and plots the front,
+// -pareto-ref is parsed as "il,dr", malformed values are rejected, and
+// the scalar-pareto niche preset drives a mixed-objective archipelago.
+func TestRunParetoObjective(t *testing.T) {
+	var out strings.Builder
+	err := runCLI(t, []string{
+		"-dataset", "flare", "-rows", "80", "-gens", "15", "-seed", "3",
+		"-objective", "pareto", "-pareto-ref", "120,110", "-plots",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"pareto front:", "hypervolume", "@=front", "best protection:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("output missing %q:\n%s", want, report)
+		}
+	}
+
+	for name, args := range map[string][]string{
+		"malformed ref":  {"-dataset", "flare", "-rows", "80", "-gens", "5", "-pareto-ref", "abc"},
+		"bad objective":  {"-dataset", "flare", "-rows", "80", "-gens", "5", "-objective", "lexicographic"},
+		"non-finite ref": {"-dataset", "flare", "-rows", "80", "-gens", "5", "-objective", "pareto", "-pareto-ref", "-5,100"},
+	} {
+		if err := runCLI(t, args, &out); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+
+	out.Reset()
+	err = runCLI(t, []string{
+		"-dataset", "flare", "-rows", "80", "-gens", "20", "-seed", "3",
+		"-islands", "3", "-migrate-every", "5", "-niches", "scalar-pareto",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 islands") {
+		t.Errorf("scalar-pareto niche run malformed:\n%s", out.String())
+	}
+}
+
 func TestRunCheckpointAndResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
 	var out strings.Builder

@@ -106,6 +106,42 @@
 // Niches / Adaptive on the wire, and -niches / -per-island / -adaptive
 // on cmd/evoprot.
 //
+// # Pareto mode: true multi-objective search
+//
+// The paper scalarizes the IL/DR trade-off through an aggregator before
+// selection ever sees it. WithObjective("pareto") keeps both objectives:
+// selection and replacement run NSGA-II-style — fast non-dominated
+// sorting with crowding-distance tie-breaks over raw (IL, DR) pairs — so
+// a single run evolves a whole front of trade-offs instead of one
+// compromise point. Each generation's GenStats (and every streamed
+// Event) carries a FrontStats payload: the first front's (IL, DR) pairs
+// and its hypervolume against the reference point (WithParetoRef;
+// defaults to DefaultParetoRef, components must be finite and positive).
+// Scalar runs are byte-for-byte unaffected — the payload is omitted from
+// their JSON — and Pareto mode keeps every determinism guarantee:
+// fixed-seed runs, snapshots and resumed runs reproduce fronts bit for
+// bit, which a kill-and-restart harness pins down at the service level.
+//
+//	res, _ := evoprot.Run(ctx, orig, attrs,
+//		evoprot.WithGrid("flare"),
+//		evoprot.WithObjective("pareto"),
+//		evoprot.WithParetoRef(120, 120),
+//	)
+//	front := res.Islands[0].History[len(res.Islands[0].History)-1].Front
+//	fmt.Printf("%d trade-offs, hypervolume %.1f\n", front.Size, front.Hypervolume)
+//
+// The knobs travel the whole stack: JobSpec carries "objective" and
+// "pareto_ref" on the wire and evoprotd's job result reports the final
+// front with its hypervolume; cmd/evoprot takes -objective and
+// -pareto-ref and renders the front as a scatter plot (RenderFront).
+// Per-island Objective overrides compose with heterogeneity — the
+// "scalar-pareto" niche preset runs scalarized and Pareto islands side
+// by side, migrants re-scored under the receiving island's objective —
+// and WithMLUtility(target) appends a machine-learning-utility measure
+// to the information-loss battery (a naive-Bayes proxy classifier's
+// accuracy drop on the protected data), so the front can trade direct
+// analytic utility against disclosure risk.
+//
 // # Running as a service
 //
 // cmd/evoprotd serves optimizations as HTTP jobs for parameter sweeps and
@@ -171,9 +207,10 @@
 //   - internal/dataset — categorical microdata model and CSV I/O
 //   - internal/datagen — synthetic stand-ins for the paper's UCI datasets
 //   - internal/protection — the six masking methods and parameter grids
-//   - internal/infoloss — CTBIL, DBIL, EBIL information-loss measures
+//   - internal/infoloss — CTBIL, DBIL, EBIL, ML-utility information-loss measures
 //   - internal/risk — ID, DBRL, PRL, RSRL disclosure-risk measures
 //   - internal/score — fitness evaluation and the mean/max aggregators
+//   - internal/pareto — dominance, fronts, hypervolume, coverage
 //   - internal/core — the genetic algorithm itself (ctx-first Engine.Run)
 //   - internal/islands — the island-model coordinator
 //   - internal/experiment — the paper's experiments 1–3 as a harness

@@ -62,6 +62,9 @@ type (
 	EngineConfig = core.Config
 	// GenStats is one generation's history record.
 	GenStats = core.GenStats
+	// FrontStats is a Pareto-mode generation's non-dominated front summary
+	// (GenStats.Front; nil on scalarized runs).
+	FrontStats = core.FrontStats
 	// Result is the outcome of an evolutionary run.
 	Result = core.Result
 	// ExperimentSpec identifies one of the paper's experiment runs.
@@ -179,12 +182,20 @@ func RunExperiment(spec ExperimentSpec) (*ExperimentReport, error) {
 }
 
 // ParetoFront returns the non-dominated (IL, DR) pairs of a population,
-// sorted by increasing information loss.
+// sorted by increasing information loss. Pairs with NaN or ±Inf
+// components — failed or degenerate evaluations — are dropped; see
+// the pareto package contract.
 func ParetoFront(pairs []Pair) []Pair { return pareto.Front(pairs) }
 
 // Hypervolume returns the trade-off-plane area dominated by the pairs
-// within [0, ref.IL] x [0, ref.DR]; larger is better.
-func Hypervolume(pairs []Pair, ref Pair) float64 { return pareto.Hypervolume(pairs, ref) }
+// within [0, ref.IL] x [0, ref.DR]; larger is better. A reference point
+// with a non-finite, zero or negative component bounds no box and yields
+// an error wrapping pareto.ErrReference.
+func Hypervolume(pairs []Pair, ref Pair) (float64, error) { return pareto.Hypervolume(pairs, ref) }
+
+// DefaultParetoRef is the hypervolume reference point Pareto-mode runs
+// use when WithParetoRef is not given (see core.DefaultParetoRef).
+var DefaultParetoRef = core.DefaultParetoRef
 
 // OptimizeOptions parameterizes Optimize, the pre-context entry point.
 //

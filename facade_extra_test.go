@@ -36,14 +36,24 @@ func TestParetoFrontFacade(t *testing.T) {
 	if len(front) != 3 {
 		t.Fatalf("front = %v", front)
 	}
-	hv := Hypervolume(pairs, Pair{IL: 100, DR: 100})
+	hv, err := Hypervolume(pairs, Pair{IL: 100, DR: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if hv <= 0 || hv >= 100*100 {
 		t.Fatalf("hypervolume = %v", hv)
 	}
 	// Adding a dominating point grows the hypervolume.
-	hv2 := Hypervolume(append(pairs, Pair{IL: 5, DR: 5}), Pair{IL: 100, DR: 100})
+	hv2, err := Hypervolume(append(pairs, Pair{IL: 5, DR: 5}), Pair{IL: 100, DR: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if hv2 <= hv {
 		t.Fatalf("hypervolume did not grow: %v -> %v", hv, hv2)
+	}
+	// A degenerate reference bounds no box.
+	if _, err := Hypervolume(pairs, Pair{}); err == nil {
+		t.Fatal("degenerate reference accepted")
 	}
 }
 

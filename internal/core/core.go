@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"evoprot/internal/dataset"
+	"evoprot/internal/pareto"
 	"evoprot/internal/score"
 )
 
@@ -52,6 +53,14 @@ type Individual struct {
 	// individuals loaded from a snapshot (Resume rebuilds it lazily too),
 	// and permanently when Config.DisableDelta is set.
 	state *score.DeltaState
+
+	// rank and crowd are the NSGA-II non-domination rank (0 = first
+	// front) and crowding distance of Pareto mode. They are derived data:
+	// recomputed from the population's (IL, DR) pairs every sort and never
+	// serialized — a resumed engine re-derives them deterministically.
+	// Unused (zero) in scalar mode.
+	rank  int
+	crowd float64
 }
 
 // NewIndividual wraps a protected dataset as an unevaluated individual.
@@ -215,6 +224,21 @@ type Config struct {
 	// aggregation, which is how heterogeneous islands explore the
 	// risk/information-loss trade-off from different biases at once.
 	Aggregator string
+	// Objective selects the optimization mode: ObjectiveScalar (the
+	// default — the paper's single aggregated score) or ObjectivePareto
+	// (NSGA-II-style non-dominated sorting + crowding distance over the
+	// raw (IL, DR) pairs; see nsga2.go). Scores are still computed under
+	// the aggregator in Pareto mode — statistics, migration to scalarized
+	// islands and tie-breaking stay meaningful — but selection and
+	// replacement ignore them.
+	Objective string
+	// ParetoRef is the hypervolume reference point of Pareto mode; each
+	// generation's front is scored as the trade-off-plane area it
+	// dominates within [0, ParetoRef.IL] x [0, ParetoRef.DR]. The zero
+	// value selects DefaultParetoRef; set components must be finite and
+	// positive. Ignored in scalar mode (but still validated when set, so
+	// misconfigurations surface at admission regardless of mode).
+	ParetoRef score.Pair
 	// Seed drives all stochastic decisions; a fixed seed reproduces a run
 	// exactly.
 	Seed uint64
@@ -294,6 +318,20 @@ func (c *Config) withDefaults() (Config, error) {
 			return out, err
 		}
 	}
+	switch out.Objective {
+	case "", ObjectiveScalar:
+	case ObjectivePareto:
+		if out.ParetoRef == (score.Pair{}) {
+			out.ParetoRef = DefaultParetoRef
+		}
+	default:
+		return out, fmt.Errorf("core: unknown objective %q (want scalar|pareto)", out.Objective)
+	}
+	if ref := out.ParetoRef; ref != (score.Pair{}) {
+		if !pareto.Finite(ref) || ref.IL <= 0 || ref.DR <= 0 {
+			return out, fmt.Errorf("core: ParetoRef (%v, %v) must have finite positive components", ref.IL, ref.DR)
+		}
+	}
 	if out.EvalWorkers == 0 {
 		out.EvalWorkers = out.InitWorkers
 	}
@@ -363,6 +401,12 @@ func (c Config) Merged(o Config) Config {
 	if o.Aggregator != "" {
 		out.Aggregator = o.Aggregator
 	}
+	if o.Objective != "" {
+		out.Objective = o.Objective
+	}
+	if o.ParetoRef != (score.Pair{}) {
+		out.ParetoRef = o.ParetoRef
+	}
 	if o.OnGeneration != nil {
 		out.OnGeneration = o.OnGeneration
 	}
@@ -390,8 +434,13 @@ type GenStats struct {
 	// the whole generation. The paper's timing table (§3.2) reports that
 	// EvalTime dominates.
 	EvalTime, TotalTime time.Duration
-	// Improved reports whether the best score improved this generation.
+	// Improved reports whether the best score improved this generation —
+	// in Pareto mode, whether the front's hypervolume strictly grew.
 	Improved bool
+	// Front summarizes the generation's non-dominated front in Pareto
+	// mode; nil in scalar mode, so scalarized histories and event feeds
+	// are byte-identical to pre-Pareto builds.
+	Front *FrontStats `json:",omitempty"`
 }
 
 // Result is the outcome of a Run.
@@ -444,6 +493,9 @@ type Engine struct {
 	// cutBuf holds the k-point crossover's sorted cut positions, reused
 	// across generations (unused on the 2-point paper path).
 	cutBuf []int
+	// pairBuf stages the population's (IL, DR) pairs for Pareto-mode
+	// front extraction, reused across generations.
+	pairBuf []score.Pair
 
 	// batchable caches whether every measure of the engine's evaluator
 	// supports reversible (apply/undo) delta evaluation — the capability
@@ -698,6 +750,10 @@ func (e *Engine) popStats(gs GenStats) GenStats {
 func (e *Engine) Step() GenStats {
 	start := time.Now()
 	prevBest := e.pop[0].Eval.Score
+	var prevHV float64
+	if e.paretoMode() {
+		prevHV = e.frontStats().Hypervolume
+	}
 	e.gen++
 	gs := GenStats{Gen: e.gen}
 
@@ -727,7 +783,13 @@ func (e *Engine) Step() GenStats {
 	gs = e.popStats(gs)
 	gs.EvalTime = evalTime
 	gs.TotalTime = time.Since(start)
-	gs.Improved = e.pop[0].Eval.Score < prevBest
+	if e.paretoMode() {
+		fs := e.frontStats()
+		gs.Front = &fs
+		gs.Improved = fs.Hypervolume > prevHV
+	} else {
+		gs.Improved = e.pop[0].Eval.Score < prevBest
+	}
 	e.history = append(e.history, gs)
 	if fn := e.onGeneration(); fn != nil {
 		fn(gs)
@@ -825,6 +887,15 @@ func (e *Engine) Emigrants(k int) []*Individual {
 // batch evaluation path advances and rolls back states in place — a
 // shared state would be mutated concurrently by engines that accepted the
 // same migrant.
+//
+// A Pareto-mode engine judges arrivals by dominance instead: the migrant
+// joins NSGA-II environmental selection over population + migrant and is
+// accepted exactly when it survives the truncation. The re-combined Score
+// still matters as the in-front tie-breaker, so a scalarized island's
+// migrant is ranked by its raw (IL, DR) pair on arrival at a Pareto
+// island — and a Pareto island's emigrants carry pairs a scalarized
+// island re-scores under its own aggregator — which is what lets the
+// scalarized-vs-Pareto niche split exchange individuals meaningfully.
 func (e *Engine) Immigrate(migrants []*Individual) int {
 	accepted := 0
 	agg := e.eval.Aggregator()
@@ -834,6 +905,28 @@ func (e *Engine) Immigrate(migrants []*Individual) int {
 		}
 		ev := m.Eval
 		ev.Score = agg.Combine(ev.IL, ev.DR)
+		if e.paretoMode() {
+			imm := &Individual{Data: m.Data, Eval: ev, Origin: m.Origin}
+			pool := make([]*Individual, 0, len(e.pop)+1)
+			pool = append(pool, e.pop...)
+			pool = append(pool, imm)
+			kept := envSelect(pool, len(e.pop))
+			if containsIndividual(kept, imm) {
+				if m.state != nil {
+					imm.state = m.state.Clone()
+				}
+				e.pop = append(e.pop[:0], kept...)
+				e.sortPop()
+				accepted++
+			} else {
+				// envSelect ranked the pool including the rejected migrant;
+				// re-derive rank and crowding over the population alone so
+				// the next tournament sees the same state a resumed engine
+				// would.
+				e.refreshPareto()
+			}
+			continue
+		}
 		worst := len(e.pop) - 1
 		if ev.Score < e.pop[worst].Eval.Score {
 			var st *score.DeltaState
@@ -864,6 +957,11 @@ func (e *Engine) stepMutation() (evalTime time.Duration, accepted int) {
 		e.evaluateOffspring(parent, child, changes)
 	}
 	evalTime = time.Since(evalStart)
+	if e.paretoMode() {
+		e.bParents[0], e.bChildren[0], e.bChanges[0] = parent, child, changes
+		accepted = e.paretoReplace(e.bParents[:1], e.bChildren[:1], e.bChanges[:1], batch)
+		return evalTime, accepted
+	}
 	if child.Eval.Score < parent.Eval.Score {
 		e.pop[idx] = child
 		accepted++
@@ -929,6 +1027,16 @@ func (e *Engine) stepCrossover() (evalTime time.Duration, accepted int) {
 	}
 	evalTime = time.Since(evalStart)
 
+	if e.paretoMode() {
+		// Global NSGA-II replacement over population + both children; the
+		// crowding pairing below is a scalar-mode concept (children compete
+		// for their parents' slots) and does not apply.
+		e.bParents[0], e.bChildren[0], e.bChanges[0] = p1, c1, ch1
+		e.bParents[1], e.bChildren[1], e.bChanges[1] = p2, c2, ch2
+		accepted = e.paretoReplace(e.bParents[:2], e.bChildren[:2], e.bChanges[:2], batch)
+		return evalTime, accepted
+	}
+
 	// b1/b2 track each child's biological parent (and its change list)
 	// through the crowding swap: a survivor's delta state derives from the
 	// parent it was crossed from, not from the slot it competes for.
@@ -989,8 +1097,12 @@ func (e *Engine) leaderSize() int {
 }
 
 // selectIndex draws one population index under the configured selection
-// policy. The population is sorted best-first.
+// policy. The population is sorted best-first. Pareto mode replaces the
+// score-based policies with NSGA-II's crowded binary tournament.
 func (e *Engine) selectIndex() int {
+	if e.paretoMode() {
+		return e.selectIndexPareto()
+	}
 	n := len(e.pop)
 	switch e.cfg.Selection {
 	case SelectUniform:
@@ -1130,7 +1242,21 @@ func (e *Engine) cross(p1, p2 *Individual) (c1, c2 *Individual, ch1, ch2 []datas
 
 // sortPop keeps the population sorted by ascending score; ties preserve
 // the previous order (stable), matching §2.4's sorted-population model.
+// Pareto mode sorts by (rank, score) instead — recomputing rank and
+// crowding first, so every caller (construction, Resume, migration, Step)
+// leaves the population with fresh NSGA-II state and pop[0] is the first
+// front's best-compromise member.
 func (e *Engine) sortPop() {
+	if e.paretoMode() {
+		e.refreshPareto()
+		sort.SliceStable(e.pop, func(i, j int) bool {
+			if e.pop[i].rank != e.pop[j].rank {
+				return e.pop[i].rank < e.pop[j].rank
+			}
+			return e.pop[i].Eval.Score < e.pop[j].Eval.Score
+		})
+		return
+	}
 	sort.SliceStable(e.pop, func(i, j int) bool {
 		return e.pop[i].Eval.Score < e.pop[j].Eval.Score
 	})

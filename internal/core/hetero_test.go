@@ -16,9 +16,28 @@ func stripHistory(h []GenStats) []GenStats {
 	out := make([]GenStats, len(h))
 	for i, gs := range h {
 		gs.EvalTime, gs.TotalTime = 0, 0
+		gs.Front = nil // compared by value in sameHistories, not by pointer
 		out[i] = gs
 	}
 	return out
+}
+
+func sameFronts(a, b *FrontStats) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Size != b.Size || a.Hypervolume != b.Hypervolume || len(a.Pairs) != len(b.Pairs) {
+		return false
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func sameHistories(t *testing.T, label string, a, b []GenStats) {
@@ -30,6 +49,9 @@ func sameHistories(t *testing.T, label string, a, b []GenStats) {
 	for i := range x {
 		if x[i] != y[i] {
 			t.Fatalf("%s: generation %d diverged:\n%+v\n%+v", label, i+1, x[i], y[i])
+		}
+		if !sameFronts(a[i].Front, b[i].Front) {
+			t.Fatalf("%s: generation %d fronts diverged:\n%+v\n%+v", label, i+1, a[i].Front, b[i].Front)
 		}
 	}
 }

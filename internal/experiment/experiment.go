@@ -240,8 +240,12 @@ func RunContext(ctx context.Context, spec Spec) (*Report, error) {
 	ref := score.Pair{IL: 100, DR: 100}
 	rep.FrontInit = len(pareto.Front(rep.Initial))
 	rep.FrontFinal = len(pareto.Front(rep.Final))
-	rep.HVInit = pareto.Hypervolume(rep.Initial, ref)
-	rep.HVFinal = pareto.Hypervolume(rep.Final, ref)
+	if rep.HVInit, err = pareto.Hypervolume(rep.Initial, ref); err != nil {
+		return nil, err
+	}
+	if rep.HVFinal, err = pareto.Hypervolume(rep.Final, ref); err != nil {
+		return nil, err
+	}
 
 	mutTime, mutN := time.Duration(0), 0
 	crossTime, crossN := time.Duration(0), 0

@@ -1,0 +1,127 @@
+package infoloss
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"evoprot/internal/dataset"
+)
+
+// mlTestData builds a dataset whose target column is perfectly predictable
+// from the first protected attribute (target = feature % classes), so the
+// original-trained classifier scores high and scrambling the features
+// destroys measurable utility.
+func mlTestData(t *testing.T, rows int) (*dataset.Dataset, []int, int) {
+	t.Helper()
+	cats := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = string(rune('a' + i))
+		}
+		return out
+	}
+	s := dataset.MustSchema(
+		dataset.MustAttribute("f1", cats(6), true),
+		dataset.MustAttribute("f2", cats(4), false),
+		dataset.MustAttribute("label", cats(3), false),
+	)
+	d := dataset.New(s, rows)
+	rng := rand.New(rand.NewPCG(11, 5))
+	for r := 0; r < rows; r++ {
+		v := rng.IntN(6)
+		d.Set(r, 0, v)
+		d.Set(r, 1, rng.IntN(4))
+		d.Set(r, 2, v%3)
+	}
+	return d, []int{0, 1}, 2
+}
+
+func TestMLUtilityIdentityZero(t *testing.T) {
+	d, attrs, target := mlTestData(t, 200)
+	m := &MLUtility{Target: target}
+	if got := m.Loss(d, d, attrs); got != 0 {
+		t.Fatalf("MLU(identity) = %v, want 0", got)
+	}
+}
+
+func TestMLUtilityScrambleLoses(t *testing.T) {
+	d, attrs, target := mlTestData(t, 200)
+	masked := scramble(d, attrs, 7)
+	m := &MLUtility{Target: target}
+	got := m.Loss(d, masked, attrs)
+	if got <= 0 || got > 100 {
+		t.Fatalf("MLU(scramble) = %v, want in (0,100]", got)
+	}
+	// A pure function of its inputs: two computations agree exactly.
+	if again := m.Loss(d, masked, attrs); again != got {
+		t.Fatalf("MLU not deterministic: %v vs %v", got, again)
+	}
+}
+
+// TestMLUtilityMonotoneUnderNoise: scrambling more feature columns never
+// reports (much) more retained utility — full scramble loses at least as
+// much as leaving the predictive column intact.
+func TestMLUtilityMonotoneUnderNoise(t *testing.T) {
+	d, attrs, target := mlTestData(t, 400)
+	m := &MLUtility{Target: target}
+	// Scramble only the non-predictive feature: f1, which determines the
+	// label, survives, so the classifier barely degrades.
+	partial := scramble(d, []int{1}, 3)
+	full := scramble(d, attrs, 3)
+	lossPartial := m.Loss(d, partial, attrs)
+	lossFull := m.Loss(d, full, attrs)
+	if lossFull < lossPartial {
+		t.Fatalf("full scramble (%v) reports less loss than partial (%v)", lossFull, lossPartial)
+	}
+	if lossPartial > 20 {
+		t.Fatalf("scrambling the non-predictive feature lost %v, want small", lossPartial)
+	}
+}
+
+// TestMLUtilityDegenerateInputs: out-of-range targets, target-only
+// feature sets, and too-few rows all score a defined 0 instead of
+// panicking.
+func TestMLUtilityDegenerateInputs(t *testing.T) {
+	d, attrs, target := mlTestData(t, 200)
+	masked := scramble(d, attrs, 9)
+	for name, m := range map[string]*MLUtility{
+		"negative target":     {Target: -1},
+		"target out of range": {Target: d.Schema().NumAttrs()},
+	} {
+		if got := m.Loss(d, masked, attrs); got != 0 {
+			t.Errorf("%s: MLU = %v, want 0", name, got)
+		}
+	}
+	// Target is the only "protected" attribute: no features remain.
+	m := &MLUtility{Target: target}
+	if got := m.Loss(d, masked, []int{target}); got != 0 {
+		t.Errorf("target-only attrs: MLU = %v, want 0", got)
+	}
+	// Fewer rows than the hold-out stride.
+	tiny, tinyAttrs, tinyTarget := mlTestData(t, 3)
+	if got := (&MLUtility{Target: tinyTarget}).Loss(tiny, scramble(tiny, tinyAttrs, 1), tinyAttrs); got != 0 {
+		t.Errorf("tiny dataset: MLU = %v, want 0", got)
+	}
+}
+
+// TestMLUtilityStride: the stride knob changes the split (and generally
+// the value) but stays deterministic per stride.
+func TestMLUtilityStride(t *testing.T) {
+	d, attrs, target := mlTestData(t, 400)
+	masked := scramble(d, attrs, 5)
+	for _, stride := range []int{2, 4, 10} {
+		m := &MLUtility{Target: target, TestStride: stride}
+		a, b := m.Loss(d, masked, attrs), m.Loss(d, masked, attrs)
+		if a != b {
+			t.Fatalf("stride %d not deterministic: %v vs %v", stride, a, b)
+		}
+		if a < 0 || a > 100 {
+			t.Fatalf("stride %d out of range: %v", stride, a)
+		}
+	}
+	// Values below 2 select the default of 4.
+	def := (&MLUtility{Target: target}).Loss(d, masked, attrs)
+	if got := (&MLUtility{Target: target, TestStride: 1}).Loss(d, masked, attrs); got != def {
+		t.Fatalf("TestStride 1 (%v) does not match the default stride (%v)", got, def)
+	}
+}

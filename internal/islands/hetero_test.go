@@ -31,6 +31,26 @@ func stripEvent(ev Event) Event {
 	return ev
 }
 
+// sameFronts compares two Pareto front payloads by value — GenStats holds
+// them by pointer, so struct equality would compare identities.
+func sameFronts(a, b *core.FrontStats) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Size != b.Size || a.Hypervolume != b.Hypervolume || len(a.Pairs) != len(b.Pairs) {
+		return false
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // collectEvents runs the configuration and returns its full event feed
 // (times stripped) together with the result.
 func collectEvents(t *testing.T, cfg Config) ([]Event, *Result) {
@@ -76,6 +96,10 @@ func sameResults(t *testing.T, label string, a, b *Result) {
 			t.Fatalf("%s: island %d history lengths %d vs %d", label, i, len(x), len(y))
 		}
 		for g := range x {
+			if !sameFronts(x[g].Front, y[g].Front) {
+				t.Fatalf("%s: island %d generation %d fronts diverged:\n%+v\n%+v", label, i, g+1, x[g].Front, y[g].Front)
+			}
+			x[g].Front, y[g].Front = nil, nil
 			if x[g] != y[g] {
 				t.Fatalf("%s: island %d generation %d diverged:\n%+v\n%+v", label, i, g+1, x[g], y[g])
 			}
@@ -116,6 +140,10 @@ func sameEvents(t *testing.T, label string, a, b []Event) {
 				t.Fatalf("%s: island %d event %d epoch payloads diverged: %+v vs %+v", label, island, i, x.Epoch, y.Epoch)
 			}
 			x.Epoch, y.Epoch = nil, nil
+			if !sameFronts(x.Stats.Front, y.Stats.Front) {
+				t.Fatalf("%s: island %d event %d fronts diverged:\n%+v\n%+v", label, island, i, x.Stats.Front, y.Stats.Front)
+			}
+			x.Stats.Front, y.Stats.Front = nil, nil
 			if x != y {
 				t.Fatalf("%s: island %d event %d diverged:\n%+v\n%+v", label, island, i, x, y)
 			}

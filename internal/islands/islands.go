@@ -254,6 +254,9 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("islands: unknown topology %v", c.Topology)
 	}
 	c.Engine.OnGeneration = nil
+	if err := c.Engine.Validate(); err != nil {
+		return c, err
+	}
 	if c.Barrier == nil {
 		c.Barrier = InProcessBarrier{}
 	}

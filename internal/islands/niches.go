@@ -53,6 +53,19 @@ var nichePresets = map[string]func(n int) []core.Config{
 		}
 		return out
 	},
+	// scalar-pareto splits the archipelago between the two selection
+	// objectives: even islands keep the template's scalarized search, odd
+	// islands run NSGA-II Pareto selection. Migration re-scores migrants
+	// under the destination's objective, so scalarized islands feed their
+	// best compromises into the front builders and Pareto islands send
+	// non-dominated spread back into the scalar hill-climbs.
+	"scalar-pareto": func(n int) []core.Config {
+		out := make([]core.Config, n)
+		for i := 1; i < n; i += 2 {
+			out[i].Objective = core.ObjectivePareto
+		}
+		return out
+	},
 	// aggregator-sweep gives islands different fitness aggregations —
 	// balanced (the template), mean, euclidean, privacy-leaning and
 	// utility-leaning weighted sums — so each island optimizes a different

@@ -22,10 +22,13 @@ import (
 // aligned with the schedule.
 
 // snapshotVersion guards against incompatible checkpoint layouts.
-// Version 2 added the adaptive-migration controller state and the
-// per-island configuration overrides; version-1 snapshots (homogeneous,
-// fixed-schedule) still load.
-const snapshotVersion = 2
+// Version 3 added the Pareto-mode objective fields to island config
+// overrides (a pre-Pareto build would silently resume such a niche as
+// scalarized, a different trajectory); version 2 added the
+// adaptive-migration controller state and the per-island configuration
+// overrides; version-1 snapshots (homogeneous, fixed-schedule) still
+// load.
+const snapshotVersion = 3
 
 // minSnapshotVersion is the oldest layout Resume still reads.
 const minSnapshotVersion = 1
@@ -63,8 +66,17 @@ type islandConfigJSON struct {
 	NoImprovementWindow int     `json:"early_stop,omitempty"`
 	ForceOp             string  `json:"force_op,omitempty"`
 	Aggregator          string  `json:"aggregator,omitempty"`
+	Objective           string  `json:"objective,omitempty"`
+	ParetoRefIL         float64 `json:"pareto_ref_il,omitempty"`
+	ParetoRefDR         float64 `json:"pareto_ref_dr,omitempty"`
 	DisableDelta        bool    `json:"disable_delta,omitempty"`
 	LazyPrepare         bool    `json:"lazy_prepare,omitempty"`
+}
+
+// needsV3 reports whether an override carries the objective fields that
+// only version-3 readers understand.
+func (j islandConfigJSON) needsV3() bool {
+	return j.Objective != "" || j.ParetoRefIL != 0 || j.ParetoRefDR != 0
 }
 
 func configToJSON(c core.Config) islandConfigJSON {
@@ -76,6 +88,9 @@ func configToJSON(c core.Config) islandConfigJSON {
 		NoImprovementWindow: c.NoImprovementWindow,
 		ForceOp:             c.ForceOp,
 		Aggregator:          c.Aggregator,
+		Objective:           c.Objective,
+		ParetoRefIL:         c.ParetoRef.IL,
+		ParetoRefDR:         c.ParetoRef.DR,
 		DisableDelta:        c.DisableDelta,
 		LazyPrepare:         c.LazyPrepare,
 	}
@@ -97,6 +112,10 @@ func configFromJSON(j islandConfigJSON) (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	obj, err := core.ObjectiveByName(j.Objective)
+	if err != nil {
+		return core.Config{}, err
+	}
 	return core.Config{
 		Generations:         j.Generations,
 		MutationRate:        j.MutationRate,
@@ -107,6 +126,8 @@ func configFromJSON(j islandConfigJSON) (core.Config, error) {
 		NoImprovementWindow: j.NoImprovementWindow,
 		ForceOp:             j.ForceOp,
 		Aggregator:          j.Aggregator,
+		Objective:           obj,
+		ParetoRef:           score.Pair{IL: j.ParetoRefIL, DR: j.ParetoRefDR},
 		DisableDelta:        j.DisableDelta,
 		LazyPrepare:         j.LazyPrepare,
 	}, nil
@@ -126,11 +147,21 @@ func (r *Runner) Snapshot(w io.Writer) error {
 			snap.Configs[i] = configToJSON(ov)
 		}
 	}
+	// Stamp the lowest version the payload needs, so checkpoints stay
+	// readable by the oldest build that can resume them faithfully: plain
+	// homogeneous fixed-schedule runs are version 1, adaptive or
+	// heterogeneous runs version 2, and only overrides carrying Pareto
+	// objective fields require version 3.
 	if snap.Adaptive == nil && snap.Configs == nil {
-		// No v2 content: stamp the lowest version the payload needs so
-		// homogeneous fixed-schedule checkpoints stay readable by builds
-		// that require version 1 exactly.
 		snap.Version = minSnapshotVersion
+	} else {
+		snap.Version = 2
+		for _, j := range snap.Configs {
+			if j.needsV3() {
+				snap.Version = snapshotVersion
+				break
+			}
+		}
 	}
 	for i, e := range r.engines {
 		var buf bytes.Buffer

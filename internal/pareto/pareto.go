@@ -2,28 +2,56 @@
 // non-dominated front extraction and the 2-D hypervolume indicator. The
 // paper folds both objectives into one score (Eq. 1/Eq. 2) and names
 // richer aggregations as future work (§4); the Pareto view is the standard
-// lens for judging how well a population covers the trade-off curve, and
-// the experiment reports use it to compare initial and final populations
-// beyond single-score summaries.
+// lens for judging how well a population covers the trade-off curve. The
+// engine's Pareto mode (core.ObjectivePareto) ranks populations with these
+// primitives, and the experiment reports use them to compare initial and
+// final populations beyond single-score summaries.
+//
+// Finiteness contract: a pair with a NaN or ±Inf component — a failed or
+// degenerate evaluation — takes no part in dominance. Front drops such
+// pairs, Dominates reports false whenever either argument has one, and
+// Coverage counts them as off-front. Without this rule NaN pairs make the
+// front's sort order depend on input order (NaN compares false against
+// everything, so `<`-based sorts place it arbitrarily) and can poison the
+// front with points no finite pair is allowed to dominate.
 package pareto
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"sort"
 
 	"evoprot/internal/score"
 )
 
-// Front returns the non-dominated subset of the pairs, sorted by
+// Finite reports whether both components of the pair are finite — neither
+// NaN nor ±Inf. Only finite pairs participate in dominance; see the
+// package contract.
+func Finite(p score.Pair) bool {
+	return !math.IsNaN(p.IL) && !math.IsInf(p.IL, 0) &&
+		!math.IsNaN(p.DR) && !math.IsInf(p.DR, 0)
+}
+
+// Front returns the non-dominated subset of the finite pairs, sorted by
 // increasing IL (and therefore strictly decreasing DR). A pair p dominates
 // q when p.IL <= q.IL and p.DR <= q.DR with at least one strict
 // inequality — both objectives are minimized. Duplicates of a front point
-// appear once.
+// appear once; non-finite pairs are dropped (see the package contract),
+// so the result is independent of input order even in their presence.
 func Front(pairs []score.Pair) []score.Pair {
 	if len(pairs) == 0 {
 		return nil
 	}
-	sorted := make([]score.Pair, len(pairs))
-	copy(sorted, pairs)
+	sorted := make([]score.Pair, 0, len(pairs))
+	for _, p := range pairs {
+		if Finite(p) {
+			sorted = append(sorted, p)
+		}
+	}
+	if len(sorted) == 0 {
+		return nil
+	}
 	// Sorted by IL ascending then DR ascending, a point belongs to the
 	// front exactly when its DR is strictly below every DR seen before it
 	// (equal-IL groups contribute only their lowest-DR member).
@@ -48,22 +76,37 @@ func Front(pairs []score.Pair) []score.Pair {
 	return front
 }
 
-// Dominates reports whether p dominates q (both minimized).
+// Dominates reports whether p dominates q (both minimized). A pair with a
+// non-finite component neither dominates nor is dominated: comparing
+// against NaN would otherwise let arbitrary pairs "dominate" a failed
+// evaluation — or the reverse — depending on which comparison the NaN
+// falls into.
 func Dominates(p, q score.Pair) bool {
+	if !Finite(p) || !Finite(q) {
+		return false
+	}
 	if p.IL > q.IL || p.DR > q.DR {
 		return false
 	}
 	return p.IL < q.IL || p.DR < q.DR
 }
 
-// Hypervolume returns the area of the region within the rectangle
+// ErrReference reports a hypervolume reference point that does not bound a
+// box: a component is non-finite, zero, or negative.
+var ErrReference = errors.New("pareto: reference point must have finite positive components")
+
+// Hypervolume returns the area of the region within the closed rectangle
 // [0, ref.IL] x [0, ref.DR] dominated by the pairs. Larger is better: the
 // front sits closer to the ideal point (0, 0) and covers more of the
 // trade-off plane. Points outside the reference box contribute only the
-// part of their dominated region inside the box.
-func Hypervolume(pairs []score.Pair, ref score.Pair) float64 {
-	if ref.IL <= 0 || ref.DR <= 0 {
-		return 0
+// part of their dominated region inside the box; a point sitting exactly
+// on the far boundary (IL == ref.IL or DR == ref.DR) dominates a
+// zero-area sliver and contributes nothing. Non-finite pairs are dropped
+// (package contract). A reference point with a non-finite, zero or
+// negative component does not bound a box and yields ErrReference.
+func Hypervolume(pairs []score.Pair, ref score.Pair) (float64, error) {
+	if !Finite(ref) || ref.IL <= 0 || ref.DR <= 0 {
+		return 0, fmt.Errorf("%w: got (%v, %v)", ErrReference, ref.IL, ref.DR)
 	}
 	front := Front(pairs)
 	area := 0.0
@@ -90,24 +133,31 @@ func Hypervolume(pairs []score.Pair, ref score.Pair) float64 {
 		minDR = dr
 	}
 	area += (ref.IL - lastIL) * (ref.DR - minDR)
-	return area
+	return area, nil
 }
 
 // Coverage returns the fraction of pairs lying on their own front
 // (duplicates of front points count) — a quick diversity measure of how
-// much of a population is non-dominated.
+// much of a population is non-dominated. Non-finite pairs count toward
+// the denominator but never lie on the front (package contract).
+// Membership is checked against a set keyed on the front's points, so the
+// cost is O(n + |front|) rather than the nested scan's O(n·|front|); the
+// front contains only finite pairs, so map equality is exact (the == on
+// NaN that made a degenerate pair silently undercount can no longer
+// arise).
 func Coverage(pairs []score.Pair) float64 {
 	if len(pairs) == 0 {
 		return 0
 	}
 	front := Front(pairs)
+	set := make(map[score.Pair]struct{}, len(front))
+	for _, f := range front {
+		set[f] = struct{}{}
+	}
 	onFront := 0
 	for _, p := range pairs {
-		for _, f := range front {
-			if p == f {
-				onFront++
-				break
-			}
+		if _, ok := set[p]; ok {
+			onFront++
 		}
 	}
 	return float64(onFront) / float64(len(pairs))

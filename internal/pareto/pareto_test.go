@@ -8,6 +8,17 @@ import (
 	"evoprot/internal/score"
 )
 
+// mustHV computes a hypervolume whose reference point the test knows to be
+// valid, failing the test if the computation unexpectedly errors.
+func mustHV(t *testing.T, pairs []score.Pair, ref score.Pair) float64 {
+	t.Helper()
+	hv, err := Hypervolume(pairs, ref)
+	if err != nil {
+		t.Fatalf("Hypervolume(%v, %v): %v", pairs, ref, err)
+	}
+	return hv
+}
+
 func TestFrontBasic(t *testing.T) {
 	pairs := []score.Pair{
 		{IL: 10, DR: 50}, // front (lowest IL)
@@ -120,7 +131,7 @@ func TestHypervolumeSinglePoint(t *testing.T) {
 	// the rectangle (100-25)x(100-25) = 5625.
 	pairs := []score.Pair{{IL: 25, DR: 25}}
 	ref := score.Pair{IL: 100, DR: 100}
-	if got := Hypervolume(pairs, ref); math.Abs(got-5625) > 1e-9 {
+	if got := mustHV(t, pairs, ref); math.Abs(got-5625) > 1e-9 {
 		t.Fatalf("HV = %v, want 5625", got)
 	}
 }
@@ -131,27 +142,28 @@ func TestHypervolumeStaircase(t *testing.T) {
 	// strip [50,100] x [10,100]: 50*90 = 4500
 	pairs := []score.Pair{{IL: 10, DR: 50}, {IL: 50, DR: 10}}
 	ref := score.Pair{IL: 100, DR: 100}
-	if got := Hypervolume(pairs, ref); math.Abs(got-6500) > 1e-9 {
+	if got := mustHV(t, pairs, ref); math.Abs(got-6500) > 1e-9 {
 		t.Fatalf("HV = %v, want 6500", got)
 	}
 }
 
 func TestHypervolumeEdgeCases(t *testing.T) {
 	ref := score.Pair{IL: 100, DR: 100}
-	if got := Hypervolume(nil, ref); got != 0 {
+	if got := mustHV(t, nil, ref); got != 0 {
 		t.Fatalf("HV(empty) = %v", got)
 	}
-	if got := Hypervolume([]score.Pair{{IL: 1, DR: 1}}, score.Pair{}); got != 0 {
-		t.Fatalf("HV with degenerate ref = %v", got)
+	// A degenerate reference point bounds no box: error, not a silent 0.
+	if _, err := Hypervolume([]score.Pair{{IL: 1, DR: 1}}, score.Pair{}); err == nil {
+		t.Fatal("HV with degenerate ref accepted")
 	}
 	// Point outside the box contributes nothing extra.
 	outside := []score.Pair{{IL: 150, DR: 150}}
-	if got := Hypervolume(outside, ref); got != 0 {
+	if got := mustHV(t, outside, ref); got != 0 {
 		t.Fatalf("HV(outside) = %v", got)
 	}
 	// Ideal point dominates the whole box.
 	ideal := []score.Pair{{IL: 0, DR: 0}}
-	if got := Hypervolume(ideal, ref); math.Abs(got-10000) > 1e-9 {
+	if got := mustHV(t, ideal, ref); math.Abs(got-10000) > 1e-9 {
 		t.Fatalf("HV(ideal) = %v, want 10000", got)
 	}
 }
@@ -164,9 +176,9 @@ func TestHypervolumeMonotoneUnderImprovement(t *testing.T) {
 		for i := 0; i+1 < len(raw); i += 2 {
 			pairs = append(pairs, score.Pair{IL: float64(raw[i] % 100), DR: float64(raw[i+1] % 100)})
 		}
-		before := Hypervolume(pairs, ref)
-		after := Hypervolume(append(pairs, score.Pair{IL: float64(extraIL % 100), DR: float64(extraDR % 100)}), ref)
-		return after >= before-1e-9
+		before, err1 := Hypervolume(pairs, ref)
+		after, err2 := Hypervolume(append(pairs, score.Pair{IL: float64(extraIL % 100), DR: float64(extraDR % 100)}), ref)
+		return err1 == nil && err2 == nil && after >= before-1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

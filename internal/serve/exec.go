@@ -338,6 +338,33 @@ func (e *engine) onEvent(ctx context.Context, j *job, ev evoprot.Event) {
 	}
 }
 
+// finalFront picks the run's final non-dominated front for the result
+// document: the best island's when it ran Pareto selection, otherwise the
+// Pareto island with the largest final hypervolume (ties keep the lowest
+// island index, so the choice is deterministic). Nil when no island ran
+// Pareto selection.
+func finalFront(res *evoprot.RunResult) *evoprot.FrontStats {
+	last := func(i int) *evoprot.FrontStats {
+		h := res.Islands[i].History
+		if len(h) == 0 {
+			return nil
+		}
+		return h[len(h)-1].Front
+	}
+	if res.BestIsland >= 0 && res.BestIsland < len(res.Islands) {
+		if f := last(res.BestIsland); f != nil {
+			return f
+		}
+	}
+	var best *evoprot.FrontStats
+	for i := range res.Islands {
+		if f := last(i); f != nil && (best == nil || f.Hypervolume > best.Hypervolume) {
+			best = f
+		}
+	}
+	return best
+}
+
 // finalize records a terminal outcome: result.json and best.csv when a
 // result exists, then the status flip and the feed close.
 func (e *engine) finalize(j *job, res *evoprot.RunResult, state jobState, errMsg string) {
@@ -381,6 +408,11 @@ func (e *engine) finalize(j *job, res *evoprot.RunResult, state jobState, errMsg
 		}
 		if len(res.Islands) > 0 {
 			result.History = res.Islands[res.BestIsland].History
+		}
+		if front := finalFront(res); front != nil {
+			result.Front = front.Pairs
+			result.FrontSize = front.Size
+			result.Hypervolume = front.Hypervolume
 		}
 		if err := e.st.saveJSON(j.id, resultKey, result); err != nil {
 			e.logf("serve: job %s: persisting result: %v", j.id, err)

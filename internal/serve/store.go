@@ -142,6 +142,14 @@ type JobResult struct {
 	Islands     int         `json:"islands"`
 	BestIsland  int         `json:"best_island"`
 	Best        BestSummary `json:"best"`
+	// Front, FrontSize and Hypervolume carry the final non-dominated
+	// (IL, DR) front of Pareto-objective jobs: the best island's when it
+	// runs Pareto selection, otherwise the Pareto island with the largest
+	// final hypervolume (heterogeneous scalar-pareto niches). Absent on
+	// purely scalarized jobs.
+	Front       []evoprot.Pair `json:"front,omitempty"`
+	FrontSize   int            `json:"front_size,omitempty"`
+	Hypervolume float64        `json:"hypervolume,omitempty"`
 	// History is the best island's per-generation trajectory.
 	History []evoprot.GenStats `json:"history"`
 	// DatasetCSV is the best protected dataset, inlined only on the wire.

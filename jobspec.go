@@ -40,6 +40,21 @@ type JobSpec struct {
 	// Aggregator is "mean" (Eq. 1), "max" (Eq. 2, default), "euclidean"
 	// or "weighted:<w>".
 	Aggregator string `json:"aggregator,omitempty"`
+	// Objective selects the selection objective: "scalar" (aggregated
+	// single-score search, the default) or "pareto" (NSGA-II non-dominated
+	// search over the raw (IL, DR) pairs; results and events carry the
+	// front and its hypervolume).
+	Objective string `json:"objective,omitempty"`
+	// ParetoRef sets the hypervolume reference point of Pareto-mode runs;
+	// nil selects the (100, 100) corner of the measures' natural range.
+	// Both components must be finite and positive.
+	ParetoRef *ParetoRef `json:"pareto_ref,omitempty"`
+	// MLTarget, when set, appends the machine-learning-utility measure to
+	// the information-loss battery: a naive Bayes proxy classifier
+	// predicting this attribute, scoring the held-out accuracy drop of a
+	// model trained on the protected file. Disables delta and batch
+	// evaluation speedups (the measure is not incremental).
+	MLTarget string `json:"ml_target,omitempty"`
 	// Generations is each island's total evolution budget
 	// (0 = DefaultGenerations).
 	Generations int `json:"generations,omitempty"`
@@ -71,9 +86,9 @@ type JobSpec struct {
 	// Islands, the lengths must match. Mutually exclusive with Niches.
 	PerIsland []IslandConfig `json:"per_island,omitempty"`
 	// Niches names a built-in heterogeneity preset spread across the
-	// islands: "explore-exploit", "selection-sweep" or "aggregator-sweep".
-	// Requires Islands >= 2 (one island would make every preset a silent
-	// no-op). Mutually exclusive with PerIsland.
+	// islands: "explore-exploit", "selection-sweep", "aggregator-sweep" or
+	// "scalar-pareto". Requires Islands >= 2 (one island would make every
+	// preset a silent no-op). Mutually exclusive with PerIsland.
 	Niches string `json:"niches,omitempty"`
 	// Adaptive, when present, enables divergence-driven adaptive migration
 	// within its bounds (zero-valued bounds select defaults derived from
@@ -141,6 +156,15 @@ func (s *JobSpec) Validate() error {
 	return icfg.Validate()
 }
 
+// refPair maps an optional wire reference point onto the engine's Pair
+// (zero = "use the default reference").
+func refPair(r *ParetoRef) Pair {
+	if r == nil {
+		return Pair{}
+	}
+	return Pair{IL: r.IL, DR: r.DR}
+}
+
 // islandsConfig mirrors the spec onto the islands.Config the job would
 // execute with, through the same resolveIslandSetup the functional
 // options use — the single source of truth for admission-time validation
@@ -162,6 +186,8 @@ func (s *JobSpec) islandsConfig() (islands.Config, error) {
 		Engine: core.Config{
 			Generations:         s.Generations,
 			Selection:           sel,
+			Objective:           s.Objective,
+			ParetoRef:           refPair(s.ParetoRef),
 			NoImprovementWindow: s.EarlyStop,
 			InitWorkers:         s.Workers,
 			EvalWorkers:         s.EvalWorkers,
@@ -215,6 +241,11 @@ func (s *JobSpec) Materialize() (*Dataset, error) {
 	if _, err := orig.Schema().Indices(s.Attributes...); err != nil {
 		return nil, err
 	}
+	if s.MLTarget != "" {
+		if _, err := orig.Schema().Indices(s.MLTarget); err != nil {
+			return nil, fmt.Errorf("evoprot: ml_target: %w", err)
+		}
+	}
 	return orig, nil
 }
 
@@ -245,6 +276,15 @@ func (s *JobSpec) Options() ([]Option, error) {
 	}
 	if s.Aggregator != "" {
 		opts = append(opts, WithAggregator(s.Aggregator))
+	}
+	if s.Objective != "" {
+		opts = append(opts, WithObjective(s.Objective))
+	}
+	if s.ParetoRef != nil {
+		opts = append(opts, WithParetoRef(s.ParetoRef.IL, s.ParetoRef.DR))
+	}
+	if s.MLTarget != "" {
+		opts = append(opts, WithMLUtility(s.MLTarget))
 	}
 	if s.Generations > 0 {
 		opts = append(opts, WithGenerations(s.Generations))

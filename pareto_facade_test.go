@@ -1,0 +1,148 @@
+package evoprot
+
+// Facade-level gates for the Pareto objective and the ML-utility measure:
+// option and JobSpec validation agree with run time, a spec-driven Pareto
+// run reproduces the equivalent option-driven run bit for bit, and the
+// new knobs actually reach the engine (fronts on events and results,
+// ML-utility shifting scores deterministically).
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func TestParetoObjectiveValidation(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 60, 3)
+	attrs, _ := ProtectedAttributes("flare")
+	bad := map[string][]Option{
+		"unknown objective": {WithGrid("flare"), WithObjective("lexicographic")},
+		"negative ref":      {WithGrid("flare"), WithObjective("pareto"), WithParetoRef(-1, 100)},
+		"nan ref":           {WithGrid("flare"), WithObjective("pareto"), WithParetoRef(math.NaN(), 100)},
+		"inf ref":           {WithGrid("flare"), WithObjective("pareto"), WithParetoRef(100, math.Inf(1))},
+		"zero-DR ref":       {WithGrid("flare"), WithObjective("pareto"), WithParetoRef(100, 0)},
+		// A reference point is validated even under the scalar objective, so
+		// heterogeneous templates with typos fail at admission.
+		"bad ref scalar mode": {WithGrid("flare"), WithParetoRef(-5, 100)},
+		"unknown ml target":   {WithGrid("flare"), WithMLUtility("nope")},
+	}
+	for name, opts := range bad {
+		if _, err := NewRunner(orig, attrs, opts...); err == nil {
+			t.Errorf("%s: NewRunner accepted", name)
+		}
+	}
+	if _, err := NewRunner(orig, attrs, WithGrid("flare"), WithObjective("pareto"), WithParetoRef(120, 110)); err != nil {
+		t.Errorf("valid pareto options rejected: %v", err)
+	}
+
+	badSpecs := map[string]JobSpec{
+		"unknown objective": {Dataset: "flare", Objective: "lexicographic"},
+		"bad pareto ref":    {Dataset: "flare", Objective: "pareto", ParetoRef: &ParetoRef{IL: -1, DR: 100}},
+	}
+	for name, spec := range badSpecs {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: spec accepted", name)
+		}
+	}
+	good := JobSpec{Dataset: "flare", Objective: "pareto", ParetoRef: &ParetoRef{IL: 120, DR: 110}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid pareto spec rejected: %v", err)
+	}
+	mlSpec := JobSpec{Dataset: "flare", MLTarget: "nope"}
+	if _, err := mlSpec.Materialize(); err == nil {
+		t.Error("unknown ml_target materialized")
+	}
+}
+
+// TestParetoSpecOptionsEquivalence: a Pareto spec-driven run reproduces
+// the option-driven run bit for bit, and both carry the front payloads.
+func TestParetoSpecOptionsEquivalence(t *testing.T) {
+	spec := JobSpec{
+		Dataset:     "flare",
+		Rows:        80,
+		Generations: 25,
+		Seed:        13,
+		Objective:   "pareto",
+		ParetoRef:   &ParetoRef{IL: 120, DR: 120},
+	}
+	orig, err := spec.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := spec.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), orig, spec.Attributes, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refOrig, _ := GenerateDataset("flare", 80, 13)
+	attrs, _ := ProtectedAttributes("flare")
+	want, err := Run(context.Background(), refOrig, attrs,
+		WithGrid("flare"),
+		WithGenerations(25),
+		WithSeed(13),
+		WithObjective("pareto"),
+		WithParetoRef(120, 120),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Best.Data.Equal(want.Best.Data) {
+		t.Fatal("spec-driven pareto run diverged from the explicit-option run")
+	}
+	gh, wh := got.Islands[0].History, want.Islands[0].History
+	if len(gh) != len(wh) || len(gh) != 25 {
+		t.Fatalf("history lengths %d vs %d, want 25", len(gh), len(wh))
+	}
+	for i := range gh {
+		gf, wf := gh[i].Front, wh[i].Front
+		if gf == nil || wf == nil {
+			t.Fatalf("generation %d misses a front payload", i+1)
+		}
+		if gf.Size != wf.Size || gf.Hypervolume != wf.Hypervolume {
+			t.Fatalf("generation %d fronts diverged: %+v vs %+v", i+1, gf, wf)
+		}
+	}
+	if hv, err := Hypervolume(gh[len(gh)-1].Front.Pairs, Pair{IL: 120, DR: 120}); err != nil || hv != gh[len(gh)-1].Front.Hypervolume {
+		t.Fatalf("front hypervolume does not reproduce through the facade: %v %v", hv, err)
+	}
+}
+
+// TestMLUtilityChangesScores: the ML-utility battery shifts fitness (it is
+// a real fourth measure) and is deterministic under a fixed seed.
+func TestMLUtilityChangesScores(t *testing.T) {
+	orig, _ := GenerateDataset("flare", 80, 7)
+	attrs, _ := ProtectedAttributes("flare")
+	base := []Option{WithGrid("flare"), WithGenerations(15), WithSeed(7)}
+
+	plain, err := Run(context.Background(), orig, attrs, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml1, err := Run(context.Background(), orig, attrs, append(base[:len(base):len(base)], WithMLUtility("CFLARES"))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml2, err := Run(context.Background(), orig, attrs, append(base[:len(base):len(base)], WithMLUtility("CFLARES"))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml1.Best.Eval.Score != ml2.Best.Eval.Score || !ml1.Best.Data.Equal(ml2.Best.Data) {
+		t.Fatal("ML-utility run is not deterministic under a fixed seed")
+	}
+	// The measure must actually participate: some individual's IL differs
+	// from the plain battery's on the same seed.
+	differs := false
+	for i, ind := range ml1.Islands[0].Population {
+		if i < len(plain.Islands[0].Population) && ind.Eval.IL != plain.Islands[0].Population[i].Eval.IL {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("ML-utility battery left every IL untouched; measure not wired in")
+	}
+}

@@ -27,6 +27,24 @@ func RenderDispersion(pop []*core.Individual, width, height int) string {
 	}, width, height, "population dispersion", "information loss", "DR")
 }
 
+// RenderFront draws a Pareto-mode population against its non-dominated
+// front: the whole population as background scatter, the front's points
+// highlighted — the trade-off curve a Pareto run is pushing outward.
+func RenderFront(pop []*core.Individual, front []Pair, width, height int) string {
+	popPoints := make([]textplot.Point, len(pop))
+	for i, ind := range pop {
+		popPoints[i] = textplot.Point{X: ind.Eval.IL, Y: ind.Eval.DR}
+	}
+	frontPoints := make([]textplot.Point, len(front))
+	for i, p := range front {
+		frontPoints[i] = textplot.Point{X: p.IL, Y: p.DR}
+	}
+	return textplot.Scatter([]textplot.ScatterSeries{
+		{Name: "population", Marker: '.', Points: popPoints},
+		{Name: "front", Marker: '@', Points: frontPoints},
+	}, width, height, "pareto front", "information loss", "DR")
+}
+
 // RenderPairs draws two labelled (IL, DR) point sets — e.g. an initial and
 // a final population — on one scatter.
 func RenderPairs(initial, final []Pair, width, height int) string {

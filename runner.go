@@ -17,6 +17,7 @@ import (
 
 	"evoprot/internal/core"
 	"evoprot/internal/experiment"
+	"evoprot/internal/infoloss"
 	"evoprot/internal/islands"
 	"evoprot/internal/protection"
 	"evoprot/internal/score"
@@ -69,6 +70,9 @@ type runnerOptions struct {
 	seeds           []*Dataset
 	aggregatorName  string
 	aggregator      Aggregator
+	objective       string
+	paretoRef       Pair
+	mlTarget        string
 	generations     int
 	seed            uint64
 	workers         int
@@ -124,10 +128,25 @@ type IslandConfig struct {
 	// "max", "euclidean", "weighted:<w>"), overriding the run's — niched
 	// search over the risk/information-loss trade-off.
 	Aggregator string `json:"aggregator,omitempty"`
+	// Objective selects the island's selection objective: "scalar"
+	// (aggregated single-score search) or "pareto" (NSGA-II non-dominated
+	// search over raw (IL, DR)). Empty inherits the run's objective.
+	Objective string `json:"objective,omitempty"`
+	// ParetoRef overrides the island's hypervolume reference point; nil
+	// inherits the run's.
+	ParetoRef *ParetoRef `json:"pareto_ref,omitempty"`
 	// Generations overrides the island's per-Run budget.
 	Generations int `json:"generations,omitempty"`
 	// EarlyStop overrides the island's stagnation window.
 	EarlyStop int `json:"early_stop,omitempty"`
+}
+
+// ParetoRef is the wire shape of a hypervolume reference point: the
+// worst corner of the (IL, DR) box hypervolume is measured against. Both
+// components must be finite and positive.
+type ParetoRef struct {
+	IL float64 `json:"il"`
+	DR float64 `json:"dr"`
 }
 
 // toCore resolves the override's symbolic names into a core.Config
@@ -146,16 +165,25 @@ func (c IslandConfig) toCore() (core.Config, error) {
 			return core.Config{}, err
 		}
 	}
-	return core.Config{
+	obj, err := core.ObjectiveByName(c.Objective)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{
 		Selection:           sel,
 		Crowding:            crowd,
 		MutationRate:        c.MutationRate,
 		LeaderFraction:      c.LeaderFraction,
 		CrossoverPoints:     c.CrossoverPoints,
 		Aggregator:          c.Aggregator,
+		Objective:           obj,
 		Generations:         c.Generations,
 		NoImprovementWindow: c.EarlyStop,
-	}, nil
+	}
+	if c.ParetoRef != nil {
+		cfg.ParetoRef = Pair{IL: c.ParetoRef.IL, DR: c.ParetoRef.DR}
+	}
+	return cfg, nil
 }
 
 // AdaptiveMigration bounds the divergence-driven migration controller
@@ -258,6 +286,32 @@ func WithCustomAggregator(agg Aggregator) Option {
 	return func(o *runnerOptions) { o.aggregator = agg }
 }
 
+// WithObjective selects the selection objective: "scalar" (the paper's
+// aggregated single-score search, the default) or "pareto" (NSGA-II
+// non-dominated sorting with crowding-distance selection over the raw
+// (IL, DR) pairs). In Pareto mode every generation's event and the final
+// result carry the current non-dominated front and its hypervolume; the
+// configured aggregation keeps scoring individuals for statistics,
+// in-front tie-breaking and cross-mode migration.
+func WithObjective(name string) Option { return func(o *runnerOptions) { o.objective = name } }
+
+// WithParetoRef sets the hypervolume reference point of Pareto-mode runs:
+// the worst corner of the (IL, DR) box fronts are measured against. Both
+// components must be finite and positive; the zero value selects the
+// (100, 100) corner of the measures' natural range.
+func WithParetoRef(il, dr float64) Option {
+	return func(o *runnerOptions) { o.paretoRef = Pair{IL: il, DR: dr} }
+}
+
+// WithMLUtility appends a machine-learning-utility measure to the
+// information-loss battery: a naive Bayes proxy classifier predicting the
+// named target attribute, scoring the held-out accuracy drop of a model
+// trained on the protected file instead of the original. The target may
+// be any schema attribute; when it is itself protected it is excluded
+// from the classifier's features. The measure is not incremental, so runs
+// using it forgo delta and generation-batch evaluation speedups.
+func WithMLUtility(target string) Option { return func(o *runnerOptions) { o.mlTarget = target } }
+
 // WithGenerations sets each island's evolution budget per Run call (0
 // selects the paper's 400).
 func WithGenerations(n int) Option { return func(o *runnerOptions) { o.generations = n } }
@@ -311,8 +365,10 @@ func WithPerIsland(overrides ...IslandConfig) Option {
 // WithNiches spreads a named heterogeneity preset across the islands:
 // "explore-exploit" (mutation rates, leader fractions, selection
 // pressures and crossover disruption from exploitative to explorative),
-// "selection-sweep", or "aggregator-sweep" (islands optimize different
-// points of the risk/information-loss trade-off). Island 0 always keeps
+// "selection-sweep", "aggregator-sweep" (islands optimize different
+// points of the risk/information-loss trade-off), or "scalar-pareto"
+// (alternating islands run NSGA-II Pareto selection — see WithObjective —
+// while the rest keep the scalarized search). Island 0 always keeps
 // the shared configuration, and WithIslands must ask for at least 2 —
 // a single island would make every preset a silent no-op. See
 // NicheNames. Mutually exclusive with WithPerIsland.
@@ -422,7 +478,15 @@ func NewRunner(orig *Dataset, attrNames []string, options ...Option) (*Runner, e
 			return nil, err
 		}
 	}
-	eval, err := score.NewEvaluator(orig, attrs, score.Config{Aggregator: agg})
+	scoreCfg := score.Config{Aggregator: agg}
+	if o.mlTarget != "" {
+		target, err := orig.Schema().Indices(o.mlTarget)
+		if err != nil {
+			return nil, fmt.Errorf("evoprot: ml-utility target: %w", err)
+		}
+		scoreCfg.IL = append(infoloss.Default(), &infoloss.MLUtility{Target: target[0]})
+	}
+	eval, err := score.NewEvaluator(orig, attrs, scoreCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -492,6 +556,8 @@ func (r *Runner) islandsConfig() (islands.Config, error) {
 			EvalWorkers:         r.opts.evalWorkers,
 			NoImprovementWindow: r.opts.window,
 			Selection:           sel,
+			Objective:           r.opts.objective,
+			ParetoRef:           r.opts.paretoRef,
 			DisableDelta:        r.opts.disableDelta,
 			LazyPrepare:         r.opts.lazyPrepare,
 		},
